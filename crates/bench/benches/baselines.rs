@@ -1,0 +1,78 @@
+//! Baseline comparison microbenchmarks: the full five-algorithm lineup on
+//! one fixed workload (a miniature of the Figure 5 panels), plus the
+//! Super-EGO ablations (reordering, parallelism).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grid_join::{gpu_brute_force, host_self_join_parallel, GpuSelfJoin, GridIndex};
+use rtree::rtree_self_join;
+use sim_gpu::{Device, DeviceSpec};
+use sj_datasets::synthetic::uniform;
+use std::hint::black_box;
+use superego::SuperEgo;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let data = uniform(2, 10_000, 5);
+    let eps = 1.0;
+    let mut g = c.benchmark_group("algorithms_2d_10k");
+    g.sample_size(10);
+    g.bench_function("gpu_sj_unicomp", |b| {
+        b.iter(|| {
+            GpuSelfJoin::default_device()
+                .unicomp(true)
+                .run(black_box(&data), eps)
+                .unwrap()
+        })
+    });
+    g.bench_function("gpu_sj_full", |b| {
+        b.iter(|| {
+            GpuSelfJoin::default_device()
+                .unicomp(false)
+                .run(black_box(&data), eps)
+                .unwrap()
+        })
+    });
+    g.bench_function("cpu_rtree", |b| {
+        b.iter(|| rtree_self_join(black_box(&data), eps))
+    });
+    g.bench_function("superego", |b| {
+        b.iter(|| SuperEgo::default().self_join(black_box(&data), eps))
+    });
+    g.bench_function("host_grid_parallel", |b| {
+        let grid = GridIndex::build(&data, eps).unwrap();
+        b.iter(|| host_self_join_parallel(black_box(&data), &grid))
+    });
+    g.bench_function("gpu_brute_force", |b| {
+        let device = Device::new(DeviceSpec::titan_x_pascal());
+        b.iter(|| gpu_brute_force(&device, black_box(&data), eps).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_superego_ablations(c: &mut Criterion) {
+    // Skewed data is where reordering is supposed to pay.
+    let data = sj_datasets::synthetic::clustered(4, 8_000, 6, 2.0, 0.1, 6);
+    let eps = 3.0;
+    let mut g = c.benchmark_group("superego_ablation_4d_skew");
+    g.sample_size(10);
+    g.bench_function("default", |b| {
+        b.iter(|| SuperEgo::default().self_join(black_box(&data), eps))
+    });
+    g.bench_function("no_reorder", |b| {
+        let se = SuperEgo {
+            reorder: false,
+            ..Default::default()
+        };
+        b.iter(|| se.self_join(black_box(&data), eps))
+    });
+    g.bench_function("sequential", |b| {
+        let se = SuperEgo {
+            parallel: false,
+            ..Default::default()
+        };
+        b.iter(|| se.self_join(black_box(&data), eps))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_superego_ablations);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Microbenchmarks of the ε-grid index: construction cost (the paper
+//! argues grid insertion is far cheaper than R-tree construction) and the
+//! two hot lookup primitives of the kernel inner loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grid_join::grid::mask_range;
+use grid_join::GridIndex;
+use rtree::selfjoin::build_bin_sorted;
+use sj_datasets::synthetic::uniform;
+use std::hint::black_box;
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("index_build");
+    g.sample_size(10);
+    for dim in [2usize, 4, 6] {
+        let data = uniform(dim, 20_000, 1);
+        let eps = match dim {
+            2 => 1.0,
+            4 => 6.0,
+            _ => 15.0,
+        };
+        g.bench_with_input(BenchmarkId::new("grid", dim), &data, |b, d| {
+            b.iter(|| GridIndex::build(black_box(d), eps).unwrap())
+        });
+        // The paper's comparison point: building the R-tree over the same
+        // data costs far more (it is excluded from the paper's timings,
+        // which flatters CPU-RTREE).
+        g.bench_with_input(BenchmarkId::new("rtree", dim), &data, |b, d| {
+            b.iter(|| build_bin_sorted(black_box(d)))
+        });
+        // STR bulk loading: the fast way to build a packed R-tree.
+        g.bench_with_input(BenchmarkId::new("rtree_bulk", dim), &data, |b, d| {
+            b.iter(|| rtree::RTree::bulk_load(black_box(d), 16))
+        });
+    }
+    g.finish();
+}
+
+fn bench_lookups(c: &mut Criterion) {
+    let data = uniform(3, 50_000, 2);
+    let grid = GridIndex::build(&data, 2.0).unwrap();
+    let ids: Vec<u64> = grid.b().iter().step_by(7).copied().collect();
+    let mut g = c.benchmark_group("index_lookup");
+    g.bench_function("find_cell_hit", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % ids.len();
+            black_box(grid.find_cell(black_box(ids[i])))
+        })
+    });
+    g.bench_function("find_cell_miss", |b| {
+        b.iter(|| black_box(grid.find_cell(black_box(u64::MAX - 3))))
+    });
+    g.bench_function("mask_range", |b| {
+        let mask = grid.m(0);
+        let mut lo = 0u32;
+        b.iter(|| {
+            lo = (lo + 3) % 40;
+            black_box(mask_range(black_box(mask), lo, lo + 2))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_build, bench_lookups);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Kernel microbenchmarks: the GPUSELFJOINGLOBAL kernel with and without
+//! UNICOMP (the ablation behind Figure 9), and the result-size estimation
+//! kernel of the batching scheme.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grid_join::kernels::{CountKernel, SelfJoinKernel};
+use grid_join::{DeviceGrid, GridIndex, Pair};
+use sim_gpu::append::AppendBuffer;
+use sim_gpu::{launch, Device, DeviceSpec, LaunchConfig};
+use sj_datasets::synthetic::uniform;
+use std::hint::black_box;
+
+fn bench_selfjoin_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("selfjoin_kernel");
+    g.sample_size(10);
+    for (dim, eps) in [(2usize, 0.7), (4, 5.0), (6, 12.0)] {
+        let data = uniform(dim, 20_000, 3);
+        let grid = GridIndex::build(&data, eps).unwrap();
+        let device = Device::new(DeviceSpec::titan_x_pascal());
+        let dg = DeviceGrid::upload(&device, &data, &grid).unwrap();
+        for unicomp in [false, true] {
+            let label = if unicomp { "unicomp" } else { "full" };
+            g.bench_with_input(
+                BenchmarkId::new(format!("{dim}d"), label),
+                &unicomp,
+                |b, &uni| {
+                    let mut results =
+                        AppendBuffer::<Pair>::new(device.pool(), 8_000_000).unwrap();
+                    b.iter(|| {
+                        results.clear();
+                        let kernel = SelfJoinKernel {
+                            grid: &dg,
+                            results: black_box(&results),
+                            query_offset: 0,
+                            query_count: data.len(),
+                            unicomp: uni,
+                            cell_order: false,
+                        };
+                        launch(&device, LaunchConfig::default(), data.len(), &kernel);
+                        assert!(!results.overflowed());
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_estimator(c: &mut Criterion) {
+    let data = uniform(2, 50_000, 4);
+    let grid = GridIndex::build(&data, 0.8).unwrap();
+    let device = Device::new(DeviceSpec::titan_x_pascal());
+    let dg = DeviceGrid::upload(&device, &data, &grid).unwrap();
+    let ids: Vec<u32> = (0..50_000u32).step_by(50).collect();
+    let sample = device.alloc_from_host(&ids).unwrap();
+    c.bench_function("count_kernel_1k_sample", |b| {
+        b.iter(|| {
+            let counts = AppendBuffer::<u32>::new(device.pool(), ids.len()).unwrap();
+            let kernel = CountKernel {
+                grid: &dg,
+                sample_ids: &sample,
+                counts: &counts,
+            };
+            launch(&device, LaunchConfig::default(), ids.len(), &kernel);
+            black_box(counts.len())
+        })
+    });
+}
+
+fn bench_cell_order(c: &mut Criterion) {
+    // Query-scheduling ablation (extension beyond the paper): skewed data
+    // where same-cell scheduling improves locality.
+    let data = sj_datasets::synthetic::clustered(2, 20_000, 6, 1.2, 0.1, 9);
+    let grid = GridIndex::build(&data, 1.0).unwrap();
+    let device = Device::new(DeviceSpec::titan_x_pascal());
+    let dg = DeviceGrid::upload(&device, &data, &grid).unwrap();
+    let mut g = c.benchmark_group("query_order_skewed_2d");
+    g.sample_size(10);
+    for (label, cell_order) in [("input_order", false), ("cell_order", true)] {
+        g.bench_function(label, |b| {
+            let mut results = AppendBuffer::<Pair>::new(device.pool(), 16_000_000).unwrap();
+            b.iter(|| {
+                results.clear();
+                let kernel = SelfJoinKernel {
+                    grid: &dg,
+                    results: black_box(&results),
+                    query_offset: 0,
+                    query_count: data.len(),
+                    unicomp: false,
+                    cell_order,
+                };
+                launch(&device, LaunchConfig::default(), data.len(), &kernel);
+                assert!(!results.overflowed());
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_knn(c: &mut Criterion) {
+    use grid_join::knn::gpu_knn;
+    let data = uniform(2, 10_000, 10);
+    let device = Device::new(DeviceSpec::titan_x_pascal());
+    let mut g = c.benchmark_group("knn_10k_2d");
+    g.sample_size(10);
+    for k in [4usize, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| gpu_knn(&device, black_box(&data), 2.0, k).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_selfjoin_kernel,
+    bench_estimator,
+    bench_cell_order,
+    bench_knn
+);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Figure 1 — the motivating experiment.
+//!
+//! (a) R-tree self-join response time and average neighbors/point vs
+//! dimension (Syn-nD, 2×10⁶ points, ε = 1). The paper's shape: a U-curve
+//! in time (worst at 2-D from the huge result set, degrading again toward
+//! 6-D from index-search exhaustion) and an avg-neighbors curve that
+//! falls by orders of magnitude with dimension.
+//!
+//! (b) Time vs ε on the 6-D dataset (ε ∈ 4..12): super-linear growth as
+//! the search hyper-volume expands.
+
+use rtree::rtree_self_join;
+use sj_bench::cli::Args;
+use sj_bench::table::{fmt_secs, print_table};
+use sj_datasets::catalog::Catalog;
+use sj_datasets::synthetic;
+
+fn main() {
+    let args = Args::parse();
+    let catalog = Catalog::new();
+
+    // Panel (a): dimensions 2..6 at paper ε = 1.
+    let mut rows = Vec::new();
+    for dim in 2..=6usize {
+        let spec = catalog
+            .get(&format!("Syn{dim}D2M"))
+            .expect("catalog covers 2..6 D");
+        let count = spec.scaled_count(args.scale);
+        let data = synthetic::uniform(dim, count, spec.seed);
+        let stretch = (count as f64 / spec.paper_count as f64).powf(-1.0 / dim as f64);
+        let eps = 1.0 * stretch;
+        let (table, report) = rtree_self_join(&data, eps);
+        rows.push(vec![
+            format!("{dim}"),
+            format!("{count}"),
+            format!("{eps:.4}"),
+            fmt_secs(report.query.as_secs_f64()),
+            format!("{:.2}", table.avg_neighbors()),
+            format!("{}", report.candidates),
+        ]);
+    }
+    print_table(
+        &format!(
+            "Figure 1a: R-tree self-join vs dimension (Syn-nD, paper eps=1, scale {})",
+            args.scale
+        ),
+        &["n", "|D|", "eps", "time", "avg neighbors", "candidates"],
+        &rows,
+    );
+
+    // Panel (b): Syn6D2M, ε sweep 4..12 (paper's x-axis).
+    let spec = catalog.get("Syn6D2M").unwrap();
+    let count = spec.scaled_count(args.scale);
+    let data = synthetic::uniform(6, count, spec.seed);
+    let stretch = (count as f64 / spec.paper_count as f64).powf(-1.0 / 6.0);
+    let mut rows = Vec::new();
+    for paper_eps in [4.0, 6.0, 8.0, 10.0, 12.0] {
+        let eps = paper_eps * stretch;
+        let (table, report) = rtree_self_join(&data, eps);
+        rows.push(vec![
+            format!("{paper_eps}"),
+            format!("{eps:.3}"),
+            fmt_secs(report.query.as_secs_f64()),
+            format!("{:.2}", table.avg_neighbors()),
+        ]);
+    }
+    print_table(
+        "Figure 1b: R-tree time vs eps (Syn6D2M)",
+        &["eps (paper)", "eps (scaled)", "time", "avg neighbors"],
+        &rows,
+    );
+    println!("\nExpected shape: (a) worst times at n=2 and n=6, avg neighbors falling with n;");
+    println!("(b) time and avg neighbors rising super-linearly with eps.");
+}

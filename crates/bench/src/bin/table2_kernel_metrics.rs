@@ -1,0 +1,110 @@
+//! Table II — kernel metrics of GPU-SJ without and with UNICOMP.
+//!
+//! The paper profiles four dataset/ε points with the NVIDIA Visual
+//! Profiler: SW2DA and SDSS2DA at ε = 0.3 (response-time ratio < 2) and
+//! Syn5D2M / Syn6D2M at ε = 8 (ratio > 2). Reported per kernel:
+//! theoretical occupancy and unified-cache bandwidth utilization, plus the
+//! occupancy and cache-utilization *ratios* (UNICOMP / base).
+//!
+//! Expected shape: UNICOMP always lowers occupancy (more registers per
+//! thread); it lowers cache utilization on the 2-D datasets (ratio < 1)
+//! but *raises* it on the 5-/6-D datasets (ratio > 1) — the temporal-
+//! locality effect the paper uses to explain super-2× speedups.
+
+use grid_join::kernels::SelfJoinKernel;
+use grid_join::{DeviceGrid, GridIndex, Pair};
+use sim_gpu::append::AppendBuffer;
+use sim_gpu::{Device, DeviceSpec, LaunchConfig, ProfiledLaunch};
+use sj_bench::cli::Args;
+use sj_bench::table::print_table;
+use sj_datasets::catalog::Catalog;
+
+struct ProfilePoint {
+    dataset: &'static str,
+    paper_eps: f64,
+}
+
+const POINTS: [ProfilePoint; 4] = [
+    ProfilePoint { dataset: "SW2DA", paper_eps: 0.3 },
+    ProfilePoint { dataset: "SDSS2DA", paper_eps: 0.3 },
+    ProfilePoint { dataset: "Syn5D2M", paper_eps: 8.0 },
+    ProfilePoint { dataset: "Syn6D2M", paper_eps: 8.0 },
+];
+
+fn main() {
+    let args = Args::parse();
+    let catalog = Catalog::new();
+    let mut rows = Vec::new();
+    for pt in &POINTS {
+        let spec = catalog.get(pt.dataset).expect("known dataset");
+        let data = spec.generate(args.scale);
+        // Same selectivity stretch the sweeps use.
+        let stretch = (spec.scaled_count(args.scale) as f64 / spec.paper_count as f64)
+            .powf(-1.0 / spec.dim as f64);
+        let eps = pt.paper_eps * stretch;
+        eprintln!(
+            "profiling {} at paper eps {} (actual {eps:.4}, {} pts)…",
+            spec.name,
+            pt.paper_eps,
+            data.len()
+        );
+
+        let grid = GridIndex::build(&data, eps).expect("grid build");
+        let device = Device::new(DeviceSpec::titan_x_pascal());
+        let dg = DeviceGrid::upload(&device, &data, &grid).expect("upload");
+
+        let mut metrics = Vec::new();
+        for unicomp in [false, true] {
+            // A generous result buffer: profiling uses a single launch.
+            let results = AppendBuffer::<Pair>::new(
+                device.pool(),
+                (data.len() * 4096).max(1 << 22),
+            )
+            .expect("result buffer");
+            let kernel = SelfJoinKernel {
+                grid: &dg,
+                results: &results,
+                query_offset: 0,
+                query_count: data.len(),
+                unicomp,
+                cell_order: false,
+            };
+            let (_stats, m) =
+                ProfiledLaunch::run(&device, LaunchConfig::default(), data.len(), &kernel);
+            assert!(!results.overflowed(), "profiling buffer overflow");
+            metrics.push(m);
+        }
+        let base = &metrics[0];
+        let uni = &metrics[1];
+        rows.push(vec![
+            spec.name.to_string(),
+            format!("{}", pt.paper_eps),
+            format!("{:.2}", base.wall.as_secs_f64() / uni.wall.as_secs_f64().max(1e-12)),
+            format!("{:.1}%", base.occupancy * 100.0),
+            format!("{:.2}", base.unified_cache_gbs),
+            format!("{:.1}%", uni.occupancy * 100.0),
+            format!("{:.2}", uni.unified_cache_gbs),
+            format!("{:.2}", uni.occupancy / base.occupancy),
+            format!("{:.2}", uni.unified_cache_gbs / base.unified_cache_gbs.max(1e-12)),
+            format!("{:.3}/{:.3}", base.hit_rate(), uni.hit_rate()),
+        ]);
+    }
+    print_table(
+        &format!("Table II: kernel metrics without/with UNICOMP (scale {})", args.scale),
+        &[
+            "Dataset",
+            "eps",
+            "Ratio resp. time",
+            "Occupancy (GPU)",
+            "Cache GB/s (GPU)",
+            "Occupancy (UNICOMP)",
+            "Cache GB/s (UNICOMP)",
+            "Ratio occupancy",
+            "Ratio cache util.",
+            "L1 hit rate (base/uni)",
+        ],
+        &rows,
+    );
+    println!("\nPaper's values: occupancy 100%→75% (2-D), 62.5%→50% (5-/6-D);");
+    println!("cache-utilization ratio ≈0.75 on SW2DA/SDSS2DA, 1.88/1.59 on Syn5D2M/Syn6D2M.");
+}

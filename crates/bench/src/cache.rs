@@ -1,0 +1,158 @@
+//! CSV cache for sweep measurements.
+//!
+//! Figures 7–9 of the paper are derived from the response-time sweeps of
+//! Figures 4–6. The harness caches every `(dataset, ε, algorithm)`
+//! measurement under `bench_results/sweep_scale<scale>.csv` so derived
+//! figures reuse earlier runs instead of re-measuring.
+
+use crate::runner::{Algo, Measurement};
+use std::collections::HashMap;
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// One cached row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Row {
+    /// Dataset name (paper's Table I naming).
+    pub dataset: String,
+    /// Paper-scale ε (before the selectivity stretch).
+    pub epsilon: f64,
+    /// The measurement.
+    pub m: Measurement,
+}
+
+/// A sweep cache bound to one scale factor.
+#[derive(Debug)]
+pub struct SweepCache {
+    path: PathBuf,
+    rows: HashMap<(String, u64, Algo), Measurement>,
+    enabled: bool,
+}
+
+fn eps_key(eps: f64) -> u64 {
+    eps.to_bits()
+}
+
+impl SweepCache {
+    /// Opens (and loads, if present) the cache for a scale factor.
+    /// `enabled = false` produces an inert cache (for `--no-cache`).
+    pub fn open(scale: f64, enabled: bool) -> Self {
+        let dir = PathBuf::from("bench_results");
+        let path = dir.join(format!("sweep_scale{scale}.csv"));
+        let mut rows = HashMap::new();
+        if enabled {
+            if let Ok(text) = fs::read_to_string(&path) {
+                for line in text.lines().skip(1) {
+                    if let Some(row) = parse_line(line) {
+                        rows.insert(
+                            (row.dataset.clone(), eps_key(row.epsilon), row.m.algo),
+                            row.m,
+                        );
+                    }
+                }
+            }
+        }
+        Self {
+            path,
+            rows,
+            enabled,
+        }
+    }
+
+    /// Looks up a cached measurement.
+    pub fn get(&self, dataset: &str, epsilon: f64, algo: Algo) -> Option<Measurement> {
+        self.rows
+            .get(&(dataset.to_string(), eps_key(epsilon), algo))
+            .copied()
+    }
+
+    /// Inserts a measurement and appends it to the CSV file.
+    pub fn put(&mut self, dataset: &str, epsilon: f64, m: Measurement) {
+        self.rows
+            .insert((dataset.to_string(), eps_key(epsilon), m.algo), m);
+        if !self.enabled {
+            return;
+        }
+        if let Some(parent) = self.path.parent() {
+            let _ = fs::create_dir_all(parent);
+        }
+        let fresh = !self.path.exists();
+        if let Ok(mut f) = fs::OpenOptions::new().create(true).append(true).open(&self.path) {
+            if fresh {
+                let _ = writeln!(f, "dataset,epsilon,algo,seconds,pairs");
+            }
+            let _ = writeln!(
+                f,
+                "{},{},{},{},{}",
+                dataset,
+                epsilon,
+                m.algo.id(),
+                m.seconds,
+                m.pairs
+            );
+        }
+    }
+
+    /// Number of cached measurements.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+fn parse_line(line: &str) -> Option<Row> {
+    let mut parts = line.split(',');
+    let dataset = parts.next()?.to_string();
+    let epsilon: f64 = parts.next()?.parse().ok()?;
+    let algo = Algo::from_id(parts.next()?)?;
+    let seconds: f64 = parts.next()?.parse().ok()?;
+    let pairs: u64 = parts.next()?.parse().ok()?;
+    Some(Row {
+        dataset,
+        epsilon,
+        m: Measurement {
+            algo,
+            seconds,
+            pairs,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_via_parse() {
+        let line = "SW2DA,0.3,gpu_unicomp,1.25,4242";
+        let row = parse_line(line).unwrap();
+        assert_eq!(row.dataset, "SW2DA");
+        assert_eq!(row.m.algo, Algo::GpuUnicomp);
+        assert_eq!(row.m.pairs, 4242);
+        assert!(parse_line("garbage").is_none());
+        assert!(parse_line("a,b,c,d,e").is_none());
+    }
+
+    #[test]
+    fn disabled_cache_is_inert_in_memory_only() {
+        let mut c = SweepCache::open(0.12345, false);
+        assert!(c.is_empty());
+        c.put(
+            "X",
+            1.0,
+            Measurement {
+                algo: Algo::Gpu,
+                seconds: 1.0,
+                pairs: 10,
+            },
+        );
+        assert_eq!(c.len(), 1);
+        assert!(c.get("X", 1.0, Algo::Gpu).is_some());
+        assert!(c.get("X", 2.0, Algo::Gpu).is_none());
+    }
+}

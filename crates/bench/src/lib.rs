@@ -1,0 +1,29 @@
+//! Reproduction harness for the paper's evaluation (§VI).
+//!
+//! One binary per table/figure (see `src/bin/`), sharing this library:
+//!
+//! * [`cli`] — `--scale`, `--trials`, `--quick` flag parsing shared by all
+//!   binaries.
+//! * [`runner`] — runs the five evaluated algorithms (GPU brute force,
+//!   CPU-RTREE, Super-EGO, GPU-SJ, GPU-SJ + UNICOMP) on a dataset/ε and
+//!   cross-validates their result counts.
+//! * [`cache`] — CSV result cache under `bench_results/`, so the derived
+//!   figures (7, 8, 9) can reuse the sweeps measured for figures 4–6.
+//! * [`table`] — fixed-width table printing in the layout of the paper's
+//!   figures.
+//!
+//! Scaling: the paper's datasets (2–15.2M points) are scaled down by
+//! `--scale` (default 0.002) with a selectivity-preserving ε stretch (see
+//! `sj_datasets::catalog`), so every experiment runs in the same
+//! average-neighbors regime as the paper — the regime that determines who
+//! wins and by how much — at laptop-friendly sizes. Pass `--scale 1.0` for
+//! paper-scale runs on serious hardware.
+
+pub mod cache;
+pub mod cli;
+pub mod runner;
+pub mod sweep;
+pub mod table;
+
+pub use cli::Args;
+pub use runner::{run_algorithms, Algo, Measurement};

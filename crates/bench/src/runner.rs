@@ -1,0 +1,186 @@
+//! Runs the paper's five evaluated algorithms on one (dataset, ε) pair.
+
+use grid_join::{gpu_brute_force, GpuSelfJoin, SelfJoinConfig};
+use rtree::rtree_self_join;
+use sim_gpu::{Device, DeviceSpec};
+use sj_datasets::Dataset;
+use superego::SuperEgo;
+
+/// The algorithms of the paper's evaluation, in legend order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algo {
+    /// GPU brute-force nested-loop join (lower bound, ε-independent).
+    GpuBrute,
+    /// Sequential R-tree search-and-refine (the reference implementation).
+    CpuRtree,
+    /// Multi-threaded Super-EGO (state of the art on the CPU).
+    SuperEgo,
+    /// GPU-SJ without UNICOMP.
+    Gpu,
+    /// GPU-SJ with UNICOMP (the paper's headline configuration).
+    GpuUnicomp,
+}
+
+impl Algo {
+    /// All five, in the paper's legend order.
+    pub const ALL: [Algo; 5] = [
+        Algo::GpuBrute,
+        Algo::CpuRtree,
+        Algo::SuperEgo,
+        Algo::Gpu,
+        Algo::GpuUnicomp,
+    ];
+
+    /// Legend label as printed in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Algo::GpuBrute => "GPU: Brute Force",
+            Algo::CpuRtree => "R-Tree",
+            Algo::SuperEgo => "SuperEGO",
+            Algo::Gpu => "GPU",
+            Algo::GpuUnicomp => "GPU: unicomp",
+        }
+    }
+
+    /// Short machine-readable id used in CSV caches.
+    pub fn id(&self) -> &'static str {
+        match self {
+            Algo::GpuBrute => "brute",
+            Algo::CpuRtree => "rtree",
+            Algo::SuperEgo => "superego",
+            Algo::Gpu => "gpu",
+            Algo::GpuUnicomp => "gpu_unicomp",
+        }
+    }
+
+    /// Parses a CSV id.
+    pub fn from_id(id: &str) -> Option<Algo> {
+        Algo::ALL.into_iter().find(|a| a.id() == id)
+    }
+}
+
+/// One timed run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Measurement {
+    /// Which algorithm.
+    pub algo: Algo,
+    /// Response time in seconds (best of `trials`).
+    pub seconds: f64,
+    /// Directed result pairs (self excluded).
+    pub pairs: u64,
+}
+
+/// Runs the requested algorithms, cross-validating that every exact
+/// algorithm reports the same pair count (a mismatch panics: the harness
+/// must never silently publish numbers from disagreeing implementations).
+///
+/// Timing follows the paper's methodology: CPU-RTREE reports query time
+/// only (index construction excluded, §VI-B); Super-EGO reports
+/// ego-sort + join; GPU variants report the **modeled device response
+/// time** — grid construction plus the pipelined timeline of uploads,
+/// modeled kernels and result downloads (the kernels execute on host
+/// cores, so wall time is converted through the device's documented
+/// throughput model; see `sim_gpu::DeviceSpec::throughput_vs_host_core`);
+/// brute force reports a single modeled kernel invocation.
+pub fn run_algorithms(
+    data: &Dataset,
+    epsilon: f64,
+    algos: &[Algo],
+    trials: usize,
+) -> Vec<Measurement> {
+    let trials = trials.max(1);
+    let mut out = Vec::with_capacity(algos.len());
+    let mut reference_pairs: Option<u64> = None;
+    for &algo in algos {
+        let mut best = f64::INFINITY;
+        let mut pairs = 0u64;
+        for _ in 0..trials {
+            let (secs, p) = run_once(data, epsilon, algo);
+            best = best.min(secs);
+            pairs = p;
+        }
+        if algo != Algo::GpuBrute {
+            // Brute force also computes the exact count, so include it in
+            // the cross-validation set.
+        }
+        match reference_pairs {
+            None => reference_pairs = Some(pairs),
+            Some(r) => assert_eq!(
+                r,
+                pairs,
+                "result mismatch: {} found {pairs} pairs, expected {r}",
+                algo.label()
+            ),
+        }
+        out.push(Measurement {
+            algo,
+            seconds: best,
+            pairs,
+        });
+    }
+    out
+}
+
+fn run_once(data: &Dataset, epsilon: f64, algo: Algo) -> (f64, u64) {
+    match algo {
+        Algo::GpuBrute => {
+            let device = Device::new(DeviceSpec::titan_x_pascal());
+            let r = gpu_brute_force(&device, data, epsilon).expect("brute force OOM");
+            (r.modeled_wall.as_secs_f64(), r.pairs)
+        }
+        Algo::CpuRtree => {
+            let (table, report) = rtree_self_join(data, epsilon);
+            (report.query.as_secs_f64(), table.total_pairs() as u64)
+        }
+        Algo::SuperEgo => {
+            let (table, report) = SuperEgo::default().self_join(data, epsilon);
+            (
+                (report.sort_time + report.join_time).as_secs_f64(),
+                table.total_pairs() as u64,
+            )
+        }
+        Algo::Gpu | Algo::GpuUnicomp => {
+            let device = Device::new(DeviceSpec::titan_x_pascal());
+            let join = GpuSelfJoin::new(device).with_config(SelfJoinConfig {
+                unicomp: algo == Algo::GpuUnicomp,
+                ..SelfJoinConfig::default()
+            });
+            let out = join.run(data, epsilon).expect("GPU self-join failed");
+            (
+                out.report.modeled_total.as_secs_f64(),
+                out.table.total_pairs() as u64,
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_datasets::synthetic::uniform;
+
+    #[test]
+    fn all_algorithms_agree() {
+        let data = uniform(2, 1500, 101);
+        let ms = run_algorithms(&data, 2.0, &Algo::ALL, 1);
+        assert_eq!(ms.len(), 5);
+        let counts: Vec<u64> = ms.iter().map(|m| m.pairs).collect();
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+        assert!(ms.iter().all(|m| m.seconds >= 0.0));
+    }
+
+    #[test]
+    fn algo_id_roundtrip() {
+        for a in Algo::ALL {
+            assert_eq!(Algo::from_id(a.id()), Some(a));
+        }
+        assert_eq!(Algo::from_id("nope"), None);
+    }
+
+    #[test]
+    fn trials_take_best() {
+        let data = uniform(2, 500, 102);
+        let ms = run_algorithms(&data, 2.0, &[Algo::SuperEgo], 2);
+        assert_eq!(ms.len(), 1);
+    }
+}

@@ -1,0 +1,187 @@
+//! Shared ε-sweep driver used by the response-time and derived figures.
+
+use crate::cache::SweepCache;
+use crate::cli::Args;
+use crate::runner::{run_algorithms, Algo, Measurement};
+use sj_datasets::catalog::DatasetSpec;
+
+/// Whether the sweep includes the ε-independent brute-force baseline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BrutePolicy {
+    /// Run it at the first ε only, as the paper does ("we only run the
+    /// brute force algorithm for a single value of ε").
+    FirstEpsOnly,
+    /// Skip it (derived figures don't need it).
+    Skip,
+}
+
+/// All measurements at one ε of a sweep.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// ε as labeled in the paper's figure.
+    pub paper_eps: f64,
+    /// ε actually used after the selectivity-preserving stretch.
+    pub actual_eps: f64,
+    /// Measurements in `Algo::ALL` order (brute present only per policy).
+    pub results: Vec<Measurement>,
+}
+
+/// Runs (or loads from cache) the full ε sweep of one dataset.
+pub fn sweep_dataset(
+    spec: &DatasetSpec,
+    args: &Args,
+    cache: &mut SweepCache,
+    algos: &[Algo],
+    brute: BrutePolicy,
+) -> Vec<SweepPoint> {
+    let paper_eps = spec.paper_epsilons;
+    let actual_eps = spec.scaled_epsilons(args.scale);
+    // Generate lazily: only if at least one measurement is missing.
+    let mut data = None;
+    let mut out = Vec::with_capacity(paper_eps.len());
+    for (i, (&pe, &ae)) in paper_eps.iter().zip(&actual_eps).enumerate() {
+        let mut wanted: Vec<Algo> = algos.to_vec();
+        if brute == BrutePolicy::FirstEpsOnly && i == 0 && !wanted.contains(&Algo::GpuBrute) {
+            wanted.insert(0, Algo::GpuBrute);
+        }
+        wanted.retain(|a| brute != BrutePolicy::Skip || *a != Algo::GpuBrute);
+
+        let missing: Vec<Algo> = wanted
+            .iter()
+            .copied()
+            .filter(|&a| cache.get(spec.name, pe, a).is_none())
+            .collect();
+        if !missing.is_empty() {
+            let d = data.get_or_insert_with(|| spec.generate(args.scale));
+            eprintln!(
+                "  measuring {} eps={pe} ({} pts, actual eps {ae:.4}): {:?}",
+                spec.name,
+                d.len(),
+                missing.iter().map(|a| a.id()).collect::<Vec<_>>()
+            );
+            for m in run_algorithms(d, ae, &missing, args.trials) {
+                cache.put(spec.name, pe, m);
+            }
+        }
+        let results: Vec<Measurement> = wanted
+            .iter()
+            .map(|&a| cache.get(spec.name, pe, a).expect("just measured"))
+            .collect();
+        out.push(SweepPoint {
+            paper_eps: pe,
+            actual_eps: ae,
+            results,
+        });
+    }
+    out
+}
+
+/// The four indexed algorithms (everything except brute force).
+pub const INDEXED: [Algo; 4] = [Algo::CpuRtree, Algo::SuperEgo, Algo::Gpu, Algo::GpuUnicomp];
+
+/// Convenience: extracts one algorithm's seconds from a sweep point.
+pub fn seconds_of(p: &SweepPoint, algo: Algo) -> Option<f64> {
+    p.results.iter().find(|m| m.algo == algo).map(|m| m.seconds)
+}
+
+/// Runs and prints one response-time panel (a dataset of Figures 4–6):
+/// rows are ε values, columns the five algorithms.
+pub fn print_response_time_panel(spec: &DatasetSpec, args: &Args, cache: &mut SweepCache) {
+    use crate::table::{fmt_secs, print_table};
+    let points = sweep_dataset(spec, args, cache, &INDEXED, BrutePolicy::FirstEpsOnly);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            let mut row = vec![format!("{:.3}", p.paper_eps)];
+            for algo in Algo::ALL {
+                row.push(match seconds_of(p, algo) {
+                    Some(s) => fmt_secs(s),
+                    None => "-".to_string(),
+                });
+            }
+            let pairs = p
+                .results
+                .iter()
+                .find(|m| m.algo != Algo::GpuBrute)
+                .map(|m| m.pairs)
+                .unwrap_or(0);
+            row.push(format!("{pairs}"));
+            row
+        })
+        .collect();
+    print_table(
+        &format!(
+            "{} (|D| scaled to {}, scale {})",
+            spec.name,
+            spec.scaled_count(args.scale),
+            args.scale
+        ),
+        &[
+            "eps",
+            "GPU: Brute Force",
+            "R-Tree",
+            "SuperEGO",
+            "GPU",
+            "GPU: unicomp",
+            "pairs",
+        ],
+        &rows,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_datasets::catalog::{sweep, DatasetSpec, Family};
+
+    fn tiny_spec() -> DatasetSpec {
+        DatasetSpec {
+            name: "TinyTest",
+            family: Family::Synthetic,
+            dim: 2,
+            paper_count: 1_000_000,
+            paper_epsilons: sweep(0.2, 1.0),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn sweep_fills_cache_and_reuses_it() {
+        let args = Args {
+            scale: 0.001,
+            ..Args::default()
+        };
+        let mut cache = SweepCache::open(0.0, false); // in-memory only
+        let spec = tiny_spec();
+        let pts = sweep_dataset(&spec, &args, &mut cache, &INDEXED, BrutePolicy::FirstEpsOnly);
+        assert_eq!(pts.len(), 5);
+        assert_eq!(pts[0].results.len(), 5, "first point includes brute");
+        assert_eq!(pts[1].results.len(), 4);
+        let filled = cache.len();
+        assert_eq!(filled, 4 * 5 + 1);
+        // Second run touches nothing new.
+        let again = sweep_dataset(&spec, &args, &mut cache, &INDEXED, BrutePolicy::FirstEpsOnly);
+        assert_eq!(cache.len(), filled);
+        assert_eq!(
+            seconds_of(&pts[2], Algo::Gpu),
+            seconds_of(&again[2], Algo::Gpu)
+        );
+    }
+
+    #[test]
+    fn skip_policy_omits_brute() {
+        let args = Args {
+            scale: 0.001,
+            ..Args::default()
+        };
+        let mut cache = SweepCache::open(0.0, false);
+        let pts = sweep_dataset(
+            &tiny_spec(),
+            &args,
+            &mut cache,
+            &[Algo::Gpu],
+            BrutePolicy::Skip,
+        );
+        assert!(pts.iter().all(|p| p.results.len() == 1));
+    }
+}

@@ -1,0 +1,93 @@
+//! Fixed-width table printing for the figure binaries.
+
+/// Prints a header + rows as an aligned plain-text table (stdout is the
+/// harness's output medium; every figure binary prints the series the
+/// paper plots).
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    if rows.is_empty() {
+        println!("(no rows)");
+        return;
+    }
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for r in rows {
+        assert_eq!(r.len(), cols, "row arity mismatch");
+        for (w, cell) in widths.iter_mut().zip(r) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let fmt_row = |cells: Vec<&str>| {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            line.push_str(&format!("{:>width$}  ", c, width = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    println!("{}", fmt_row(header.to_vec()));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * cols));
+    for r in rows {
+        println!("{}", fmt_row(r.iter().map(|s| s.as_str()).collect()));
+    }
+}
+
+/// Formats seconds with sensible precision across magnitudes.
+pub fn fmt_secs(s: f64) -> String {
+    if s < 0.001 {
+        format!("{:.1}µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.1}ms", s * 1e3)
+    } else {
+        format!("{s:.2}s")
+    }
+}
+
+/// Formats a ratio (speedup) with two decimals and a trailing ×.
+pub fn fmt_speedup(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+/// Geometric-mean-free simple average (what the paper's red/blue summary
+/// lines show).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_secs(0.0000005), "0.5µs");
+        assert_eq!(fmt_secs(0.5), "500.0ms");
+        assert_eq!(fmt_secs(12.345), "12.35s");
+        assert_eq!(fmt_speedup(26.91), "26.91x");
+    }
+
+    #[test]
+    fn mean_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn table_prints_without_panic() {
+        print_table(
+            "demo",
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["33".into(), "4".into()]],
+        );
+        print_table("empty", &["x"], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        print_table("bad", &["a", "b"], &[vec!["1".into()]]);
+    }
+}

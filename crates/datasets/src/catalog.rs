@@ -1,0 +1,297 @@
+//! The paper's Table I dataset catalog, with principled down-scaling.
+//!
+//! Every timing experiment in the paper runs over one of 16 named datasets
+//! and a 5-point ε sweep (Figures 4–6). This module encodes that inventory
+//! so the bench harness can enumerate it.
+//!
+//! ## Scaling
+//!
+//! The paper's datasets hold 2–15.2 million points. The reproduction runs
+//! on whatever hardware is available, so [`Catalog::new`] takes a scale
+//! factor `s ∈ (0, 1]` applied to the point count. To keep each experiment
+//! in the same *selectivity regime* (average ε-neighbors per point — the
+//! quantity that drives all of the paper's comparisons), the ε sweep is
+//! stretched by `s^(-1/n)`: for a fixed volume, uniform density scales with
+//! `s`, and the expected neighbor count scales with `density × ε^n`, so
+//! `ε' = ε · s^(-1/n)` holds the product constant. The same correction is a
+//! good first-order match for the skewed surrogates.
+
+use crate::{sdss, sw, synthetic, Dataset};
+
+/// Which generator family a dataset belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Uniform synthetic (`Syn-`).
+    Synthetic,
+    /// Ionosphere surrogate (`SW-`).
+    SpaceWeather,
+    /// Galaxy survey surrogate (`SDSS-`).
+    Sdss,
+}
+
+/// One row of the paper's Table I plus its figure ε sweep.
+#[derive(Clone, Debug)]
+pub struct DatasetSpec {
+    /// Dataset name as printed in the paper (e.g. `Syn3D2M`, `SW2DA`).
+    pub name: &'static str,
+    /// Generator family.
+    pub family: Family,
+    /// Dimensionality `n`.
+    pub dim: usize,
+    /// Paper's point count `|D|`.
+    pub paper_count: usize,
+    /// The 5-point ε sweep used in the paper's response-time figure.
+    pub paper_epsilons: [f64; 5],
+    /// RNG seed (fixed per dataset for reproducibility).
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// Point count after applying the scale factor (at least 1000).
+    pub fn scaled_count(&self, scale: f64) -> usize {
+        ((self.paper_count as f64 * scale) as usize).max(1000)
+    }
+
+    /// The ε sweep after selectivity-preserving rescaling (see module docs).
+    pub fn scaled_epsilons(&self, scale: f64) -> [f64; 5] {
+        let effective = self.scaled_count(self.validate_scale(scale)) as f64 / self.paper_count as f64;
+        let stretch = effective.powf(-1.0 / self.dim as f64);
+        self.paper_epsilons.map(|e| e * stretch)
+    }
+
+    fn validate_scale(&self, scale: f64) -> f64 {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        scale
+    }
+
+    /// Generates the dataset at the given scale.
+    pub fn generate(&self, scale: f64) -> Dataset {
+        let count = self.scaled_count(self.validate_scale(scale));
+        match self.family {
+            Family::Synthetic => synthetic::uniform(self.dim, count, self.seed),
+            Family::SpaceWeather => {
+                if self.dim == 2 {
+                    sw::sw2d(count, self.seed)
+                } else {
+                    sw::sw3d(count, self.seed)
+                }
+            }
+            Family::Sdss => sdss::sdss2d(count, self.seed),
+        }
+    }
+}
+
+/// The full Table I inventory.
+#[derive(Clone, Debug)]
+pub struct Catalog {
+    specs: Vec<DatasetSpec>,
+}
+
+impl Catalog {
+    /// Builds the 16-dataset catalog of the paper's Table I.
+    pub fn new() -> Self {
+        let mut specs = Vec::new();
+        // Syn-: 2M and 10M tiers, 2..=6 dimensions. ε sweeps from Figs. 5, 6.
+        for (tier, count, seed_base) in [("2M", 2_000_000usize, 100u64), ("10M", 10_000_000, 200)] {
+            for dim in 2..=6usize {
+                let eps = match (tier, dim) {
+                    ("2M", 2 | 3) => sweep(0.2, 1.0),
+                    ("2M", _) => sweep(2.0, 10.0),
+                    ("10M", 2 | 3) => sweep(0.1, 0.5),
+                    _ => sweep(1.0, 5.0),
+                };
+                specs.push(DatasetSpec {
+                    name: syn_name(dim, tier),
+                    family: Family::Synthetic,
+                    dim,
+                    paper_count: count,
+                    paper_epsilons: eps,
+                    seed: seed_base + dim as u64,
+                });
+            }
+        }
+        // SW-: Table I counts; ε sweeps from Fig. 4 (a, b, e, f).
+        specs.push(DatasetSpec {
+            name: "SW2DA",
+            family: Family::SpaceWeather,
+            dim: 2,
+            paper_count: 1_864_620,
+            paper_epsilons: sweep(0.3, 1.5),
+            seed: 301,
+        });
+        specs.push(DatasetSpec {
+            name: "SW2DB",
+            family: Family::SpaceWeather,
+            dim: 2,
+            paper_count: 5_159_737,
+            paper_epsilons: sweep(0.1, 0.5),
+            seed: 302,
+        });
+        specs.push(DatasetSpec {
+            name: "SW3DA",
+            family: Family::SpaceWeather,
+            dim: 3,
+            paper_count: 1_864_620,
+            paper_epsilons: sweep(0.6, 3.0),
+            seed: 303,
+        });
+        specs.push(DatasetSpec {
+            name: "SW3DB",
+            family: Family::SpaceWeather,
+            dim: 3,
+            paper_count: 5_159_737,
+            paper_epsilons: sweep(0.2, 1.0),
+            seed: 304,
+        });
+        // SDSS-: Fig. 4 (c, d).
+        specs.push(DatasetSpec {
+            name: "SDSS2DA",
+            family: Family::Sdss,
+            dim: 2,
+            paper_count: 2_000_000,
+            paper_epsilons: sweep(0.3, 1.5),
+            seed: 305,
+        });
+        specs.push(DatasetSpec {
+            name: "SDSS2DB",
+            family: Family::Sdss,
+            dim: 2,
+            paper_count: 15_228_633,
+            paper_epsilons: sweep(0.02, 0.1),
+            seed: 306,
+        });
+        Self { specs }
+    }
+
+    /// All specs in Table I order.
+    pub fn specs(&self) -> &[DatasetSpec] {
+        &self.specs
+    }
+
+    /// Looks up a dataset by its paper name.
+    pub fn get(&self, name: &str) -> Option<&DatasetSpec> {
+        self.specs.iter().find(|s| s.name == name)
+    }
+
+    /// The real-world subset (SW- and SDSS-), Figure 4's inventory.
+    pub fn real_world(&self) -> impl Iterator<Item = &DatasetSpec> {
+        self.specs.iter().filter(|s| s.family != Family::Synthetic)
+    }
+
+    /// The synthetic subset at the given tier (`"2M"` or `"10M"`),
+    /// Figure 5/6's inventory.
+    pub fn synthetic_tier(&self, tier: &str) -> impl Iterator<Item = &DatasetSpec> + '_ {
+        let count = if tier == "2M" { 2_000_000 } else { 10_000_000 };
+        self.specs
+            .iter()
+            .filter(move |s| s.family == Family::Synthetic && s.paper_count == count)
+    }
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Five evenly spaced ε values from `lo` to `hi` inclusive (the paper's
+/// sweep pattern, e.g. 0.3, 0.6, 0.9, 1.2, 1.5).
+pub fn sweep(lo: f64, hi: f64) -> [f64; 5] {
+    let step = (hi - lo) / 4.0;
+    [lo, lo + step, lo + 2.0 * step, lo + 3.0 * step, hi]
+}
+
+fn syn_name(dim: usize, tier: &str) -> &'static str {
+    match (dim, tier) {
+        (2, "2M") => "Syn2D2M",
+        (3, "2M") => "Syn3D2M",
+        (4, "2M") => "Syn4D2M",
+        (5, "2M") => "Syn5D2M",
+        (6, "2M") => "Syn6D2M",
+        (2, "10M") => "Syn2D10M",
+        (3, "10M") => "Syn3D10M",
+        (4, "10M") => "Syn4D10M",
+        (5, "10M") => "Syn5D10M",
+        (6, "10M") => "Syn6D10M",
+        _ => unreachable!("unknown synthetic tier"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn catalog_matches_table_one() {
+        let c = Catalog::new();
+        assert_eq!(c.specs().len(), 16);
+        assert_eq!(c.get("Syn4D2M").unwrap().paper_count, 2_000_000);
+        assert_eq!(c.get("SW2DB").unwrap().paper_count, 5_159_737);
+        assert_eq!(c.get("SDSS2DB").unwrap().paper_count, 15_228_633);
+        assert_eq!(c.get("Syn6D10M").unwrap().dim, 6);
+        assert!(c.get("NoSuch").is_none());
+    }
+
+    #[test]
+    fn subsets_partition() {
+        let c = Catalog::new();
+        assert_eq!(c.real_world().count(), 6);
+        assert_eq!(c.synthetic_tier("2M").count(), 5);
+        assert_eq!(c.synthetic_tier("10M").count(), 5);
+    }
+
+    #[test]
+    fn sweep_is_even() {
+        assert_eq!(sweep(0.3, 1.5), [0.3, 0.6, 0.8999999999999999, 1.2, 1.5]);
+    }
+
+    #[test]
+    fn scaling_preserves_selectivity_for_uniform() {
+        // Generate Syn2D at two scales and check the scaled ε keeps the
+        // measured average-neighbor count approximately constant.
+        let spec = DatasetSpec {
+            name: "test",
+            family: Family::Synthetic,
+            dim: 2,
+            paper_count: 40_000,
+            paper_epsilons: sweep(0.5, 2.5),
+            seed: 9,
+        };
+        let full = spec.generate(1.0);
+        let eps_full = spec.scaled_epsilons(1.0)[2];
+        let quarter = spec.generate(0.25);
+        let eps_quarter = spec.scaled_epsilons(0.25)[2];
+        let a = stats::avg_neighbors_sampled(&full, eps_full, 400, 1);
+        let b = stats::avg_neighbors_sampled(&quarter, eps_quarter, 400, 1);
+        assert!(
+            (a - b).abs() < 0.35 * a.max(1.0),
+            "selectivity drifted: full {a}, quarter {b}"
+        );
+    }
+
+    #[test]
+    fn scaled_count_has_floor() {
+        let c = Catalog::new();
+        let s = c.get("Syn2D2M").unwrap();
+        assert_eq!(s.scaled_count(1e-9), 1000);
+    }
+
+    #[test]
+    fn generate_honors_family() {
+        let c = Catalog::new();
+        let sw3 = c.get("SW3DA").unwrap().generate(0.001);
+        assert_eq!(sw3.dim(), 3);
+        let sdss = c.get("SDSS2DA").unwrap().generate(0.001);
+        assert_eq!(sdss.dim(), 2);
+        let syn = c.get("Syn5D2M").unwrap().generate(0.001);
+        assert_eq!(syn.dim(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be in")]
+    fn scale_validation() {
+        let c = Catalog::new();
+        let _ = c.get("SW2DA").unwrap().generate(0.0);
+    }
+}

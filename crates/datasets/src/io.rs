@@ -1,0 +1,132 @@
+//! Binary and CSV serialization for datasets.
+//!
+//! The binary format is a minimal little-endian layout so generated
+//! workloads can be cached on disk between harness runs:
+//!
+//! ```text
+//! magic   [u8; 8] = b"SJDATA01"
+//! dim     u32 LE
+//! count   u64 LE
+//! coords  count * dim * f64 LE
+//! ```
+
+use crate::Dataset;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"SJDATA01";
+
+/// Writes a dataset to `path` in the binary format above.
+pub fn write_binary(data: &Dataset, path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&(data.dim() as u32).to_le_bytes())?;
+    w.write_all(&(data.len() as u64).to_le_bytes())?;
+    for &c in data.coords() {
+        w.write_all(&c.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Reads a dataset previously written with [`write_binary`].
+pub fn read_binary(path: &Path) -> io::Result<Dataset> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a SJDATA01 file",
+        ));
+    }
+    let mut buf4 = [0u8; 4];
+    r.read_exact(&mut buf4)?;
+    let dim = u32::from_le_bytes(buf4) as usize;
+    let mut buf8 = [0u8; 8];
+    r.read_exact(&mut buf8)?;
+    let count = u64::from_le_bytes(buf8) as usize;
+    if dim == 0 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "zero dimension"));
+    }
+    let total = dim
+        .checked_mul(count)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "size overflow"))?;
+    let mut coords = Vec::with_capacity(total);
+    let mut chunk = vec![0u8; 8 * 4096];
+    let mut remaining = total;
+    while remaining > 0 {
+        let take = remaining.min(4096);
+        let bytes = &mut chunk[..8 * take];
+        r.read_exact(bytes)?;
+        for b in bytes.chunks_exact(8) {
+            coords.push(f64::from_le_bytes(b.try_into().unwrap()));
+        }
+        remaining -= take;
+    }
+    Ok(Dataset::from_flat(dim, coords))
+}
+
+/// Writes a dataset as CSV (one point per row) for external plotting.
+pub fn write_csv(data: &Dataset, path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for p in data.iter() {
+        let row: Vec<String> = p.iter().map(|c| format!("{c}")).collect();
+        writeln!(w, "{}", row.join(","))?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::uniform;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sj-datasets-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let d = uniform(4, 1234, 77);
+        let path = tmp("roundtrip.bin");
+        write_binary(&d, &path).unwrap();
+        let back = read_binary(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let path = tmp("badmagic.bin");
+        std::fs::write(&path, b"NOTDATA!rest").unwrap();
+        let err = read_binary(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn binary_rejects_truncated() {
+        let d = uniform(2, 100, 1);
+        let path = tmp("trunc.bin");
+        write_binary(&d, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 9]).unwrap();
+        let err = read_binary(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn csv_has_one_row_per_point() {
+        let d = uniform(3, 50, 2);
+        let path = tmp("out.csv");
+        write_csv(&d, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(text.lines().count(), 50);
+        assert_eq!(text.lines().next().unwrap().split(',').count(), 3);
+    }
+}

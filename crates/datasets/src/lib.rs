@@ -1,0 +1,251 @@
+//! Workload generators and dataset utilities for the self-join reproduction.
+//!
+//! The paper (Gowanlock & Karsin 2018) evaluates on three families of
+//! datasets (its Table I):
+//!
+//! * **Syn-nD** — uniformly distributed points in `[0, 100]^n`, `n ∈ [2, 6]`,
+//!   with 2×10⁶ and 10⁷ points ([`synthetic::uniform`]).
+//! * **SW-** — ionosphere total-electron-content measurements over
+//!   latitude/longitude (1.86M and 5.16M points, 2-D and 3-D). The real data
+//!   is not redistributable, so [`sw`] generates a surrogate with the same
+//!   *shape*: dense latitude bands, longitudinal waves and regional hotspots.
+//! * **SDSS-** — Sloan Digital Sky Survey galaxies in 2-D (2M and 15.2M
+//!   points). [`sdss`] generates a surrogate with hierarchical angular
+//!   clustering (clusters + field galaxies + voids).
+//!
+//! All generators are seeded and deterministic. [`catalog`] enumerates the
+//! paper's Table I datasets with an adjustable scale factor so the
+//! reproduction harness can run the full sweep on modest hardware.
+
+pub mod catalog;
+pub mod io;
+pub mod sdss;
+pub mod stats;
+pub mod sw;
+pub mod synthetic;
+
+/// A multidimensional point set stored in a flat, row-major buffer.
+///
+/// Points are `f64` (the paper's GPU kernels use 64-bit doubles). The flat
+/// layout is what the simulated GPU kernels index directly, mirroring the
+/// coordinate array `D` of the paper.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dataset {
+    dim: usize,
+    coords: Vec<f64>,
+}
+
+impl Dataset {
+    /// Creates a dataset from a flat row-major coordinate buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or `coords.len()` is not a multiple of `dim`.
+    pub fn from_flat(dim: usize, coords: Vec<f64>) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(
+            coords.len().is_multiple_of(dim),
+            "coordinate buffer length {} is not a multiple of dim {}",
+            coords.len(),
+            dim
+        );
+        Self { dim, coords }
+    }
+
+    /// Creates an empty dataset of the given dimensionality.
+    pub fn new(dim: usize) -> Self {
+        Self::from_flat(dim, Vec::new())
+    }
+
+    /// Number of points `|D|`.
+    pub fn len(&self) -> usize {
+        self.coords.len() / self.dim
+    }
+
+    /// Whether the dataset contains no points.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// Dimensionality `n` of each point.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The coordinates of point `i`.
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.coords[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The flat row-major coordinate buffer.
+    pub fn coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// Appends a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p.len() != self.dim()`.
+    pub fn push(&mut self, p: &[f64]) {
+        assert_eq!(p.len(), self.dim, "point dimensionality mismatch");
+        self.coords.extend_from_slice(p);
+    }
+
+    /// Iterates over the points as coordinate slices.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &[f64]> + '_ {
+        self.coords.chunks_exact(self.dim)
+    }
+
+    /// Euclidean distance between points `i` and `j`.
+    pub fn distance(&self, i: usize, j: usize) -> f64 {
+        euclidean(self.point(i), self.point(j))
+    }
+
+    /// Per-dimension minima over all points. Empty datasets yield `None`.
+    pub fn min_per_dim(&self) -> Option<Vec<f64>> {
+        self.fold_per_dim(f64::INFINITY, f64::min)
+    }
+
+    /// Per-dimension maxima over all points. Empty datasets yield `None`.
+    pub fn max_per_dim(&self) -> Option<Vec<f64>> {
+        self.fold_per_dim(f64::NEG_INFINITY, f64::max)
+    }
+
+    fn fold_per_dim(&self, init: f64, f: fn(f64, f64) -> f64) -> Option<Vec<f64>> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut acc = vec![init; self.dim];
+        for p in self.iter() {
+            for (a, &x) in acc.iter_mut().zip(p) {
+                *a = f(*a, x);
+            }
+        }
+        Some(acc)
+    }
+
+    /// Rescales every dimension linearly onto `[0, 1]`.
+    ///
+    /// Super-EGO normalizes its input this way (paper §VI-B); the ε used for
+    /// a normalized join must be scaled by the same per-dimension factors.
+    /// Returns the scale factor applied per dimension (`1 / (max - min)`;
+    /// degenerate dimensions with `max == min` map to 0.5 with factor 1).
+    pub fn normalize_unit(&mut self) -> Vec<f64> {
+        let (mins, maxs) = match (self.min_per_dim(), self.max_per_dim()) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return vec![1.0; self.dim],
+        };
+        let mut factors = vec![1.0; self.dim];
+        for (j, factor) in factors.iter_mut().enumerate() {
+            let span = maxs[j] - mins[j];
+            if span > 0.0 {
+                *factor = 1.0 / span;
+            }
+        }
+        let dim = self.dim;
+        for (idx, c) in self.coords.iter_mut().enumerate() {
+            let j = idx % dim;
+            let span = maxs[j] - mins[j];
+            *c = if span > 0.0 { (*c - mins[j]) / span } else { 0.5 };
+        }
+        factors
+    }
+}
+
+/// Euclidean distance between two equal-length coordinate slices.
+///
+/// This is the paper's `dist(a, b) = sqrt(Σ_j (a_j - b_j)²)`.
+#[inline]
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    euclidean_sq(a, b).sqrt()
+}
+
+/// Squared Euclidean distance. Comparisons against ε should use this with
+/// `ε²` to avoid the square root in inner loops (all joins in this
+/// workspace do).
+#[inline]
+pub fn euclidean_sq(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_flat_roundtrip() {
+        let d = Dataset::from_flat(2, vec![0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.point(0), &[0.0, 1.0]);
+        assert_eq!(d.point(1), &[2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn from_flat_rejects_ragged() {
+        let _ = Dataset::from_flat(3, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must be positive")]
+    fn zero_dim_rejected() {
+        let _ = Dataset::new(0);
+    }
+
+    #[test]
+    fn push_and_iter() {
+        let mut d = Dataset::new(3);
+        d.push(&[1.0, 2.0, 3.0]);
+        d.push(&[4.0, 5.0, 6.0]);
+        let pts: Vec<&[f64]> = d.iter().collect();
+        assert_eq!(pts, vec![&[1.0, 2.0, 3.0][..], &[4.0, 5.0, 6.0][..]]);
+    }
+
+    #[test]
+    fn euclidean_matches_hand_computation() {
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(euclidean_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(euclidean(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn min_max_per_dim() {
+        let d = Dataset::from_flat(2, vec![0.0, 5.0, -3.0, 7.0, 2.0, 6.0]);
+        assert_eq!(d.min_per_dim().unwrap(), vec![-3.0, 5.0]);
+        assert_eq!(d.max_per_dim().unwrap(), vec![2.0, 7.0]);
+        assert!(Dataset::new(2).min_per_dim().is_none());
+    }
+
+    #[test]
+    fn normalize_unit_maps_to_unit_cube() {
+        let mut d = Dataset::from_flat(2, vec![0.0, 10.0, 50.0, 20.0, 100.0, 30.0]);
+        let factors = d.normalize_unit();
+        assert_eq!(factors, vec![1.0 / 100.0, 1.0 / 20.0]);
+        assert_eq!(d.point(0), &[0.0, 0.0]);
+        assert_eq!(d.point(1), &[0.5, 0.5]);
+        assert_eq!(d.point(2), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn normalize_degenerate_dimension_centers() {
+        let mut d = Dataset::from_flat(2, vec![5.0, 1.0, 5.0, 3.0]);
+        let factors = d.normalize_unit();
+        assert_eq!(factors[0], 1.0);
+        assert_eq!(d.point(0)[0], 0.5);
+        assert_eq!(d.point(1)[0], 0.5);
+    }
+
+    #[test]
+    fn distance_between_points() {
+        let d = Dataset::from_flat(2, vec![0.0, 0.0, 3.0, 4.0]);
+        assert_eq!(d.distance(0, 1), 5.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Dataset statistics used throughout the evaluation.
+//!
+//! The paper reports the *average number of neighbors per point* (its
+//! selectivity measure, Figure 1) alongside every timing experiment; this
+//! module computes it exactly for small sets and by query sampling for
+//! large ones, plus density/occupancy summaries used to reason about grid
+//! behaviour.
+
+use crate::{euclidean_sq, Dataset};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Exact average number of ε-neighbors per point, excluding the point
+/// itself, by brute force. O(|D|²) — use only on small datasets.
+pub fn avg_neighbors_exact(data: &Dataset, epsilon: f64) -> f64 {
+    let n = data.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let eps2 = epsilon * epsilon;
+    let mut pairs = 0u64;
+    for i in 0..n {
+        let pi = data.point(i);
+        for j in (i + 1)..n {
+            if euclidean_sq(pi, data.point(j)) <= eps2 {
+                pairs += 1;
+            }
+        }
+    }
+    2.0 * pairs as f64 / n as f64
+}
+
+/// Estimates the average number of ε-neighbors per point by evaluating a
+/// random sample of `sample` query points against the full dataset.
+///
+/// The estimator is unbiased; its standard error shrinks with
+/// `1/sqrt(sample)`. The batching scheme of the core library uses the same
+/// idea on-device to size result buffers.
+pub fn avg_neighbors_sampled(data: &Dataset, epsilon: f64, sample: usize, seed: u64) -> f64 {
+    let n = data.len();
+    if n == 0 || sample == 0 {
+        return 0.0;
+    }
+    let eps2 = epsilon * epsilon;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut total = 0u64;
+    let sample = sample.min(n);
+    for _ in 0..sample {
+        let i = rng.gen_range(0..n);
+        let pi = data.point(i);
+        for j in 0..n {
+            if j != i && euclidean_sq(pi, data.point(j)) <= eps2 {
+                total += 1;
+            }
+        }
+    }
+    total as f64 / sample as f64
+}
+
+/// Summary of a dataset's spatial extent and density.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExtentStats {
+    /// Per-dimension minima.
+    pub min: Vec<f64>,
+    /// Per-dimension maxima.
+    pub max: Vec<f64>,
+    /// Product of per-dimension spans (hyper-volume of the bounding box).
+    pub volume: f64,
+    /// Points per unit hyper-volume.
+    pub density: f64,
+}
+
+/// Computes bounding-box extent and mean density. Returns `None` for empty
+/// datasets.
+pub fn extent(data: &Dataset) -> Option<ExtentStats> {
+    let min = data.min_per_dim()?;
+    let max = data.max_per_dim()?;
+    let volume: f64 = min
+        .iter()
+        .zip(&max)
+        .map(|(lo, hi)| (hi - lo).max(f64::MIN_POSITIVE))
+        .product();
+    Some(ExtentStats {
+        density: data.len() as f64 / volume,
+        min,
+        max,
+        volume,
+    })
+}
+
+/// Predicts the average neighbor count of *uniform* data from density alone:
+/// `density × volume_of_n_ball(ε)`. Used by tests to cross-check the
+/// sampled estimator and by the harness to pick ε values that land in the
+/// paper's selectivity regime.
+pub fn uniform_expected_neighbors(dim: usize, density: f64, epsilon: f64) -> f64 {
+    density * n_ball_volume(dim, epsilon)
+}
+
+/// Volume of an n-ball of the given radius.
+pub fn n_ball_volume(dim: usize, radius: f64) -> f64 {
+    // V_n(r) = π^(n/2) / Γ(n/2 + 1) × r^n, via the half-integer recurrence.
+    let n = dim as f64;
+    let pi = std::f64::consts::PI;
+    pi.powf(n / 2.0) / gamma_half_integer(dim + 2) * radius.powi(dim as i32)
+}
+
+/// Γ(k/2) for integer `k ≥ 1`, computed exactly from the recurrence
+/// Γ(x+1) = xΓ(x) with Γ(1/2) = √π and Γ(1) = 1.
+fn gamma_half_integer(k: usize) -> f64 {
+    assert!(k >= 1);
+    let mut x = k as f64 / 2.0;
+    let mut acc = 1.0;
+    while x > 1.0 {
+        x -= 1.0;
+        acc *= x;
+    }
+    if (x - 0.5).abs() < 1e-12 {
+        acc * std::f64::consts::PI.sqrt()
+    } else {
+        acc // Γ(1) = 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{lattice, uniform};
+
+    #[test]
+    fn exact_neighbors_on_lattice() {
+        // Unit-spaced 5x5 lattice, ε = 1: interior points have 4 neighbors,
+        // edges 3, corners 2 → total directed pairs = 2 * (2*20 undirected).
+        let d = lattice(2, 5, 1.0);
+        let avg = avg_neighbors_exact(&d, 1.0);
+        // Undirected adjacent pairs in a 5x5 grid graph: 2 * 5 * 4 = 40.
+        let expected = 2.0 * 40.0 / 25.0;
+        assert!((avg - expected).abs() < 1e-12, "avg {avg}");
+    }
+
+    #[test]
+    fn sampled_estimator_close_to_exact() {
+        let d = uniform(2, 3000, 17);
+        let exact = avg_neighbors_exact(&d, 2.0);
+        let sampled = avg_neighbors_sampled(&d, 2.0, 600, 1);
+        assert!(
+            (sampled - exact).abs() < 0.25 * exact.max(1.0),
+            "sampled {sampled} exact {exact}"
+        );
+    }
+
+    #[test]
+    fn n_ball_volumes_match_closed_forms() {
+        let pi = std::f64::consts::PI;
+        assert!((n_ball_volume(1, 2.0) - 4.0).abs() < 1e-12);
+        assert!((n_ball_volume(2, 1.5) - pi * 2.25).abs() < 1e-12);
+        assert!((n_ball_volume(3, 1.0) - 4.0 / 3.0 * pi).abs() < 1e-12);
+        assert!((n_ball_volume(4, 1.0) - pi * pi / 2.0).abs() < 1e-12);
+        assert!((n_ball_volume(6, 1.0) - pi.powi(3) / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_prediction_matches_measurement() {
+        let d = uniform(2, 5000, 4);
+        let ext = extent(&d).unwrap();
+        let predicted = uniform_expected_neighbors(2, ext.density, 2.0);
+        let measured = avg_neighbors_exact(&d, 2.0);
+        assert!(
+            (predicted - measured).abs() < 0.2 * predicted,
+            "predicted {predicted} measured {measured}"
+        );
+    }
+
+    #[test]
+    fn extent_of_unit_square() {
+        let d = Dataset::from_flat(2, vec![0.0, 0.0, 1.0, 1.0, 0.5, 0.5]);
+        let e = extent(&d).unwrap();
+        assert_eq!(e.min, vec![0.0, 0.0]);
+        assert_eq!(e.max, vec![1.0, 1.0]);
+        assert_eq!(e.volume, 1.0);
+        assert_eq!(e.density, 3.0);
+        assert!(extent(&Dataset::new(2)).is_none());
+    }
+
+    #[test]
+    fn neighbor_curve_decreases_with_dimension() {
+        // The Figure 1a effect: constant |D| and ε, rising n → falling
+        // average neighbor count.
+        let mut prev = f64::INFINITY;
+        for dim in 2..=4 {
+            let d = uniform(dim, 2000, 8);
+            let avg = avg_neighbors_sampled(&d, 5.0, 400, 2);
+            assert!(avg < prev, "dim {dim}: {avg} !< {prev}");
+            prev = avg;
+        }
+    }
+}

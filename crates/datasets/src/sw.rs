@@ -1,0 +1,202 @@
+//! Surrogate for the paper's SW- ionosphere datasets.
+//!
+//! The real SW data (MIT Haystack space-weather archive) contains
+//! latitude/longitude positions of total-electron-content (TEC)
+//! measurements, plus the TEC value itself as an optional third dimension.
+//! The archive is not redistributable, so this module synthesizes data with
+//! the same statistical *shape*, which is what the paper's conclusions rest
+//! on:
+//!
+//! * coverage is global in longitude but strongly **banded in latitude**
+//!   (receiver networks concentrate at mid-northern latitudes);
+//! * there are **regional hotspots** (dense receiver clusters over North
+//!   America, Europe and East Asia) superposed on a diffuse background;
+//! * the TEC value is non-negative, right-skewed and spatially correlated
+//!   (a smooth diurnal/equatorial structure plus noise).
+//!
+//! The resulting distribution is highly non-uniform — many grid cells are
+//! empty, a few are very dense — which is precisely the regime in which the
+//! paper observes that the grid index outperforms its uniform worst case.
+
+use crate::synthetic::sample_std_normal;
+use crate::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Longitude range of the surrogate (degrees).
+pub const LON_RANGE: (f64, f64) = (-180.0, 180.0);
+/// Latitude range of the surrogate (degrees).
+pub const LAT_RANGE: (f64, f64) = (-90.0, 90.0);
+
+/// Dense receiver-cluster hotspots: (lat center, lon center, lat σ, lon σ, weight).
+const HOTSPOTS: &[(f64, f64, f64, f64, f64)] = &[
+    (40.0, -100.0, 8.0, 14.0, 0.28), // North America
+    (48.0, 10.0, 6.0, 12.0, 0.22),   // Europe
+    (35.0, 135.0, 7.0, 10.0, 0.16),  // East Asia
+    (-25.0, 135.0, 9.0, 12.0, 0.06), // Australia
+    (-15.0, -55.0, 10.0, 10.0, 0.08), // South America
+];
+/// Probability mass of the mid-latitude band component.
+const BAND_WEIGHT: f64 = 0.15;
+/// Remaining mass is globally diffuse background.
+const BACKGROUND_WEIGHT: f64 = 1.0
+    - BAND_WEIGHT
+    - (0.28 + 0.22 + 0.16 + 0.06 + 0.08);
+
+/// Generates the 2-D SW surrogate: `(latitude, longitude)` pairs.
+pub fn sw2d(count: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coords = Vec::with_capacity(2 * count);
+    for _ in 0..count {
+        let (lat, lon) = sample_position(&mut rng);
+        coords.push(lat);
+        coords.push(lon);
+    }
+    Dataset::from_flat(2, coords)
+}
+
+/// Generates the 3-D SW surrogate: `(latitude, longitude, TEC)` triples.
+///
+/// TEC is expressed in TEC units (TECU); the surrogate reproduces the real
+/// data's smooth equatorial enhancement, diurnal longitude wave and
+/// right-skewed noise, scaled so the TEC axis spans a range comparable to
+/// the spatial axes (as in the paper, where a single ε applies to all
+/// dimensions).
+pub fn sw3d(count: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coords = Vec::with_capacity(3 * count);
+    for _ in 0..count {
+        let (lat, lon) = sample_position(&mut rng);
+        coords.push(lat);
+        coords.push(lon);
+        coords.push(sample_tec(lat, lon, &mut rng));
+    }
+    Dataset::from_flat(3, coords)
+}
+
+fn sample_position<R: Rng>(rng: &mut R) -> (f64, f64) {
+    const { assert!(BACKGROUND_WEIGHT > 0.0, "mixture weights must leave background mass") };
+    let mut r = rng.gen_range(0.0..1.0);
+    for &(lat_c, lon_c, lat_s, lon_s, w) in HOTSPOTS {
+        if r < w {
+            let lat = (lat_c + sample_std_normal(rng) * lat_s).clamp(LAT_RANGE.0, LAT_RANGE.1);
+            let lon = wrap_lon(lon_c + sample_std_normal(rng) * lon_s);
+            return (lat, lon);
+        }
+        r -= w;
+    }
+    if r < BAND_WEIGHT {
+        // Mid-northern latitude band, uniform in longitude.
+        let lat = (45.0 + sample_std_normal(rng) * 12.0).clamp(LAT_RANGE.0, LAT_RANGE.1);
+        let lon = rng.gen_range(LON_RANGE.0..LON_RANGE.1);
+        (lat, lon)
+    } else {
+        // Diffuse background, thinning toward the poles (cosine-weighted).
+        loop {
+            let lat = rng.gen_range(LAT_RANGE.0..LAT_RANGE.1);
+            if rng.gen_range(0.0..1.0) < lat.to_radians().cos() {
+                let lon = rng.gen_range(LON_RANGE.0..LON_RANGE.1);
+                return (lat, lon);
+            }
+        }
+    }
+}
+
+fn sample_tec<R: Rng>(lat: f64, lon: f64, rng: &mut R) -> f64 {
+    // Equatorial ionization anomaly: TEC peaks near ±15° magnetic latitude.
+    let anomaly = (-((lat.abs() - 15.0) / 20.0).powi(2)).exp();
+    // Diurnal wave in longitude (a fixed-epoch snapshot).
+    let diurnal = 0.5 + 0.5 * (lon.to_radians()).cos();
+    let base = 10.0 + 60.0 * anomaly * (0.4 + 0.6 * diurnal);
+    // Right-skewed multiplicative noise.
+    let noise = (sample_std_normal(rng) * 0.25).exp();
+    (base * noise).clamp(0.0, 180.0)
+}
+
+fn wrap_lon(lon: f64) -> f64 {
+    let mut l = lon;
+    while l < LON_RANGE.0 {
+        l += 360.0;
+    }
+    while l >= LON_RANGE.1 {
+        l -= 360.0;
+    }
+    l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sw2d_shape_and_bounds() {
+        let d = sw2d(5000, 11);
+        assert_eq!(d.len(), 5000);
+        assert_eq!(d.dim(), 2);
+        for p in d.iter() {
+            assert!((LAT_RANGE.0..=LAT_RANGE.1).contains(&p[0]), "lat {}", p[0]);
+            assert!((LON_RANGE.0..=LON_RANGE.1).contains(&p[1]), "lon {}", p[1]);
+        }
+    }
+
+    #[test]
+    fn sw3d_tec_nonnegative() {
+        let d = sw3d(5000, 12);
+        assert_eq!(d.dim(), 3);
+        for p in d.iter() {
+            assert!(p[2] >= 0.0 && p[2] <= 180.0, "tec {}", p[2]);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(sw2d(500, 3), sw2d(500, 3));
+        assert_ne!(sw2d(500, 3), sw2d(500, 4));
+    }
+
+    #[test]
+    fn northern_hemisphere_is_denser() {
+        // Receiver networks concentrate north of the equator.
+        let d = sw2d(20_000, 9);
+        let north = d.iter().filter(|p| p[0] > 0.0).count();
+        assert!(
+            north as f64 > 0.6 * d.len() as f64,
+            "north fraction {}",
+            north as f64 / d.len() as f64
+        );
+    }
+
+    #[test]
+    fn hotspots_are_overdense() {
+        // Density within 10° of the North-American hotspot must exceed the
+        // global average by a wide margin.
+        let d = sw2d(20_000, 10);
+        let near = d
+            .iter()
+            .filter(|p| (p[0] - 40.0).abs() < 10.0 && (p[1] + 100.0).abs() < 10.0)
+            .count() as f64;
+        let cell_area = 20.0 * 20.0;
+        let total_area = 180.0 * 360.0;
+        let expected_uniform = d.len() as f64 * cell_area / total_area;
+        assert!(
+            near > 5.0 * expected_uniform,
+            "hotspot count {near} vs uniform expectation {expected_uniform}"
+        );
+    }
+
+    #[test]
+    fn mixture_weights_sum_to_one() {
+        let hotspot_mass: f64 = HOTSPOTS.iter().map(|h| h.4).sum();
+        let total = hotspot_mass + BAND_WEIGHT + BACKGROUND_WEIGHT;
+        assert!((total - 1.0).abs() < 1e-12, "total mixture mass {total}");
+        assert!(hotspot_mass < 1.0 - BAND_WEIGHT, "hotspots must leave background mass");
+    }
+
+    #[test]
+    fn wrap_lon_stays_in_range() {
+        assert_eq!(wrap_lon(190.0), -170.0);
+        assert_eq!(wrap_lon(-190.0), 170.0);
+        assert_eq!(wrap_lon(0.0), 0.0);
+        assert_eq!(wrap_lon(180.0), -180.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Uniform synthetic datasets (the paper's Syn-nD family).
+//!
+//! Each coordinate is drawn independently and uniformly from `[0, 100]`
+//! (paper §VI-A). Uniform data is the worst case for the grid index: it
+//! maximizes the number of non-empty cells and therefore the index-search
+//! overhead, while skewed data concentrates points into fewer cells.
+
+use crate::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The coordinate range used by the paper's synthetic data.
+pub const SYN_RANGE: (f64, f64) = (0.0, 100.0);
+
+/// Generates `count` points uniformly distributed in `[0, 100]^dim`.
+pub fn uniform(dim: usize, count: usize, seed: u64) -> Dataset {
+    uniform_in(dim, count, SYN_RANGE.0, SYN_RANGE.1, seed)
+}
+
+/// Generates `count` points uniformly distributed in `[lo, hi]^dim`.
+///
+/// # Panics
+///
+/// Panics if `dim == 0` or `lo >= hi`.
+pub fn uniform_in(dim: usize, count: usize, lo: f64, hi: f64, seed: u64) -> Dataset {
+    assert!(dim > 0, "dimension must be positive");
+    assert!(lo < hi, "empty coordinate range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coords = Vec::with_capacity(dim * count);
+    for _ in 0..dim * count {
+        coords.push(rng.gen_range(lo..hi));
+    }
+    Dataset::from_flat(dim, coords)
+}
+
+/// Generates points on a regular lattice with `side` points per dimension
+/// and the given spacing, starting at the origin.
+///
+/// Useful for tests where exact neighbor counts are known analytically.
+pub fn lattice(dim: usize, side: usize, spacing: f64) -> Dataset {
+    assert!(dim > 0, "dimension must be positive");
+    let count = side.pow(dim as u32);
+    let mut coords = Vec::with_capacity(dim * count);
+    for mut idx in 0..count {
+        for _ in 0..dim {
+            coords.push((idx % side) as f64 * spacing);
+            idx /= side;
+        }
+    }
+    Dataset::from_flat(dim, coords)
+}
+
+/// Gaussian-like cluster mixture: `clusters` isotropic clusters with the
+/// given standard deviation inside `[0, 100]^dim`, plus a `background`
+/// fraction of uniform noise. Used by tests and examples that need skewed
+/// (non-worst-case) data without depending on the SW/SDSS surrogates.
+pub fn clustered(
+    dim: usize,
+    count: usize,
+    clusters: usize,
+    sigma: f64,
+    background: f64,
+    seed: u64,
+) -> Dataset {
+    assert!(dim > 0, "dimension must be positive");
+    assert!(clusters > 0, "need at least one cluster");
+    assert!((0.0..=1.0).contains(&background), "background must be in [0,1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Vec<f64>> = (0..clusters)
+        .map(|_| (0..dim).map(|_| rng.gen_range(0.0..100.0)).collect())
+        .collect();
+    let mut coords = Vec::with_capacity(dim * count);
+    for _ in 0..count {
+        if rng.gen_bool(background) {
+            for _ in 0..dim {
+                coords.push(rng.gen_range(0.0..100.0));
+            }
+        } else {
+            let c = &centers[rng.gen_range(0..clusters)];
+            for &center in c {
+                let x: f64 = (sample_std_normal(&mut rng) * sigma + center).clamp(0.0, 100.0);
+                coords.push(x);
+            }
+        }
+    }
+    Dataset::from_flat(dim, coords)
+}
+
+/// Samples a standard normal deviate via the Box–Muller transform.
+///
+/// Kept local so the workspace does not need `rand_distr`.
+pub(crate) fn sample_std_normal<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        if r.is_finite() {
+            return r * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_has_requested_shape() {
+        let d = uniform(3, 1000, 42);
+        assert_eq!(d.len(), 1000);
+        assert_eq!(d.dim(), 3);
+        for p in d.iter() {
+            for &x in p {
+                assert!((0.0..100.0).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_is_deterministic() {
+        assert_eq!(uniform(2, 100, 7), uniform(2, 100, 7));
+        assert_ne!(uniform(2, 100, 7), uniform(2, 100, 8));
+    }
+
+    #[test]
+    fn uniform_covers_the_range() {
+        let d = uniform(2, 20_000, 1);
+        let mins = d.min_per_dim().unwrap();
+        let maxs = d.max_per_dim().unwrap();
+        for j in 0..2 {
+            assert!(mins[j] < 1.0, "min in dim {j} unexpectedly high: {}", mins[j]);
+            assert!(maxs[j] > 99.0, "max in dim {j} unexpectedly low: {}", maxs[j]);
+        }
+    }
+
+    #[test]
+    fn lattice_counts_and_spacing() {
+        let d = lattice(2, 3, 2.0);
+        assert_eq!(d.len(), 9);
+        // Corner and center points exist.
+        let pts: Vec<Vec<f64>> = d.iter().map(|p| p.to_vec()).collect();
+        assert!(pts.contains(&vec![0.0, 0.0]));
+        assert!(pts.contains(&vec![4.0, 4.0]));
+        assert!(pts.contains(&vec![2.0, 2.0]));
+    }
+
+    #[test]
+    fn lattice_3d() {
+        let d = lattice(3, 2, 1.0);
+        assert_eq!(d.len(), 8);
+        assert_eq!(d.dim(), 3);
+    }
+
+    #[test]
+    fn clustered_respects_bounds() {
+        let d = clustered(2, 5000, 8, 1.5, 0.1, 99);
+        assert_eq!(d.len(), 5000);
+        for p in d.iter() {
+            for &x in p {
+                assert!((0.0..=100.0).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_is_denser_than_uniform() {
+        // Sample mean nearest-neighbor-ish density proxy: count pairs within
+        // a radius on a small sample; clustered data must have more.
+        let u = uniform(2, 2000, 3);
+        let c = clustered(2, 2000, 5, 1.0, 0.05, 3);
+        let count_pairs = |d: &Dataset| {
+            let mut n = 0u64;
+            for i in 0..d.len() {
+                for j in (i + 1)..d.len() {
+                    if d.distance(i, j) <= 1.0 {
+                        n += 1;
+                    }
+                }
+            }
+            n
+        };
+        assert!(count_pairs(&c) > 4 * count_pairs(&u));
+    }
+
+    #[test]
+    fn std_normal_moments_plausible() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_std_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+
+    use rand::SeedableRng;
+}

@@ -1,0 +1,158 @@
+//! GPU brute-force nested-loop join (paper §VI-B).
+//!
+//! The paper's sanity baseline: one thread per point, each comparing its
+//! point against the entire dataset — `O(|D|²)` work, independent of ε.
+//! The paper runs a single kernel invocation and excludes result
+//! transfers (a lower bound on the brute-force approach), so this kernel
+//! only *counts* pairs within ε rather than materializing them.
+
+use crate::linearize::MAX_DIM;
+use sim_gpu::occupancy::KernelResources;
+use sim_gpu::{launch, Device, DeviceBuffer, Kernel, LaunchConfig, LaunchStats, ThreadCtx, Tracer};
+use sj_datasets::Dataset;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The brute-force kernel: thread `i` compares point `i` to all points.
+pub struct BruteForceKernel<'a> {
+    /// Flat row-major coordinates.
+    pub coords: &'a DeviceBuffer<f64>,
+    /// Dimensionality.
+    pub dim: usize,
+    /// Squared search radius.
+    pub eps_sq: f64,
+    /// Global pair counter (directed, self excluded).
+    pub hits: &'a AtomicU64,
+}
+
+impl Kernel for BruteForceKernel<'_> {
+    fn resources(&self) -> KernelResources {
+        KernelResources {
+            // The nested-loop kernel is tiny: point registers plus a loop
+            // counter; no index state.
+            registers_per_thread: 18 + 2 * self.dim,
+            shared_mem_per_block: 0,
+        }
+    }
+
+    fn thread<T: Tracer>(&self, ctx: &mut ThreadCtx<'_, T>) {
+        let n = self.coords.len() / self.dim;
+        let i = ctx.global_id;
+        if i >= n {
+            return;
+        }
+        let mut p = [0.0; MAX_DIM];
+        p[..self.dim].copy_from_slice(ctx.read_range(self.coords, i * self.dim, self.dim));
+        let mut local_hits = 0u64;
+        for j in 0..n {
+            if j == i {
+                continue;
+            }
+            let q = ctx.read_range(self.coords, j * self.dim, self.dim);
+            let mut acc = 0.0;
+            for d in 0..self.dim {
+                let diff = p[d] - q[d];
+                acc += diff * diff;
+            }
+            if acc <= self.eps_sq {
+                local_hits += 1;
+            }
+        }
+        // One atomic per thread (as a real kernel would aggregate per-thread
+        // tallies), not one per hit.
+        self.hits.fetch_add(local_hits, Ordering::Relaxed);
+    }
+}
+
+/// Outcome of a brute-force run.
+#[derive(Clone, Debug)]
+pub struct BruteForceResult {
+    /// Directed pair count within ε (self excluded).
+    pub pairs: u64,
+    /// Host-measured kernel wall time.
+    pub wall: Duration,
+    /// Modeled device-kernel time.
+    pub modeled_wall: Duration,
+    /// Launch details.
+    pub stats: LaunchStats,
+}
+
+/// Uploads the data and runs the brute-force kernel once.
+pub fn gpu_brute_force(
+    device: &Device,
+    data: &Dataset,
+    epsilon: f64,
+) -> Result<BruteForceResult, sim_gpu::OutOfMemory> {
+    let coords = device.alloc_from_host(data.coords())?;
+    let hits = AtomicU64::new(0);
+    let kernel = BruteForceKernel {
+        coords: &coords,
+        dim: data.dim(),
+        eps_sq: epsilon * epsilon,
+        hits: &hits,
+    };
+    let stats = launch(device, LaunchConfig::default(), data.len(), &kernel);
+    Ok(BruteForceResult {
+        pairs: hits.into_inner(),
+        wall: stats.wall,
+        modeled_wall: stats.modeled_wall,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_gpu::DeviceSpec;
+    use sj_datasets::synthetic::{lattice, uniform};
+    use sj_datasets::euclidean_sq;
+
+    fn brute_count(data: &Dataset, eps: f64) -> u64 {
+        let eps_sq = eps * eps;
+        let mut c = 0;
+        for i in 0..data.len() {
+            for j in 0..data.len() {
+                if i != j && euclidean_sq(data.point(i), data.point(j)) <= eps_sq {
+                    c += 1;
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn counts_match_host_reference() {
+        let dev = Device::new(DeviceSpec::titan_x_pascal());
+        let data = uniform(3, 500, 31);
+        let r = gpu_brute_force(&dev, &data, 10.0).unwrap();
+        assert_eq!(r.pairs, brute_count(&data, 10.0));
+    }
+
+    #[test]
+    fn lattice_axis_neighbors() {
+        let dev = Device::new(DeviceSpec::titan_x_pascal());
+        let data = lattice(2, 5, 1.0);
+        let r = gpu_brute_force(&dev, &data, 1.0).unwrap();
+        // 2 × 40 undirected adjacent pairs.
+        assert_eq!(r.pairs, 80);
+    }
+
+    #[test]
+    fn epsilon_independent_work() {
+        // Brute force compares everything regardless of ε; with ε = 0 the
+        // count collapses but the kernel still runs |D|² comparisons.
+        let dev = Device::new(DeviceSpec::titan_x_pascal());
+        let data = uniform(2, 300, 32);
+        let r = gpu_brute_force(&dev, &data, 1e-12).unwrap();
+        assert_eq!(r.pairs, 0);
+        assert_eq!(r.stats.threads, 300);
+    }
+
+    #[test]
+    fn memory_released_after_run() {
+        let dev = Device::new(DeviceSpec::titan_x_pascal());
+        let data = uniform(2, 100, 33);
+        let _ = gpu_brute_force(&dev, &data, 1.0).unwrap();
+        assert_eq!(dev.used_bytes(), 0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Error types for grid construction and the self-join pipeline.
+
+use sim_gpu::OutOfMemory;
+use std::fmt;
+
+/// Errors detected while building the ε-grid index.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GridBuildError {
+    /// ε must be finite and strictly positive.
+    InvalidEpsilon(f64),
+    /// More dimensions than the kernels support.
+    TooManyDimensions {
+        /// Requested dimensionality.
+        dim: usize,
+        /// Supported maximum.
+        max: usize,
+    },
+    /// Point ids are stored as `u32`.
+    TooManyPoints(usize),
+    /// A coordinate was NaN or infinite.
+    NonFiniteCoordinate {
+        /// Offending point id.
+        point: usize,
+        /// Offending dimension.
+        dim: usize,
+    },
+    /// The virtual cell space does not fit in a `u64` linear id.
+    CellSpaceOverflow {
+        /// Offending per-dimension cell counts.
+        cells_per_dim: Vec<u64>,
+    },
+}
+
+impl fmt::Display for GridBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidEpsilon(e) => write!(f, "epsilon must be finite and positive, got {e}"),
+            Self::TooManyDimensions { dim, max } => {
+                write!(f, "dimensionality {dim} exceeds supported maximum {max}")
+            }
+            Self::TooManyPoints(n) => write!(f, "dataset of {n} points exceeds u32 point ids"),
+            Self::NonFiniteCoordinate { point, dim } => write!(
+                f,
+                "point {point} has a non-finite coordinate in dimension {dim}"
+            ),
+            Self::CellSpaceOverflow { cells_per_dim } => write!(
+                f,
+                "virtual cell space overflows u64 linear ids (cells per dim: {cells_per_dim:?}); increase epsilon"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GridBuildError {}
+
+/// Errors from the GPU self-join pipeline.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SelfJoinError {
+    /// Index construction failed.
+    Grid(GridBuildError),
+    /// A device allocation failed even after batching subdivided the work
+    /// as far as it could.
+    Device(OutOfMemory),
+}
+
+impl fmt::Display for SelfJoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Grid(e) => write!(f, "grid construction failed: {e}"),
+            Self::Device(e) => write!(f, "device allocation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SelfJoinError {}
+
+impl From<GridBuildError> for SelfJoinError {
+    fn from(e: GridBuildError) -> Self {
+        Self::Grid(e)
+    }
+}
+
+impl From<OutOfMemory> for SelfJoinError {
+    fn from(e: OutOfMemory) -> Self {
+        Self::Device(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(GridBuildError::InvalidEpsilon(0.0).to_string().contains("epsilon"));
+        assert!(GridBuildError::TooManyDimensions { dim: 9, max: 8 }
+            .to_string()
+            .contains('9'));
+        assert!(GridBuildError::NonFiniteCoordinate { point: 3, dim: 1 }
+            .to_string()
+            .contains("non-finite"));
+        let sj: SelfJoinError = GridBuildError::TooManyPoints(5_000_000_000).into();
+        assert!(sj.to_string().contains("grid construction"));
+        let oom: SelfJoinError = OutOfMemory {
+            requested: 10,
+            available: 5,
+        }
+        .into();
+        assert!(oom.to_string().contains("device allocation"));
+    }
+}

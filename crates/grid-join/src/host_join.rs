@@ -1,0 +1,166 @@
+//! Host-side grid joins: a sequential reference and a rayon-parallel
+//! variant.
+//!
+//! These are *independent* implementations of the ε-grid self-join that
+//! never touch the device model. They serve two purposes: cross-validating
+//! the GPU kernels (two implementations agreeing on random inputs is the
+//! repo's strongest correctness signal) and providing the "multi-core CPU"
+//! comparison point used by some ablation benches.
+
+use crate::grid::GridIndex;
+use crate::linearize::{linearize, MAX_DIM};
+use crate::result::{NeighborTable, Pair};
+use crate::unicomp::{adjacent_ranges, for_each_full};
+use rayon::prelude::*;
+use sj_datasets::{euclidean_sq, Dataset};
+
+/// Sequential host self-join over the grid index. Returns the directed,
+/// self-excluded neighbour table.
+pub fn host_self_join(data: &Dataset, grid: &GridIndex) -> NeighborTable {
+    let pairs = host_pairs_for_range(data, grid, 0, data.len());
+    NeighborTable::from_pairs(data.len(), &pairs)
+}
+
+/// Parallel host self-join (rayon over query chunks).
+pub fn host_self_join_parallel(data: &Dataset, grid: &GridIndex) -> NeighborTable {
+    let n = data.len();
+    let chunk = (n / (rayon::current_num_threads() * 8).max(1)).max(1024);
+    let pairs: Vec<Pair> = (0..n)
+        .into_par_iter()
+        .with_min_len(chunk)
+        .flat_map_iter(|q| {
+            let mut out = Vec::new();
+            query_neighbors(data, grid, q, |cand| {
+                out.push(Pair::new(q as u32, cand));
+            });
+            out.into_iter()
+        })
+        .collect();
+    NeighborTable::from_pairs(n, &pairs)
+}
+
+/// Directed pairs for queries in `[offset, offset + count)`.
+pub fn host_pairs_for_range(
+    data: &Dataset,
+    grid: &GridIndex,
+    offset: usize,
+    count: usize,
+) -> Vec<Pair> {
+    let mut pairs = Vec::new();
+    for q in offset..offset + count {
+        query_neighbors(data, grid, q, |cand| {
+            pairs.push(Pair::new(q as u32, cand));
+        });
+    }
+    pairs
+}
+
+/// Runs one ε-range query through the grid, invoking `emit` for every
+/// neighbour of point `q` (self excluded).
+pub fn query_neighbors<F: FnMut(u32)>(data: &Dataset, grid: &GridIndex, q: usize, mut emit: F) {
+    let dim = grid.dim();
+    let eps_sq = grid.epsilon() * grid.epsilon();
+    let p = data.point(q);
+    let mut cell = [0u32; MAX_DIM];
+    grid.cell_of(p, &mut cell[..dim]);
+    let mut adj = [(0u32, 0u32); MAX_DIM];
+    adjacent_ranges(&cell[..dim], grid.cells_per_dim(), &mut adj[..dim]);
+    let mut filtered = [(0u32, 0u32); MAX_DIM];
+    for j in 0..dim {
+        match grid.mask_range(j, adj[j].0, adj[j].1) {
+            Some(r) => filtered[j] = r,
+            None => return, // cannot happen for indexed points
+        }
+    }
+    for_each_full(dim, &filtered[..dim], |coords| {
+        let lin = linearize(coords, grid.cells_per_dim());
+        if let Some(h) = grid.find_cell(lin) {
+            for &cand in grid.cell_points(h) {
+                if cand as usize != q
+                    && euclidean_sq(p, data.point(cand as usize)) <= eps_sq
+                {
+                    emit(cand);
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_datasets::synthetic::{clustered, lattice, uniform};
+
+    fn brute(data: &Dataset, eps: f64) -> NeighborTable {
+        let eps_sq = eps * eps;
+        let mut pairs = Vec::new();
+        for i in 0..data.len() {
+            for j in 0..data.len() {
+                if i != j && euclidean_sq(data.point(i), data.point(j)) <= eps_sq {
+                    pairs.push(Pair::new(i as u32, j as u32));
+                }
+            }
+        }
+        NeighborTable::from_pairs(data.len(), &pairs)
+    }
+
+    #[test]
+    fn sequential_matches_brute_2d() {
+        let data = uniform(2, 400, 21);
+        let grid = GridIndex::build(&data, 4.0).unwrap();
+        assert_eq!(host_self_join(&data, &grid), brute(&data, 4.0));
+    }
+
+    #[test]
+    fn sequential_matches_brute_5d() {
+        let data = uniform(5, 250, 22);
+        let grid = GridIndex::build(&data, 25.0).unwrap();
+        assert_eq!(host_self_join(&data, &grid), brute(&data, 25.0));
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let data = clustered(3, 600, 6, 1.5, 0.1, 23);
+        let grid = GridIndex::build(&data, 2.0).unwrap();
+        assert_eq!(
+            host_self_join_parallel(&data, &grid),
+            host_self_join(&data, &grid)
+        );
+    }
+
+    #[test]
+    fn lattice_neighbor_counts() {
+        // ε = spacing: each interior lattice point has exactly 4 axis
+        // neighbours in 2-D (diagonal distance √2 > 1).
+        let data = lattice(2, 6, 1.0);
+        let grid = GridIndex::build(&data, 1.0).unwrap();
+        let t = host_self_join(&data, &grid);
+        let mut counts: Vec<usize> = (0..36).map(|i| t.neighbors(i).len()).collect();
+        counts.sort_unstable();
+        // 4 corners with 2, 16 edge points with 3, 16 interior with 4.
+        assert_eq!(&counts[..4], &[2, 2, 2, 2]);
+        assert_eq!(counts.iter().filter(|&&c| c == 3).count(), 16);
+        assert_eq!(counts.iter().filter(|&&c| c == 4).count(), 16);
+    }
+
+    #[test]
+    fn range_partition_reassembles() {
+        let data = uniform(2, 300, 24);
+        let grid = GridIndex::build(&data, 5.0).unwrap();
+        let mut all = host_pairs_for_range(&data, &grid, 0, 150);
+        all.extend(host_pairs_for_range(&data, &grid, 150, 150));
+        assert_eq!(
+            NeighborTable::from_pairs(300, &all),
+            host_self_join(&data, &grid)
+        );
+    }
+
+    #[test]
+    fn table_invariants_hold() {
+        let data = uniform(4, 300, 25);
+        let grid = GridIndex::build(&data, 15.0).unwrap();
+        let t = host_self_join(&data, &grid);
+        assert!(t.is_symmetric());
+        assert!(t.is_irreflexive());
+    }
+}

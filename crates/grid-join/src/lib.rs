@@ -1,0 +1,51 @@
+//! **GPU-SJ**: the GPU-accelerated distance-similarity self-join of
+//! Gowanlock & Karsin (2018), reproduced in Rust on a software SIMT
+//! device model.
+//!
+//! Given a dataset `D` of n-dimensional points and a radius ε, the
+//! self-join finds every ordered pair `(p, q)`, `p ≠ q`, with Euclidean
+//! distance `dist(p, q) ≤ ε`. The algorithm combines:
+//!
+//! * a GPU-friendly **ε-grid index** storing only non-empty cells in
+//!   `O(|D|)` space ([`grid`]),
+//! * the one-thread-per-point **`GPUSELFJOINGLOBAL` kernel** with bounded,
+//!   mask-filtered adjacent-cell searches ([`kernels`]),
+//! * the **UNICOMP** parity-based work-avoidance pattern that halves cell
+//!   visits and distance computations ([`unicomp`]),
+//! * a **result-set batching** pipeline that bounds device memory use and
+//!   overlaps transfers with compute ([`batching`]), and
+//! * a **brute-force** GPU baseline for the evaluation ([`brute_force`]).
+//!
+//! Start with [`GpuSelfJoin`]:
+//!
+//! ```
+//! use grid_join::GpuSelfJoin;
+//! use sj_datasets::synthetic::uniform;
+//!
+//! let data = uniform(3, 1_000, 42);
+//! let out = GpuSelfJoin::default_device().run(&data, 6.0).unwrap();
+//! assert!(out.table.is_symmetric());
+//! ```
+
+pub mod batching;
+pub mod brute_force;
+pub mod device_grid;
+pub mod error;
+pub mod grid;
+pub mod host_join;
+pub mod kernels;
+pub mod knn;
+pub mod linearize;
+pub mod result;
+pub mod selfjoin;
+pub mod unicomp;
+
+pub use batching::{BatchReport, BatchingConfig};
+pub use brute_force::{gpu_brute_force, BruteForceResult};
+pub use device_grid::DeviceGrid;
+pub use error::{GridBuildError, SelfJoinError};
+pub use grid::{CellRange, GridIndex};
+pub use host_join::{host_self_join, host_self_join_parallel};
+pub use knn::{gpu_knn, host_knn, KnnHit};
+pub use result::{NeighborTable, Pair};
+pub use selfjoin::{GpuSelfJoin, JoinReport, SelfJoinConfig, SelfJoinOutput};

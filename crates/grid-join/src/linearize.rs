@@ -1,0 +1,130 @@
+//! Cell-coordinate linearization.
+//!
+//! Grid cells are identified by n-dimensional integer coordinates; the
+//! index stores them as a single linearized id (paper §IV-C: "each
+//! non-empty grid cell … is stored as a linearized cell id"). Dimension 0
+//! varies fastest. All arithmetic is checked at grid-build time so an
+//! ε/extent combination whose *virtual* cell space exceeds `u64` is
+//! rejected up front instead of silently wrapping.
+
+/// Maximum dimensionality supported by the kernels (the paper evaluates
+/// 2–6; we leave headroom for experimentation).
+pub const MAX_DIM: usize = 8;
+
+/// Converts n-D cell coordinates to a linear id.
+///
+/// `cells_per_dim[j]` is the cell count `|g_j|` in dimension `j`.
+///
+/// # Panics
+///
+/// Debug-asserts coordinate bounds; the multiplication cannot overflow if
+/// the grid was validated with [`total_cells`] at build time.
+#[inline]
+pub fn linearize(coords: &[u32], cells_per_dim: &[u64]) -> u64 {
+    debug_assert_eq!(coords.len(), cells_per_dim.len());
+    let mut id = 0u64;
+    let mut stride = 1u64;
+    for (&c, &n) in coords.iter().zip(cells_per_dim) {
+        debug_assert!((c as u64) < n, "cell coordinate {c} out of range {n}");
+        id += c as u64 * stride;
+        stride *= n;
+    }
+    id
+}
+
+/// Inverse of [`linearize`].
+#[inline]
+pub fn delinearize(mut id: u64, cells_per_dim: &[u64], out: &mut [u32]) {
+    debug_assert_eq!(out.len(), cells_per_dim.len());
+    for (o, &n) in out.iter_mut().zip(cells_per_dim) {
+        *o = (id % n) as u32;
+        id /= n;
+    }
+    debug_assert_eq!(id, 0, "linear id out of range");
+}
+
+/// Total virtual cell count, or `None` if it exceeds `u64::MAX`.
+///
+/// The index never materializes this many cells (only non-empty ones are
+/// stored, §IV-B), but linear ids must stay representable.
+pub fn total_cells(cells_per_dim: &[u64]) -> Option<u64> {
+    let mut acc = 1u64;
+    for &n in cells_per_dim {
+        if n == 0 {
+            return Some(0);
+        }
+        acc = acc.checked_mul(n)?;
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn linearize_2d_matches_row_major() {
+        let cells = [7u64, 5];
+        assert_eq!(linearize(&[0, 0], &cells), 0);
+        assert_eq!(linearize(&[1, 0], &cells), 1);
+        assert_eq!(linearize(&[0, 1], &cells), 7);
+        assert_eq!(linearize(&[6, 4], &cells), 34);
+    }
+
+    #[test]
+    fn paper_figure_two_example() {
+        // Figure 2(b): a 7×7 grid where cell (x=2, y=4) has linear id 30
+        // under lexicographic (row of y) numbering: id = x + y*7.
+        let cells = [7u64, 7];
+        assert_eq!(linearize(&[2, 4], &cells), 30);
+        assert_eq!(linearize(&[1, 3], &cells), 22);
+        assert_eq!(linearize(&[1, 5], &cells), 36);
+    }
+
+    #[test]
+    fn roundtrip_6d() {
+        let cells = [3u64, 4, 5, 6, 7, 8];
+        let coords = [2u32, 3, 4, 5, 6, 7];
+        let id = linearize(&coords, &cells);
+        let mut back = [0u32; 6];
+        delinearize(id, &cells, &mut back);
+        assert_eq!(back, coords);
+    }
+
+    #[test]
+    fn total_cells_checked() {
+        assert_eq!(total_cells(&[10, 10, 10]), Some(1000));
+        assert_eq!(total_cells(&[]), Some(1));
+        assert_eq!(total_cells(&[0, 5]), Some(0));
+        assert_eq!(total_cells(&[u64::MAX, 2]), None);
+        assert_eq!(total_cells(&[1 << 32, 1 << 32]), None);
+        assert_eq!(total_cells(&[1 << 32, 1 << 31]), Some(1 << 63));
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random(dims in proptest::collection::vec(1u64..50, 1..=6)) {
+            let coords: Vec<u32> = dims.iter().map(|&n| (n - 1) as u32).collect();
+            let id = linearize(&coords, &dims);
+            let mut back = vec![0u32; dims.len()];
+            delinearize(id, &dims, &mut back);
+            prop_assert_eq!(back, coords);
+        }
+
+        #[test]
+        fn linearize_is_injective(
+            dims in proptest::collection::vec(2u64..12, 2..=4),
+            seed in 0u64..1000,
+        ) {
+            // Two distinct random coordinate tuples map to distinct ids.
+            let a: Vec<u32> = dims.iter().enumerate()
+                .map(|(i, &n)| (((seed >> (i * 4)) & 0xf) % n) as u32).collect();
+            let b: Vec<u32> = dims.iter().enumerate()
+                .map(|(i, &n)| ((((seed >> (i * 4)) & 0xf) + 1) % n) as u32).collect();
+            if a != b {
+                prop_assert_ne!(linearize(&a, &dims), linearize(&b, &dims));
+            }
+        }
+    }
+}

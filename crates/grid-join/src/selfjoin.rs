@@ -1,0 +1,245 @@
+//! High-level GPU self-join API (the paper's GPU-SJ).
+//!
+//! This is the entry point downstream users call:
+//!
+//! ```
+//! use grid_join::GpuSelfJoin;
+//! use sj_datasets::synthetic::uniform;
+//!
+//! let data = uniform(2, 2_000, 7);
+//! let join = GpuSelfJoin::default_device();
+//! let out = join.run(&data, 2.0).unwrap();
+//! println!(
+//!     "{} pairs in {} batches, avg {:.1} neighbors/point",
+//!     out.table.total_pairs(),
+//!     out.report.batching.batches,
+//!     out.table.avg_neighbors()
+//! );
+//! # assert!(out.table.is_symmetric());
+//! ```
+//!
+//! The pipeline is: build the ε-grid on the host → upload → estimate the
+//! result size → batched kernel execution (UNICOMP on by default, as in
+//! the paper's best configuration) → sort pairs → neighbour table.
+
+use crate::batching::{run_batched, BatchReport, BatchingConfig};
+use crate::device_grid::DeviceGrid;
+use crate::error::SelfJoinError;
+use crate::grid::GridIndex;
+use crate::kernels::kernel_registers;
+use crate::result::NeighborTable;
+use sim_gpu::occupancy::KernelResources;
+use sim_gpu::{occupancy, Device, DeviceSpec, LaunchConfig, OccupancyResult};
+use sj_datasets::Dataset;
+use std::time::{Duration, Instant};
+
+/// Configuration of a GPU self-join run.
+#[derive(Clone, Copy, Debug)]
+pub struct SelfJoinConfig {
+    /// Apply the UNICOMP work-avoidance optimization (§V-B). Default on.
+    pub unicomp: bool,
+    /// Process queries in grid-cell order (an extension beyond the paper:
+    /// consecutive threads handle same-cell points, improving L1 locality
+    /// and warp regularity on skewed data; results are unchanged).
+    pub cell_order_queries: bool,
+    /// Kernel launch geometry (default 256 threads/block as in §VI-B).
+    pub launch: LaunchConfig,
+    /// Batching-scheme tunables (§V-A).
+    pub batching: BatchingConfig,
+}
+
+impl Default for SelfJoinConfig {
+    fn default() -> Self {
+        Self {
+            unicomp: true,
+            cell_order_queries: false,
+            launch: LaunchConfig::default(),
+            batching: BatchingConfig::default(),
+        }
+    }
+}
+
+/// Timing/shape report of one self-join run.
+#[derive(Clone, Debug)]
+pub struct JoinReport {
+    /// Host-side grid construction time.
+    pub grid_build: Duration,
+    /// Wall time of the device pipeline (estimate + kernels + drains).
+    pub device_pipeline: Duration,
+    /// End-to-end wall time (grid build + upload + pipeline + table build).
+    pub total: Duration,
+    /// Modeled response time on the simulated device: host grid build +
+    /// modeled estimation kernel + the pipelined (3-stream) timeline of
+    /// uploads, modeled kernels and result downloads. This is the number
+    /// the evaluation harness reports for GPU-SJ (see `DeviceSpec::
+    /// throughput_vs_host_core` for the model constant).
+    pub modeled_total: Duration,
+    /// Non-empty cell count `|B|`.
+    pub non_empty_cells: usize,
+    /// Host-side index footprint in bytes.
+    pub index_bytes: usize,
+    /// Theoretical occupancy of the join kernel used.
+    pub occupancy: OccupancyResult,
+    /// Batching execution details.
+    pub batching: BatchReport,
+}
+
+/// Output of a self-join: the neighbour table plus the execution report.
+#[derive(Clone, Debug)]
+pub struct SelfJoinOutput {
+    /// Directed, self-excluded neighbour lists.
+    pub table: NeighborTable,
+    /// Timings and counters.
+    pub report: JoinReport,
+}
+
+/// The GPU self-join operator (paper: GPU-SJ).
+#[derive(Clone, Debug)]
+pub struct GpuSelfJoin {
+    device: Device,
+    config: SelfJoinConfig,
+}
+
+impl GpuSelfJoin {
+    /// Creates the operator on a device with default configuration
+    /// (UNICOMP enabled, 256-thread blocks, ≥3 batches).
+    pub fn new(device: Device) -> Self {
+        Self {
+            device,
+            config: SelfJoinConfig::default(),
+        }
+    }
+
+    /// Creates the operator on a simulated TITAN X with defaults.
+    pub fn default_device() -> Self {
+        Self::new(Device::new(DeviceSpec::titan_x_pascal()))
+    }
+
+    /// Overrides the configuration.
+    pub fn with_config(mut self, config: SelfJoinConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Enables or disables UNICOMP.
+    pub fn unicomp(mut self, on: bool) -> Self {
+        self.config.unicomp = on;
+        self
+    }
+
+    /// The device handle.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SelfJoinConfig {
+        &self.config
+    }
+
+    /// Runs the self-join: all ordered pairs `(p, q)`, `p ≠ q`, with
+    /// `dist(p, q) ≤ epsilon`.
+    pub fn run(&self, data: &Dataset, epsilon: f64) -> Result<SelfJoinOutput, SelfJoinError> {
+        let t0 = Instant::now();
+        let grid = GridIndex::build(data, epsilon)?;
+        let grid_build = t0.elapsed();
+
+        let dg = DeviceGrid::upload(&self.device, data, &grid)?;
+
+        let t1 = Instant::now();
+        let (pairs, batching) = run_batched(
+            &self.device,
+            &dg,
+            self.config.launch,
+            self.config.unicomp,
+            self.config.cell_order_queries,
+            &self.config.batching,
+        )?;
+        let device_pipeline = t1.elapsed();
+
+        let table = NeighborTable::from_pairs(data.len(), &pairs);
+        let occupancy = occupancy(
+            self.device.spec(),
+            KernelResources {
+                registers_per_thread: kernel_registers(grid.dim().max(1), self.config.unicomp),
+                shared_mem_per_block: 0,
+            },
+            self.config.launch.block_threads,
+        );
+        let modeled_total = grid_build + batching.modeled_estimate_time + batching.timeline.total;
+        Ok(SelfJoinOutput {
+            table,
+            report: JoinReport {
+                grid_build,
+                device_pipeline,
+                total: t0.elapsed(),
+                modeled_total,
+                non_empty_cells: grid.non_empty_cells(),
+                index_bytes: grid.size_bytes(),
+                occupancy,
+                batching,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host_join::host_self_join;
+    use sj_datasets::synthetic::{clustered, uniform};
+
+    #[test]
+    fn end_to_end_matches_host_join() {
+        let data = uniform(3, 2000, 51);
+        let eps = 7.0;
+        let join = GpuSelfJoin::default_device();
+        let out = join.run(&data, eps).unwrap();
+        let grid = GridIndex::build(&data, eps).unwrap();
+        assert_eq!(out.table, host_self_join(&data, &grid));
+        assert!(out.report.batching.batches >= 3);
+        assert!(out.report.non_empty_cells > 0);
+        assert!(out.report.occupancy.occupancy > 0.0);
+    }
+
+    #[test]
+    fn unicomp_and_full_agree() {
+        let data = clustered(2, 1500, 4, 1.0, 0.1, 52);
+        let with = GpuSelfJoin::default_device().unicomp(true).run(&data, 1.5).unwrap();
+        let without = GpuSelfJoin::default_device().unicomp(false).run(&data, 1.5).unwrap();
+        assert_eq!(with.table, without.table);
+    }
+
+    #[test]
+    fn epsilon_monotonicity() {
+        let data = uniform(2, 1000, 53);
+        let join = GpuSelfJoin::default_device();
+        let small = join.run(&data, 1.0).unwrap().table.total_pairs();
+        let large = join.run(&data, 3.0).unwrap().table.total_pairs();
+        assert!(large > small);
+    }
+
+    #[test]
+    fn invalid_epsilon_surfaces_error() {
+        let data = uniform(2, 100, 54);
+        let err = GpuSelfJoin::default_device().run(&data, -1.0).unwrap_err();
+        assert!(matches!(err, SelfJoinError::Grid(_)));
+    }
+
+    #[test]
+    fn occupancy_reflects_unicomp_register_pressure() {
+        let data = uniform(5, 1200, 55);
+        let base = GpuSelfJoin::default_device().unicomp(false).run(&data, 25.0).unwrap();
+        let uni = GpuSelfJoin::default_device().unicomp(true).run(&data, 25.0).unwrap();
+        assert_eq!(base.report.occupancy.occupancy, 0.625);
+        assert_eq!(uni.report.occupancy.occupancy, 0.5);
+    }
+
+    #[test]
+    fn doc_example_runs() {
+        let data = uniform(2, 500, 7);
+        let out = GpuSelfJoin::default_device().run(&data, 2.0).unwrap();
+        assert!(out.table.is_symmetric());
+        assert!(out.table.is_irreflexive());
+    }
+}

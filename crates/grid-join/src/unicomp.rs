@@ -1,0 +1,311 @@
+//! Neighbor-cell enumeration: full 3ⁿ traversal and the UNICOMP
+//! work-avoidance pattern (paper §V-B, Algorithm 2).
+//!
+//! Euclidean distance is reflexive, so evaluating every unordered pair of
+//! neighbouring cells once — and reporting both directed result pairs —
+//! halves both cell searches and distance calculations. UNICOMP picks, for
+//! every ordered pair of adjacent distinct cells `(C_a, C_b)`, exactly one
+//! direction, using coordinate parity:
+//!
+//! > Let `j` be the **highest** dimension in which `C_a` and `C_b` differ.
+//! > `C_a` evaluates `C_b` iff `C_a`'s coordinate in dimension `j` is odd.
+//!
+//! Adjacent cells differ by exactly 1 in each differing coordinate, so the
+//! two cells' coordinates in dimension `j` have opposite parity — exactly
+//! one direction fires. This is the n-dimensional generalization of the
+//! paper's Algorithm 2 (its x/y/z loops are the `j = 0, 1, 2` cases).
+//! Points inside the *same* cell are handled separately by an id-ordering
+//! rule (`pid > qid`), which the kernels implement.
+
+use crate::linearize::MAX_DIM;
+
+/// Per-dimension inclusive cell-coordinate range to traverse.
+pub type DimRange = (u32, u32);
+
+/// Computes the unmasked adjacent range `[c−1, c+1]` in each dimension,
+/// clamped to the grid bounds (paper Algorithm 1, `getAdjCells`).
+#[inline]
+pub fn adjacent_ranges(cell: &[u32], cells_per_dim: &[u64], out: &mut [DimRange]) {
+    for j in 0..cell.len() {
+        let lo = cell[j].saturating_sub(1);
+        let hi = (cell[j] + 1).min((cells_per_dim[j] - 1) as u32);
+        out[j] = (lo, hi);
+    }
+}
+
+/// Visits every cell in the cartesian product of `ranges` — the full
+/// (non-UNICOMP) adjacency traversal, own cell included. The visitor
+/// receives the cell's coordinates.
+#[inline]
+pub fn for_each_full<F: FnMut(&[u32])>(dim: usize, ranges: &[DimRange], mut visit: F) {
+    debug_assert!(dim <= MAX_DIM);
+    let mut coords = [0u32; MAX_DIM];
+    odometer(dim, ranges, &mut coords, 0, &mut visit);
+}
+
+fn odometer<F: FnMut(&[u32])>(
+    dim: usize,
+    ranges: &[DimRange],
+    coords: &mut [u32; MAX_DIM],
+    j: usize,
+    visit: &mut F,
+) {
+    if j == dim {
+        visit(&coords[..dim]);
+        return;
+    }
+    let (lo, hi) = ranges[j];
+    for c in lo..=hi {
+        coords[j] = c;
+        odometer(dim, ranges, coords, j + 1, visit);
+    }
+}
+
+/// Visits the UNICOMP subset of *neighbour* cells for a query cell
+/// (own cell excluded — same-cell pairs use the id-ordering rule).
+///
+/// For each dimension `j` with an odd coordinate, visits all cells whose
+/// dimensions `< j` span the full filtered range, whose dimension `j`
+/// differs from the query cell, and whose dimensions `> j` equal the query
+/// cell's. The union over `j` covers exactly one direction of every
+/// adjacent unordered cell pair (see module docs; property-tested below).
+#[inline]
+pub fn for_each_unicomp<F: FnMut(&[u32])>(
+    dim: usize,
+    cell: &[u32],
+    ranges: &[DimRange],
+    mut visit: F,
+) {
+    debug_assert!(dim <= MAX_DIM);
+    let mut coords = [0u32; MAX_DIM];
+    for j in 0..dim {
+        if cell[j].is_multiple_of(2) {
+            continue;
+        }
+        // Dimensions above j are pinned to the query cell.
+        coords[..dim].copy_from_slice(&cell[..dim]);
+        unicomp_level(dim, cell, ranges, &mut coords, 0, j, &mut visit);
+    }
+}
+
+fn unicomp_level<F: FnMut(&[u32])>(
+    dim: usize,
+    cell: &[u32],
+    ranges: &[DimRange],
+    coords: &mut [u32; MAX_DIM],
+    k: usize,
+    j: usize,
+    visit: &mut F,
+) {
+    if k > j {
+        visit(&coords[..dim]);
+        return;
+    }
+    let (lo, hi) = ranges[k];
+    for c in lo..=hi {
+        if k == j && c == cell[j] {
+            continue; // dimension j must differ
+        }
+        coords[k] = c;
+        unicomp_level(dim, cell, ranges, coords, k + 1, j, visit);
+    }
+    if k == j {
+        // restore for completeness (coords beyond j stay pinned)
+        coords[k] = cell[k];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    fn collect_full(dim: usize, cell: &[u32], cells: &[u64]) -> HashSet<Vec<u32>> {
+        let mut ranges = [(0u32, 0u32); MAX_DIM];
+        adjacent_ranges(cell, cells, &mut ranges[..dim]);
+        let mut out = HashSet::new();
+        for_each_full(dim, &ranges[..dim], |c| {
+            out.insert(c.to_vec());
+        });
+        out
+    }
+
+    fn collect_unicomp(dim: usize, cell: &[u32], cells: &[u64]) -> HashSet<Vec<u32>> {
+        let mut ranges = [(0u32, 0u32); MAX_DIM];
+        adjacent_ranges(cell, cells, &mut ranges[..dim]);
+        let mut out = HashSet::new();
+        for_each_unicomp(dim, cell, &ranges[..dim], |c| {
+            let fresh = out.insert(c.to_vec());
+            assert!(fresh, "unicomp visited {c:?} twice from {cell:?}");
+        });
+        out
+    }
+
+    #[test]
+    fn full_traversal_interior_cell_counts() {
+        let cells = [10u64, 10, 10];
+        let visited = collect_full(3, &[5, 5, 5], &cells);
+        assert_eq!(visited.len(), 27);
+        assert!(visited.contains(&vec![5, 5, 5]));
+        assert!(visited.contains(&vec![4, 6, 5]));
+    }
+
+    #[test]
+    fn full_traversal_corner_cell_clamped() {
+        let cells = [10u64, 10];
+        let visited = collect_full(2, &[0, 0], &cells);
+        assert_eq!(visited.len(), 4); // 2×2 at the corner
+        let visited = collect_full(2, &[9, 9], &cells);
+        assert_eq!(visited.len(), 4);
+    }
+
+    #[test]
+    fn unicomp_even_cell_visits_nothing() {
+        let cells = [10u64, 10, 10];
+        let visited = collect_unicomp(3, &[4, 6, 2], &cells);
+        assert!(visited.is_empty());
+    }
+
+    #[test]
+    fn unicomp_all_odd_interior_visits_everything() {
+        // An all-odd interior cell evaluates all 26 neighbours (2 + 6 + 18,
+        // Figure 3); an all-even cell evaluates none. The ~2× saving is the
+        // *average* across cells: each unordered cell pair is evaluated
+        // from exactly one side.
+        let cells = [10u64, 10, 10];
+        let visited = collect_unicomp(3, &[5, 5, 5], &cells);
+        assert_eq!(visited.len(), 26);
+        assert!(!visited.contains(&vec![5, 5, 5]), "own cell excluded");
+    }
+
+    #[test]
+    fn unicomp_average_work_is_half() {
+        // Over all interior cells of a parity-balanced grid, the average
+        // number of visited neighbour cells is half of the full 26.
+        let cells = [8u64, 8, 8];
+        let mut total = 0usize;
+        let mut count = 0usize;
+        for x in 1..7u32 {
+            for y in 1..7u32 {
+                for z in 1..7u32 {
+                    total += collect_unicomp(3, &[x, y, z], &cells).len();
+                    count += 1;
+                }
+            }
+        }
+        let avg = total as f64 / count as f64;
+        assert!((avg - 13.0).abs() < 0.8, "average unicomp visits {avg}");
+    }
+
+    #[test]
+    fn unicomp_matches_paper_algorithm_two_shape() {
+        // Figure 3: x odd → 2 cells (x±1, same y,z); y odd → 6 cells
+        // (x ∈ range, y ≠, z same); z odd → 18 cells.
+        let cells = [10u64, 10, 10];
+        let mut ranges = [(0u32, 0u32); MAX_DIM];
+        adjacent_ranges(&[5, 5, 5], &cells, &mut ranges[..3]);
+
+        // Count per originating dimension by masking parity.
+        let count_dim = |cell: [u32; 3]| {
+            let mut per_dim = [0usize; 3];
+            #[allow(clippy::needless_range_loop)]
+            for j in 0..3 {
+                let mut c2 = cell;
+                // Zero out parity of other dims (make them even).
+                for (k, v) in c2.iter_mut().enumerate() {
+                    if k != j && *v % 2 == 1 {
+                        *v -= 1;
+                    }
+                }
+                let mut r = [(0u32, 0u32); MAX_DIM];
+                adjacent_ranges(&c2, &cells, &mut r[..3]);
+                for_each_unicomp(3, &c2, &r[..3], |_| per_dim[j] += 1);
+            }
+            per_dim
+        };
+        assert_eq!(count_dim([5, 5, 5]), [2, 6, 18]);
+    }
+
+    /// The load-bearing invariant (paper §V-B): over any set of adjacent
+    /// cells, UNICOMP covers every unordered pair of distinct cells in
+    /// exactly one direction.
+    fn check_partition(dim: usize, cells_per_dim: &[u64]) {
+        // Enumerate all cells of the small grid.
+        let mut all = vec![vec![]];
+        for &n in cells_per_dim {
+            let mut next = Vec::new();
+            for prefix in &all {
+                for c in 0..n as u32 {
+                    let mut p = prefix.clone();
+                    p.push(c);
+                    next.push(p);
+                }
+            }
+            all = next;
+        }
+        for a in &all {
+            for b in &all {
+                if a == b {
+                    continue;
+                }
+                let adjacent = a
+                    .iter()
+                    .zip(b)
+                    .all(|(&x, &y)| (x as i64 - y as i64).abs() <= 1);
+                if !adjacent {
+                    continue;
+                }
+                let a_visits_b = collect_unicomp(dim, a, cells_per_dim).contains(b);
+                let b_visits_a = collect_unicomp(dim, b, cells_per_dim).contains(a);
+                assert!(
+                    a_visits_b ^ b_visits_a,
+                    "pair {a:?} / {b:?}: a→b={a_visits_b}, b→a={b_visits_a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partition_2d() {
+        check_partition(2, &[5, 4]);
+    }
+
+    #[test]
+    fn partition_3d() {
+        check_partition(3, &[4, 3, 4]);
+    }
+
+    #[test]
+    fn partition_4d() {
+        check_partition(4, &[3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn unicomp_subset_of_full() {
+        let cells = [6u64, 6, 6];
+        for cell in [[1u32, 2, 3], [3, 3, 3], [0, 5, 1]] {
+            let full = collect_full(3, &cell, &cells);
+            let uni = collect_unicomp(3, &cell, &cells);
+            assert!(uni.is_subset(&full), "cell {cell:?}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_partition_random_grids(
+            dims in proptest::collection::vec(2u64..5, 1..=3),
+        ) {
+            check_partition(dims.len(), &dims);
+        }
+
+        #[test]
+        fn prop_unicomp_never_revisits(
+            cell in proptest::collection::vec(0u32..7, 2..=5),
+        ) {
+            let dims: Vec<u64> = cell.iter().map(|_| 8u64).collect();
+            // collect_unicomp asserts no duplicates internally.
+            let _ = collect_unicomp(cell.len(), &cell, &dims);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Sort-Tile-Recursive (STR) partitioning for bulk loading.
+//!
+//! The paper's reference implementation approximates packed construction
+//! by bin-sorting the insertion order (citing Kamel & Faloutsos' packed
+//! R-trees). This module provides the real thing: STR (Leutenegger et
+//! al.) tiles the points into leaf groups of at most `leaf_capacity`
+//! points with near-square extents, which [`crate::tree::RTree::bulk_load`]
+//! packs bottom-up. Bulk-loaded trees answer queries identically but have
+//! full leaves and tighter MBRs, making them a stronger (faster) variant
+//! of the CPU-RTREE baseline — the ablation benches quantify the gap.
+
+use sj_datasets::Dataset;
+
+/// Partitions point ids into STR leaf groups of at most `leaf_capacity`.
+///
+/// # Panics
+///
+/// Panics if `leaf_capacity == 0`.
+pub fn str_leaf_groups(data: &Dataset, leaf_capacity: usize) -> Vec<Vec<u32>> {
+    assert!(leaf_capacity > 0, "leaf capacity must be positive");
+    let mut ids: Vec<u32> = (0..data.len() as u32).collect();
+    let mut groups = Vec::new();
+    tile(data, &mut ids, 0, leaf_capacity, &mut groups);
+    groups
+}
+
+fn tile(data: &Dataset, ids: &mut [u32], dim: usize, cap: usize, out: &mut Vec<Vec<u32>>) {
+    if ids.is_empty() {
+        return;
+    }
+    if ids.len() <= cap {
+        out.push(ids.to_vec());
+        return;
+    }
+    let remaining_dims = data.dim() - dim;
+    if remaining_dims == 0 {
+        // Ran out of dimensions: chop sequentially.
+        for chunk in ids.chunks(cap) {
+            out.push(chunk.to_vec());
+        }
+        return;
+    }
+    // Number of leaf pages this subtree needs, and slabs along this axis:
+    // S = ceil(P^(1/remaining_dims)).
+    let pages = ids.len().div_ceil(cap);
+    let slabs = (pages as f64).powf(1.0 / remaining_dims as f64).ceil() as usize;
+    let slab_size = ids.len().div_ceil(slabs);
+    ids.sort_unstable_by(|&a, &b| {
+        data.point(a as usize)[dim]
+            .partial_cmp(&data.point(b as usize)[dim])
+            .expect("finite coordinates")
+    });
+    let mut rest = ids;
+    while !rest.is_empty() {
+        let take = slab_size.min(rest.len());
+        let (slab, tail) = rest.split_at_mut(take);
+        tile(data, slab, dim + 1, cap, out);
+        rest = tail;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_datasets::synthetic::uniform;
+
+    #[test]
+    fn groups_partition_all_points() {
+        let data = uniform(3, 2000, 51);
+        let groups = str_leaf_groups(&data, 16);
+        let mut all: Vec<u32> = groups.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..2000u32).collect::<Vec<_>>());
+        assert!(groups.iter().all(|g| g.len() <= 16 && !g.is_empty()));
+    }
+
+    #[test]
+    fn groups_are_mostly_full() {
+        let data = uniform(2, 5000, 52);
+        let groups = str_leaf_groups(&data, 16);
+        // STR packs: the average fill should be high.
+        let avg = 5000.0 / groups.len() as f64;
+        assert!(avg > 12.0, "average leaf fill {avg:.1} of 16");
+    }
+
+    #[test]
+    fn groups_are_spatially_tight() {
+        // STR leaves should have far smaller extents than random groups.
+        let data = uniform(2, 4000, 53);
+        let groups = str_leaf_groups(&data, 16);
+        let group_span = |g: &[u32]| {
+            let mut lo = [f64::INFINITY; 2];
+            let mut hi = [f64::NEG_INFINITY; 2];
+            for &id in g {
+                let p = data.point(id as usize);
+                for j in 0..2 {
+                    lo[j] = lo[j].min(p[j]);
+                    hi[j] = hi[j].max(p[j]);
+                }
+            }
+            (hi[0] - lo[0]) * (hi[1] - lo[1])
+        };
+        let avg_area: f64 =
+            groups.iter().map(|g| group_span(g)).sum::<f64>() / groups.len() as f64;
+        // 4000 points in 100×100 at 16/leaf → ~250 leaves → ~40 units²
+        // each if perfectly tiled; allow generous slack.
+        assert!(avg_area < 400.0, "average leaf area {avg_area:.1}");
+    }
+
+    #[test]
+    fn small_input_single_group() {
+        let data = uniform(2, 10, 54);
+        let groups = str_leaf_groups(&data, 16);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 10);
+    }
+
+    #[test]
+    fn empty_input() {
+        let data = Dataset::new(2);
+        assert!(str_leaf_groups(&data, 16).is_empty());
+    }
+}

@@ -1,0 +1,23 @@
+//! Guttman R-tree — the paper's CPU search-and-refine baseline
+//! (**CPU-RTREE**, §VI-B).
+//!
+//! A from-scratch dynamic R-tree (Guttman 1984) with quadratic split,
+//! supporting n-dimensional point data. The paper's reference
+//! implementation is *sequential*, inserts points in bin-sorted order
+//! (points are first sorted into unit-length bins per dimension so
+//! co-located data is inserted together and internal nodes do not span too
+//! much empty space), and answers each self-join range query with a
+//! window search followed by a Euclidean refinement.
+//!
+//! Modules: [`rect`] (MBR arithmetic), [`tree`] (insert / quadratic
+//! split / range query), [`selfjoin`] (the CPU-RTREE baseline pipeline).
+
+pub mod bulk;
+pub mod rect;
+pub mod selfjoin;
+pub mod tree;
+
+pub use bulk::str_leaf_groups;
+pub use rect::Rect;
+pub use selfjoin::{rtree_self_join, RTreeJoinReport};
+pub use tree::RTree;

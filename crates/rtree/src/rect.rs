@@ -1,0 +1,165 @@
+//! Minimum bounding rectangles (MBRs) in up to 8 dimensions.
+
+/// Maximum dimensionality (matches the join kernels' limit).
+pub const MAX_DIM: usize = 8;
+
+/// An axis-aligned minimum bounding rectangle.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Rect {
+    lo: [f64; MAX_DIM],
+    hi: [f64; MAX_DIM],
+    dim: usize,
+}
+
+impl Rect {
+    /// A degenerate rectangle at a single point.
+    pub fn point(p: &[f64]) -> Self {
+        assert!(!p.is_empty() && p.len() <= MAX_DIM, "bad dimensionality");
+        let mut lo = [0.0; MAX_DIM];
+        let mut hi = [0.0; MAX_DIM];
+        lo[..p.len()].copy_from_slice(p);
+        hi[..p.len()].copy_from_slice(p);
+        Self { lo, hi, dim: p.len() }
+    }
+
+    /// A rectangle from explicit bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions mismatch or any `lo > hi`.
+    pub fn new(lo: &[f64], hi: &[f64]) -> Self {
+        assert_eq!(lo.len(), hi.len(), "bound dimensionality mismatch");
+        assert!(!lo.is_empty() && lo.len() <= MAX_DIM, "bad dimensionality");
+        assert!(
+            lo.iter().zip(hi).all(|(a, b)| a <= b),
+            "inverted rectangle bounds"
+        );
+        let mut l = [0.0; MAX_DIM];
+        let mut h = [0.0; MAX_DIM];
+        l[..lo.len()].copy_from_slice(lo);
+        h[..hi.len()].copy_from_slice(hi);
+        Self { lo: l, hi: h, dim: lo.len() }
+    }
+
+    /// The query window `[center − r, center + r]` in every dimension.
+    pub fn window(center: &[f64], r: f64) -> Self {
+        assert!(r >= 0.0, "negative window radius");
+        let mut lo = [0.0; MAX_DIM];
+        let mut hi = [0.0; MAX_DIM];
+        for (j, &c) in center.iter().enumerate() {
+            lo[j] = c - r;
+            hi[j] = c + r;
+        }
+        Self { lo, hi, dim: center.len() }
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Lower bounds.
+    pub fn lo(&self) -> &[f64] {
+        &self.lo[..self.dim]
+    }
+
+    /// Upper bounds.
+    pub fn hi(&self) -> &[f64] {
+        &self.hi[..self.dim]
+    }
+
+    /// Hyper-volume (product of side lengths).
+    pub fn area(&self) -> f64 {
+        (0..self.dim).map(|j| self.hi[j] - self.lo[j]).product()
+    }
+
+    /// Smallest rectangle containing `self` and `other`.
+    pub fn union(&self, other: &Rect) -> Rect {
+        debug_assert_eq!(self.dim, other.dim);
+        let mut out = *self;
+        for j in 0..self.dim {
+            out.lo[j] = out.lo[j].min(other.lo[j]);
+            out.hi[j] = out.hi[j].max(other.hi[j]);
+        }
+        out
+    }
+
+    /// Area increase needed to absorb `other` (Guttman's enlargement
+    /// criterion for subtree choice).
+    pub fn enlargement(&self, other: &Rect) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// Whether the rectangles overlap (closed bounds).
+    pub fn intersects(&self, other: &Rect) -> bool {
+        debug_assert_eq!(self.dim, other.dim);
+        (0..self.dim).all(|j| self.lo[j] <= other.hi[j] && self.hi[j] >= other.lo[j])
+    }
+
+    /// Whether a point lies inside (closed bounds).
+    pub fn contains_point(&self, p: &[f64]) -> bool {
+        debug_assert_eq!(self.dim, p.len());
+        (0..self.dim).all(|j| self.lo[j] <= p[j] && p[j] <= self.hi[j])
+    }
+
+    /// Whether `other` lies entirely inside `self`.
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        (0..self.dim).all(|j| self.lo[j] <= other.lo[j] && other.hi[j] <= self.hi[j])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_rect_has_zero_area() {
+        let r = Rect::point(&[1.0, 2.0, 3.0]);
+        assert_eq!(r.area(), 0.0);
+        assert!(r.contains_point(&[1.0, 2.0, 3.0]));
+        assert!(!r.contains_point(&[1.0, 2.0, 3.1]));
+    }
+
+    #[test]
+    fn union_and_enlargement() {
+        let a = Rect::new(&[0.0, 0.0], &[2.0, 2.0]);
+        let b = Rect::new(&[3.0, 1.0], &[4.0, 2.0]);
+        let u = a.union(&b);
+        assert_eq!(u.lo(), &[0.0, 0.0]);
+        assert_eq!(u.hi(), &[4.0, 2.0]);
+        assert_eq!(u.area(), 8.0);
+        assert_eq!(a.enlargement(&b), 4.0);
+        assert_eq!(u.enlargement(&a), 0.0);
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = Rect::new(&[0.0, 0.0], &[2.0, 2.0]);
+        assert!(a.intersects(&Rect::new(&[1.0, 1.0], &[3.0, 3.0])));
+        assert!(a.intersects(&Rect::new(&[2.0, 2.0], &[3.0, 3.0]))); // touching
+        assert!(!a.intersects(&Rect::new(&[2.1, 0.0], &[3.0, 1.0])));
+        assert!(a.intersects(&a));
+    }
+
+    #[test]
+    fn window_bounds() {
+        let w = Rect::window(&[5.0, 5.0], 1.5);
+        assert_eq!(w.lo(), &[3.5, 3.5]);
+        assert_eq!(w.hi(), &[6.5, 6.5]);
+        assert!(w.contains_rect(&Rect::point(&[4.0, 6.0])));
+    }
+
+    #[test]
+    fn containment() {
+        let big = Rect::new(&[0.0, 0.0], &[10.0, 10.0]);
+        let small = Rect::new(&[1.0, 1.0], &[2.0, 2.0]);
+        assert!(big.contains_rect(&small));
+        assert!(!small.contains_rect(&big));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted rectangle")]
+    fn inverted_bounds_rejected() {
+        let _ = Rect::new(&[1.0], &[0.0]);
+    }
+}

@@ -1,0 +1,149 @@
+//! The CPU-RTREE self-join baseline (paper §VI-B).
+//!
+//! Pipeline, exactly as the paper describes its reference implementation:
+//!
+//! 1. **Bin-sort** the points into unit-length bins per dimension and
+//!    insert them in that order (co-located points inserted together keep
+//!    internal MBRs tight; the paper cites Hilbert packing as the
+//!    motivation for a locality-preserving order).
+//! 2. For every point, run a **window query** of half-width ε (the index
+//!    *search*, producing a candidate set).
+//! 3. **Refine** candidates with the true Euclidean predicate.
+//!
+//! Execution is sequential (1 thread), matching the paper's baseline. The
+//! paper omits R-tree construction time from its measurements, so the
+//! report separates build and query phases.
+
+use crate::rect::Rect;
+use crate::tree::RTree;
+use grid_join::{NeighborTable, Pair};
+use sj_datasets::{euclidean_sq, Dataset};
+use std::time::{Duration, Instant};
+
+/// Timing breakdown of a CPU-RTREE self-join.
+#[derive(Clone, Debug)]
+pub struct RTreeJoinReport {
+    /// Bin-sort + insertion time (excluded from the paper's plots).
+    pub build: Duration,
+    /// Search + refine time (what the paper reports).
+    pub query: Duration,
+    /// Candidate pairs produced by window queries before refinement.
+    pub candidates: u64,
+    /// Directed result pairs after refinement.
+    pub results: u64,
+}
+
+/// Builds the bin-sorted R-tree for a dataset.
+pub fn build_bin_sorted(data: &Dataset) -> RTree {
+    let mut order: Vec<u32> = (0..data.len() as u32).collect();
+    // Sort by unit-length bins per dimension, lexicographically; ties keep
+    // input order (stable sort).
+    order.sort_by(|&a, &b| {
+        let pa = data.point(a as usize);
+        let pb = data.point(b as usize);
+        for j in 0..data.dim() {
+            let ba = pa[j].floor() as i64;
+            let bb = pb[j].floor() as i64;
+            match ba.cmp(&bb) {
+                std::cmp::Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    let mut tree = RTree::new(data.dim());
+    for &id in &order {
+        tree.insert(data.point(id as usize), id);
+    }
+    tree
+}
+
+/// Runs the sequential search-and-refine self-join. Returns the neighbour
+/// table (directed pairs, self excluded — identical semantics to GPU-SJ)
+/// and the timing report.
+pub fn rtree_self_join(data: &Dataset, epsilon: f64) -> (NeighborTable, RTreeJoinReport) {
+    assert!(epsilon > 0.0 && epsilon.is_finite(), "bad epsilon");
+    let t0 = Instant::now();
+    let tree = build_bin_sorted(data);
+    let build = t0.elapsed();
+
+    let t1 = Instant::now();
+    let eps_sq = epsilon * epsilon;
+    let mut pairs: Vec<Pair> = Vec::new();
+    let mut candidates = 0u64;
+    let mut buf: Vec<u32> = Vec::new();
+    for q in 0..data.len() {
+        let p = data.point(q);
+        tree.window_query(&Rect::window(p, epsilon), &mut buf);
+        candidates += buf.len() as u64;
+        for &cand in &buf {
+            if cand as usize != q && euclidean_sq(p, data.point(cand as usize)) <= eps_sq {
+                pairs.push(Pair::new(q as u32, cand));
+            }
+        }
+    }
+    let query = t1.elapsed();
+    let results = pairs.len() as u64;
+    (
+        NeighborTable::from_pairs(data.len(), &pairs),
+        RTreeJoinReport {
+            build,
+            query,
+            candidates,
+            results,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grid_join::{host_self_join, GridIndex};
+    use sj_datasets::synthetic::{clustered, lattice, uniform};
+
+    #[test]
+    fn matches_grid_join_2d() {
+        let data = uniform(2, 800, 61);
+        let (table, report) = rtree_self_join(&data, 4.0);
+        let grid = GridIndex::build(&data, 4.0).unwrap();
+        assert_eq!(table, host_self_join(&data, &grid));
+        assert!(report.candidates >= report.results);
+    }
+
+    #[test]
+    fn matches_grid_join_4d() {
+        let data = uniform(4, 400, 62);
+        let (table, _) = rtree_self_join(&data, 15.0);
+        let grid = GridIndex::build(&data, 15.0).unwrap();
+        assert_eq!(table, host_self_join(&data, &grid));
+    }
+
+    #[test]
+    fn matches_on_skewed_data() {
+        let data = clustered(3, 700, 5, 1.0, 0.1, 63);
+        let (table, _) = rtree_self_join(&data, 2.0);
+        let grid = GridIndex::build(&data, 2.0).unwrap();
+        assert_eq!(table, host_self_join(&data, &grid));
+    }
+
+    #[test]
+    fn lattice_counts() {
+        let data = lattice(2, 5, 1.0);
+        let (table, report) = rtree_self_join(&data, 1.0);
+        assert_eq!(table.total_pairs(), 80);
+        // Window queries see the diagonal candidates too (square vs circle).
+        assert!(report.candidates as usize > table.total_pairs());
+    }
+
+    #[test]
+    fn candidate_set_is_superset() {
+        // The refinement must only ever discard; every true neighbour is a
+        // candidate (window contains the ε-ball).
+        let data = uniform(2, 500, 64);
+        let (table, report) = rtree_self_join(&data, 3.0);
+        assert!(report.candidates >= table.total_pairs() as u64 + data.len() as u64);
+        // (+|D| because each query's own point is always a candidate.)
+        assert!(table.is_symmetric());
+        assert!(table.is_irreflexive());
+    }
+}

@@ -1,0 +1,560 @@
+//! The R-tree proper: arena-based nodes, Guttman insertion with quadratic
+//! split, and window range queries.
+
+use crate::rect::Rect;
+
+/// Default maximum entries per node (Guttman's `M`).
+pub const DEFAULT_MAX_ENTRIES: usize = 16;
+
+#[derive(Clone, Debug)]
+enum Child {
+    /// Index of a child node in the arena.
+    Node(usize),
+    /// A data point id.
+    Point(u32),
+}
+
+#[derive(Clone, Debug)]
+struct Entry {
+    rect: Rect,
+    child: Child,
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    entries: Vec<Entry>,
+    leaf: bool,
+}
+
+impl Node {
+    fn mbr(&self) -> Rect {
+        let mut it = self.entries.iter();
+        let first = it.next().expect("nodes are never empty").rect;
+        it.fold(first, |acc, e| acc.union(&e.rect))
+    }
+}
+
+/// A dynamic n-dimensional R-tree over points.
+#[derive(Clone, Debug)]
+pub struct RTree {
+    nodes: Vec<Node>,
+    root: usize,
+    dim: usize,
+    max_entries: usize,
+    min_entries: usize,
+    len: usize,
+    height: usize,
+}
+
+impl RTree {
+    /// Creates an empty tree for `dim`-dimensional points with the default
+    /// node capacity.
+    pub fn new(dim: usize) -> Self {
+        Self::with_capacity(dim, DEFAULT_MAX_ENTRIES)
+    }
+
+    /// Creates an empty tree with a custom maximum node fanout
+    /// (`min = max × 40%`, Guttman's recommendation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_entries < 4` or `dim` is unsupported.
+    pub fn with_capacity(dim: usize, max_entries: usize) -> Self {
+        assert!(max_entries >= 4, "fanout too small");
+        assert!((1..=crate::rect::MAX_DIM).contains(&dim), "bad dimensionality");
+        Self {
+            nodes: vec![Node { entries: Vec::new(), leaf: true }],
+            root: 0,
+            dim,
+            max_entries,
+            min_entries: (max_entries * 2) / 5,
+            len: 0,
+            height: 1,
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Tree height (1 = a single leaf).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Inserts a point with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimensionality mismatch.
+    pub fn insert(&mut self, p: &[f64], id: u32) {
+        assert_eq!(p.len(), self.dim, "point dimensionality mismatch");
+        let rect = Rect::point(p);
+        if let Some((r1, n1, r2, n2)) = self.insert_rec(self.root, rect, id) {
+            // Root split: grow the tree.
+            let new_root = self.nodes.len();
+            self.nodes.push(Node {
+                entries: vec![
+                    Entry { rect: r1, child: Child::Node(n1) },
+                    Entry { rect: r2, child: Child::Node(n2) },
+                ],
+                leaf: false,
+            });
+            self.root = new_root;
+            self.height += 1;
+        }
+        self.len += 1;
+    }
+
+    /// Recursive insert. Returns `Some((rect_a, node_a, rect_b, node_b))`
+    /// when `node` split into two.
+    fn insert_rec(
+        &mut self,
+        node: usize,
+        rect: Rect,
+        id: u32,
+    ) -> Option<(Rect, usize, Rect, usize)> {
+        if self.nodes[node].leaf {
+            self.nodes[node].entries.push(Entry { rect, child: Child::Point(id) });
+            if self.nodes[node].entries.len() > self.max_entries {
+                return Some(self.split(node));
+            }
+            return None;
+        }
+        // ChooseSubtree: least enlargement, ties by smallest area.
+        let mut best = 0usize;
+        let mut best_enl = f64::INFINITY;
+        let mut best_area = f64::INFINITY;
+        for (i, e) in self.nodes[node].entries.iter().enumerate() {
+            let enl = e.rect.enlargement(&rect);
+            let area = e.rect.area();
+            if enl < best_enl || (enl == best_enl && area < best_area) {
+                best = i;
+                best_enl = enl;
+                best_area = area;
+            }
+        }
+        let child_idx = match self.nodes[node].entries[best].child {
+            Child::Node(c) => c,
+            Child::Point(_) => unreachable!("internal node with point child"),
+        };
+        let split = self.insert_rec(child_idx, rect, id);
+        // AdjustTree: grow the chosen entry's MBR.
+        let grown = self.nodes[node].entries[best].rect.union(&rect);
+        self.nodes[node].entries[best].rect = grown;
+        if let Some((r1, n1, r2, n2)) = split {
+            // Replace the split child's entry and add its sibling.
+            self.nodes[node].entries[best] = Entry { rect: r1, child: Child::Node(n1) };
+            self.nodes[node].entries.push(Entry { rect: r2, child: Child::Node(n2) });
+            if self.nodes[node].entries.len() > self.max_entries {
+                return Some(self.split(node));
+            }
+        }
+        None
+    }
+
+    /// Guttman's quadratic split of an overflowing node. The node keeps
+    /// group 1; a new arena node receives group 2.
+    fn split(&mut self, node: usize) -> (Rect, usize, Rect, usize) {
+        let leaf = self.nodes[node].leaf;
+        let entries = std::mem::take(&mut self.nodes[node].entries);
+        let n = entries.len();
+
+        // PickSeeds: the pair wasting the most area if grouped together.
+        let (mut s1, mut s2, mut worst) = (0usize, 1usize, f64::NEG_INFINITY);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = entries[i].rect.union(&entries[j].rect).area()
+                    - entries[i].rect.area()
+                    - entries[j].rect.area();
+                if d > worst {
+                    worst = d;
+                    s1 = i;
+                    s2 = j;
+                }
+            }
+        }
+
+        let mut g1: Vec<Entry> = Vec::with_capacity(n);
+        let mut g2: Vec<Entry> = Vec::with_capacity(n);
+        let mut r1 = entries[s1].rect;
+        let mut r2 = entries[s2].rect;
+        let mut rest: Vec<Entry> = Vec::with_capacity(n - 2);
+        for (i, e) in entries.into_iter().enumerate() {
+            if i == s1 {
+                g1.push(e);
+            } else if i == s2 {
+                g2.push(e);
+            } else {
+                rest.push(e);
+            }
+        }
+
+        // PickNext: assign the entry with the strongest preference first.
+        while !rest.is_empty() {
+            let remaining = rest.len();
+            // Force-assign if one group must take everything left to reach
+            // the minimum fill.
+            if g1.len() + remaining == self.min_entries.max(1) {
+                for e in rest.drain(..) {
+                    r1 = r1.union(&e.rect);
+                    g1.push(e);
+                }
+                break;
+            }
+            if g2.len() + remaining == self.min_entries.max(1) {
+                for e in rest.drain(..) {
+                    r2 = r2.union(&e.rect);
+                    g2.push(e);
+                }
+                break;
+            }
+            let (mut pick, mut pref) = (0usize, f64::NEG_INFINITY);
+            for (i, e) in rest.iter().enumerate() {
+                let d1 = r1.enlargement(&e.rect);
+                let d2 = r2.enlargement(&e.rect);
+                let p = (d1 - d2).abs();
+                if p > pref {
+                    pref = p;
+                    pick = i;
+                }
+            }
+            let e = rest.swap_remove(pick);
+            let d1 = r1.enlargement(&e.rect);
+            let d2 = r2.enlargement(&e.rect);
+            let to_g1 = match d1.partial_cmp(&d2).expect("finite enlargements") {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Greater => false,
+                std::cmp::Ordering::Equal => {
+                    if r1.area() != r2.area() {
+                        r1.area() < r2.area()
+                    } else {
+                        g1.len() <= g2.len()
+                    }
+                }
+            };
+            if to_g1 {
+                r1 = r1.union(&e.rect);
+                g1.push(e);
+            } else {
+                r2 = r2.union(&e.rect);
+                g2.push(e);
+            }
+        }
+
+        self.nodes[node].entries = g1;
+        let sibling = self.nodes.len();
+        self.nodes.push(Node { entries: g2, leaf });
+        (r1, node, r2, sibling)
+    }
+
+    /// Bulk-loads a packed tree with Sort-Tile-Recursive partitioning
+    /// (see [`crate::bulk`]): STR leaf groups become full leaves, packed
+    /// bottom-up in tiling order. Queries behave identically to an
+    /// incrementally built tree; MBRs are tighter and fill is higher.
+    pub fn bulk_load(data: &sj_datasets::Dataset, max_entries: usize) -> RTree {
+        let mut tree = RTree::with_capacity(data.dim(), max_entries);
+        if data.is_empty() {
+            return tree;
+        }
+        tree.nodes.clear();
+        let groups = crate::bulk::str_leaf_groups(data, max_entries);
+        let mut level: Vec<(Rect, usize)> = groups
+            .into_iter()
+            .map(|g| {
+                let entries: Vec<Entry> = g
+                    .iter()
+                    .map(|&id| Entry {
+                        rect: Rect::point(data.point(id as usize)),
+                        child: Child::Point(id),
+                    })
+                    .collect();
+                let idx = tree.nodes.len();
+                tree.nodes.push(Node { entries, leaf: true });
+                (tree.nodes[idx].mbr(), idx)
+            })
+            .collect();
+        let mut height = 1;
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(max_entries));
+            for chunk in level.chunks(max_entries) {
+                let entries: Vec<Entry> = chunk
+                    .iter()
+                    .map(|&(rect, idx)| Entry {
+                        rect,
+                        child: Child::Node(idx),
+                    })
+                    .collect();
+                let idx = tree.nodes.len();
+                tree.nodes.push(Node { entries, leaf: false });
+                next.push((tree.nodes[idx].mbr(), idx));
+            }
+            level = next;
+            height += 1;
+        }
+        tree.root = level[0].1;
+        tree.len = data.len();
+        tree.height = height;
+        tree
+    }
+
+    /// Collects the ids of all points whose coordinates intersect `window`
+    /// into `out` (cleared first). This is the index *search* of the
+    /// search-and-refine strategy; the caller refines with the true
+    /// distance predicate.
+    pub fn window_query(&self, window: &Rect, out: &mut Vec<u32>) {
+        out.clear();
+        if self.len == 0 {
+            return;
+        }
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            let node = &self.nodes[n];
+            for e in &node.entries {
+                if window.intersects(&e.rect) {
+                    match e.child {
+                        Child::Point(id) => out.push(id),
+                        Child::Node(c) => stack.push(c),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Checks structural invariants (tests / debugging): every node's
+    /// entry MBRs are contained in the parent entry's rect, fanout bounds
+    /// hold, and all leaves sit at the same depth. Returns the number of
+    /// points found.
+    pub fn check_invariants(&self) -> usize {
+        if self.len == 0 {
+            return 0;
+        }
+        let mut leaf_depths = Vec::new();
+        let count = self.check_node(self.root, None, 0, &mut leaf_depths);
+        assert!(
+            leaf_depths.windows(2).all(|w| w[0] == w[1]),
+            "leaves at differing depths: {leaf_depths:?}"
+        );
+        count
+    }
+
+    fn check_node(
+        &self,
+        n: usize,
+        parent_rect: Option<&Rect>,
+        depth: usize,
+        leaf_depths: &mut Vec<usize>,
+    ) -> usize {
+        let node = &self.nodes[n];
+        assert!(!node.entries.is_empty(), "empty node {n}");
+        if n != self.root {
+            assert!(
+                node.entries.len() <= self.max_entries,
+                "node {n} overflows fanout"
+            );
+        }
+        let mbr = node.mbr();
+        if let Some(pr) = parent_rect {
+            assert!(pr.contains_rect(&mbr), "parent MBR does not cover node {n}");
+        }
+        if node.leaf {
+            leaf_depths.push(depth);
+            return node.entries.len();
+        }
+        node.entries
+            .iter()
+            .map(|e| match e.child {
+                Child::Node(c) => self.check_node(c, Some(&e.rect), depth + 1, leaf_depths),
+                Child::Point(_) => unreachable!("point child in internal node"),
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.gen_range(0.0..100.0)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn insert_and_count() {
+        let pts = random_points(1000, 2, 1);
+        let mut t = RTree::new(2);
+        for (i, p) in pts.iter().enumerate() {
+            t.insert(p, i as u32);
+        }
+        assert_eq!(t.len(), 1000);
+        assert_eq!(t.check_invariants(), 1000);
+        assert!(t.height() > 1);
+    }
+
+    #[test]
+    fn window_query_matches_scan() {
+        let pts = random_points(2000, 3, 2);
+        let mut t = RTree::new(3);
+        for (i, p) in pts.iter().enumerate() {
+            t.insert(p, i as u32);
+        }
+        let w = Rect::new(&[20.0, 20.0, 20.0], &[45.0, 60.0, 35.0]);
+        let mut got = Vec::new();
+        t.window_query(&w, &mut got);
+        got.sort_unstable();
+        let want: Vec<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| w.contains_point(p))
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_tree_query() {
+        let t = RTree::new(2);
+        let mut out = vec![1, 2, 3];
+        t.window_query(&Rect::new(&[0.0, 0.0], &[1.0, 1.0]), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn duplicate_points_retained() {
+        let mut t = RTree::new(2);
+        for i in 0..100 {
+            t.insert(&[5.0, 5.0], i);
+        }
+        assert_eq!(t.check_invariants(), 100);
+        let mut out = Vec::new();
+        t.window_query(&Rect::window(&[5.0, 5.0], 0.1), &mut out);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn six_dimensional_queries() {
+        let pts = random_points(800, 6, 3);
+        let mut t = RTree::new(6);
+        for (i, p) in pts.iter().enumerate() {
+            t.insert(p, i as u32);
+        }
+        t.check_invariants();
+        let center = &pts[17];
+        let w = Rect::window(center, 20.0);
+        let mut got = Vec::new();
+        t.window_query(&w, &mut got);
+        got.sort_unstable();
+        let want: Vec<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| w.contains_point(p))
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(got, want);
+        assert!(got.contains(&17));
+    }
+
+    #[test]
+    fn custom_fanout() {
+        let pts = random_points(500, 2, 4);
+        for fanout in [4, 8, 32] {
+            let mut t = RTree::with_capacity(2, fanout);
+            for (i, p) in pts.iter().enumerate() {
+                t.insert(p, i as u32);
+            }
+            assert_eq!(t.check_invariants(), 500, "fanout {fanout}");
+        }
+    }
+
+    #[test]
+    fn sorted_insertion_also_valid() {
+        // Degenerate insertion orders (fully sorted) stress the split
+        // heuristic's balance guarantees.
+        let mut t = RTree::new(1);
+        for i in 0..1000 {
+            t.insert(&[i as f64], i as u32);
+        }
+        assert_eq!(t.check_invariants(), 1000);
+    }
+
+    #[test]
+    fn bulk_load_matches_incremental_queries() {
+        let pts = random_points(3000, 3, 5);
+        let mut flat = Vec::new();
+        for p in &pts {
+            flat.extend_from_slice(p);
+        }
+        let data = sj_datasets::Dataset::from_flat(3, flat);
+        let bulk = RTree::bulk_load(&data, 16);
+        assert_eq!(bulk.check_invariants(), 3000);
+        let mut incr = RTree::new(3);
+        for (i, p) in pts.iter().enumerate() {
+            incr.insert(p, i as u32);
+        }
+        let w = Rect::new(&[10.0, 10.0, 10.0], &[40.0, 70.0, 30.0]);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        bulk.window_query(&w, &mut a);
+        incr.window_query(&w, &mut b);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bulk_load_is_shallower_or_equal() {
+        let pts = random_points(4000, 2, 6);
+        let mut flat = Vec::new();
+        for p in &pts {
+            flat.extend_from_slice(p);
+        }
+        let data = sj_datasets::Dataset::from_flat(2, flat);
+        let bulk = RTree::bulk_load(&data, 16);
+        let mut incr = RTree::new(2);
+        for (i, p) in pts.iter().enumerate() {
+            incr.insert(p, i as u32);
+        }
+        assert!(
+            bulk.height() <= incr.height(),
+            "bulk {} vs incremental {}",
+            bulk.height(),
+            incr.height()
+        );
+        assert!(bulk.height() >= 2);
+    }
+
+    #[test]
+    fn bulk_load_empty_and_tiny() {
+        let empty = RTree::bulk_load(&sj_datasets::Dataset::new(2), 16);
+        assert!(empty.is_empty());
+        let mut d = sj_datasets::Dataset::new(2);
+        d.push(&[1.0, 2.0]);
+        let one = RTree::bulk_load(&d, 16);
+        assert_eq!(one.check_invariants(), 1);
+        let mut out = Vec::new();
+        one.window_query(&Rect::window(&[1.0, 2.0], 0.1), &mut out);
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn wrong_dim_rejected() {
+        let mut t = RTree::new(2);
+        t.insert(&[1.0, 2.0, 3.0], 0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Concurrent append buffer — the device-side result set.
+//!
+//! The paper's kernels report results by atomically appending key/value
+//! pairs to a pre-allocated global-memory buffer (Algorithm 1, line 17:
+//! `atomic: resultSet ← resultSet ∪ result`). [`AppendBuffer`] models this:
+//! a fixed-capacity device allocation plus an atomic cursor. Threads
+//! `push` concurrently; when the cursor passes capacity the buffer reports
+//! **overflow** instead of writing out of bounds — the condition the
+//! batching scheme (§V-A) must size buffers to avoid, and the signal its
+//! executor uses to retry with more headroom.
+
+use crate::memory::{DeviceBuffer, MemoryPool, OutOfMemory};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fixed-capacity device buffer supporting lock-free concurrent appends.
+#[derive(Debug)]
+pub struct AppendBuffer<T: Copy> {
+    buf: DeviceBuffer<T>,
+    /// Raw pointer into `buf`'s storage; stable because the backing `Vec`
+    /// is never resized after construction.
+    ptr: *mut T,
+    cursor: AtomicUsize,
+}
+
+// SAFETY: concurrent `push` calls receive distinct indices from the atomic
+// cursor, so no two threads write the same slot; reads happen only through
+// `&mut self` or after the launch completes (external synchronization by
+// the engine's fork/join).
+unsafe impl<T: Copy + Send> Sync for AppendBuffer<T> {}
+unsafe impl<T: Copy + Send> Send for AppendBuffer<T> {}
+
+impl<T: Copy + Default> AppendBuffer<T> {
+    /// Allocates an append buffer with room for `capacity` elements.
+    pub fn new(pool: &MemoryPool, capacity: usize) -> Result<Self, OutOfMemory> {
+        let mut buf = DeviceBuffer::zeroed(pool, capacity)?;
+        let ptr = buf.as_mut_slice().as_mut_ptr();
+        Ok(Self {
+            buf,
+            ptr,
+            cursor: AtomicUsize::new(0),
+        })
+    }
+}
+
+impl<T: Copy> AppendBuffer<T> {
+    /// Capacity in elements.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Appends `value`, returning the slot's virtual address on success or
+    /// `None` on overflow (the value is discarded, as a CUDA kernel with a
+    /// bounds check would do).
+    #[inline]
+    pub fn push(&self, value: T) -> Option<u64> {
+        let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+        if i < self.buf.len() {
+            // SAFETY: `i` is unique to this call and in bounds.
+            unsafe { self.ptr.add(i).write(value) };
+            Some(self.buf.addr_of(i))
+        } else {
+            None
+        }
+    }
+
+    /// Number of elements actually stored (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.cursor.load(Ordering::Acquire).min(self.buf.len())
+    }
+
+    /// Whether nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.cursor.load(Ordering::Acquire) == 0
+    }
+
+    /// Total number of append *attempts*, including those that overflowed.
+    pub fn attempted(&self) -> usize {
+        self.cursor.load(Ordering::Acquire)
+    }
+
+    /// Whether any append overflowed the capacity.
+    pub fn overflowed(&self) -> bool {
+        self.attempted() > self.buf.len()
+    }
+
+    /// Virtual address of the atomic cursor (for access tracing).
+    pub fn cursor_addr(&self) -> u64 {
+        // Model the cursor as living just past the data region.
+        self.buf.base_addr() + self.buf.size_bytes() as u64
+    }
+
+    /// The stored elements (requires exclusive access, i.e. after launch).
+    pub fn as_slice(&mut self) -> &[T] {
+        let len = self.len();
+        &self.buf.as_slice()[..len]
+    }
+
+    /// Copies the stored elements to the host and resets the cursor so the
+    /// buffer can be reused for the next batch.
+    pub fn drain_to_host(&mut self) -> Vec<T> {
+        let len = self.len();
+        let out = self.buf.as_slice()[..len].to_vec();
+        self.cursor.store(0, Ordering::Release);
+        out
+    }
+
+    /// Resets the cursor without copying.
+    pub fn clear(&mut self) {
+        self.cursor.store(0, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    fn pool() -> MemoryPool {
+        MemoryPool::new(1 << 20)
+    }
+
+    #[test]
+    fn sequential_pushes_preserved() {
+        let p = pool();
+        let mut b = AppendBuffer::<u32>::new(&p, 10).unwrap();
+        for i in 0..5u32 {
+            assert!(b.push(i).is_some());
+        }
+        assert_eq!(b.len(), 5);
+        assert!(!b.overflowed());
+        let mut v = b.drain_to_host();
+        v.sort_unstable();
+        assert_eq!(v, vec![0, 1, 2, 3, 4]);
+        assert_eq!(b.len(), 0);
+    }
+
+    #[test]
+    fn concurrent_pushes_lose_nothing() {
+        let p = pool();
+        let mut b = AppendBuffer::<u64>::new(&p, 100_000).unwrap();
+        (0..100_000u64).into_par_iter().for_each(|i| {
+            b.push(i);
+        });
+        assert_eq!(b.len(), 100_000);
+        let mut v = b.drain_to_host();
+        v.sort_unstable();
+        assert_eq!(v, (0..100_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn overflow_detected_and_bounded() {
+        let p = pool();
+        let mut b = AppendBuffer::<u32>::new(&p, 64).unwrap();
+        (0..1000u32).into_par_iter().for_each(|i| {
+            b.push(i);
+        });
+        assert!(b.overflowed());
+        assert_eq!(b.len(), 64);
+        assert_eq!(b.attempted(), 1000);
+        assert_eq!(b.as_slice().len(), 64);
+    }
+
+    #[test]
+    fn push_returns_address_of_slot() {
+        let p = pool();
+        let b = AppendBuffer::<u64>::new(&p, 4).unwrap();
+        let a0 = b.push(7).unwrap();
+        let a1 = b.push(8).unwrap();
+        assert_eq!(a1 - a0, 8);
+        assert!(b.cursor_addr() >= a0 + 4 * 8 - 8);
+    }
+
+    #[test]
+    fn memory_accounted() {
+        let p = pool();
+        let b = AppendBuffer::<u64>::new(&p, 1000).unwrap();
+        assert_eq!(p.used(), 8000);
+        drop(b);
+        assert_eq!(p.used(), 0);
+    }
+
+    #[test]
+    fn oom_propagates() {
+        let p = MemoryPool::new(100);
+        assert!(AppendBuffer::<u64>::new(&p, 1000).is_err());
+    }
+
+    #[test]
+    fn clear_allows_reuse() {
+        let p = pool();
+        let mut b = AppendBuffer::<u32>::new(&p, 8).unwrap();
+        for i in 0..8 {
+            b.push(i);
+        }
+        b.clear();
+        assert!(b.is_empty());
+        b.push(99);
+        assert_eq!(b.as_slice(), &[99]);
+    }
+}

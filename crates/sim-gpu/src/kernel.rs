@@ -1,0 +1,460 @@
+//! Kernel abstraction and the block-parallel execution engine.
+//!
+//! A [`Kernel`] is written exactly like the paper's CUDA kernels: a
+//! `thread` body parameterized by a global thread id, launched over a grid
+//! of fixed-size thread blocks. The engine executes whole blocks as
+//! parallel tasks on the host thread pool (rayon), which preserves the
+//! SIMT programming model — one logical thread per data element, atomics
+//! for result aggregation — while running on CPU cores.
+//!
+//! Every global-memory access in a kernel body goes through the
+//! [`ThreadCtx`], which is generic over a [`Tracer`]. The fast path uses
+//! [`NoTrace`] (every hook is an empty `#[inline]` body, so the optimizer
+//! erases it); the profiled path uses a cache-simulating tracer to produce
+//! the Table II metrics. One kernel implementation serves both modes.
+
+use crate::cache::{CacheSim, CacheStats};
+use crate::device::Device;
+use crate::memory::DeviceBuffer;
+use crate::occupancy::{occupancy, KernelResources, OccupancyResult};
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
+
+/// Receives every traced global-memory access of a kernel thread.
+pub trait Tracer {
+    /// A global-memory load of `bytes` at virtual address `addr`.
+    fn load(&mut self, addr: u64, bytes: usize);
+
+    /// A global-memory store (defaults to the load path: the unified cache
+    /// on Pascal is write-through, stores still allocate lines).
+    #[inline]
+    fn store(&mut self, addr: u64, bytes: usize) {
+        self.load(addr, bytes);
+    }
+
+    /// An atomic read-modify-write (defaults to the store path).
+    #[inline]
+    fn atomic(&mut self, addr: u64, bytes: usize) {
+        self.store(addr, bytes);
+    }
+
+    /// Called before each logical thread's body runs (per-thread tracers
+    /// use it to switch accumulation slots). Default: no-op.
+    #[inline]
+    fn begin_thread(&mut self, _global_id: usize, _thread_in_block: usize) {}
+}
+
+/// The zero-overhead tracer used for timing runs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoTrace;
+
+impl Tracer for NoTrace {
+    #[inline(always)]
+    fn load(&mut self, _addr: u64, _bytes: usize) {}
+}
+
+/// A tracer that drives the L1 cache simulator (one per simulated SM).
+#[derive(Debug)]
+pub struct CacheTracer {
+    /// The SM's unified cache.
+    pub cache: CacheSim,
+}
+
+impl Tracer for CacheTracer {
+    #[inline]
+    fn load(&mut self, addr: u64, bytes: usize) {
+        self.cache.access(addr, bytes);
+    }
+}
+
+/// Per-thread execution context handed to the kernel body.
+pub struct ThreadCtx<'t, T: Tracer> {
+    /// Global thread id (`blockIdx.x * blockDim.x + threadIdx.x`).
+    pub global_id: usize,
+    /// Block index within the grid.
+    pub block_id: usize,
+    /// Thread index within the block.
+    pub thread_in_block: usize,
+    tracer: &'t mut T,
+}
+
+impl<'t, T: Tracer> ThreadCtx<'t, T> {
+    /// Reads element `i` of a device buffer, tracing the access.
+    #[inline(always)]
+    pub fn read<E: Copy>(&mut self, buf: &DeviceBuffer<E>, i: usize) -> E {
+        self.tracer.load(buf.addr_of(i), std::mem::size_of::<E>());
+        buf.as_slice()[i]
+    }
+
+    /// Reads a contiguous range of a device buffer (e.g. one point's
+    /// coordinates), tracing it as a single wide access.
+    #[inline(always)]
+    pub fn read_range<'b, E: Copy>(
+        &mut self,
+        buf: &'b DeviceBuffer<E>,
+        start: usize,
+        len: usize,
+    ) -> &'b [E] {
+        self.tracer
+            .load(buf.addr_of(start), len * std::mem::size_of::<E>());
+        &buf.as_slice()[start..start + len]
+    }
+
+    /// Records an atomic RMW on address `addr` (used by append buffers).
+    #[inline(always)]
+    pub fn trace_atomic(&mut self, addr: u64, bytes: usize) {
+        self.tracer.atomic(addr, bytes);
+    }
+
+    /// Records a plain store.
+    #[inline(always)]
+    pub fn trace_store(&mut self, addr: u64, bytes: usize) {
+        self.tracer.store(addr, bytes);
+    }
+
+    /// Direct access to the tracer (for custom instrumentation).
+    #[inline(always)]
+    pub fn tracer(&mut self) -> &mut T {
+        self.tracer
+    }
+}
+
+/// A GPU kernel: a per-thread body plus its resource footprint.
+///
+/// `thread` is generic over the tracer so one implementation serves both
+/// the fast and profiled modes (the trait is deliberately not object-safe).
+pub trait Kernel: Sync {
+    /// Registers/thread and shared memory the "compiled" kernel would use;
+    /// feeds the occupancy calculator.
+    fn resources(&self) -> KernelResources;
+
+    /// The per-thread body. Called once for every global thread id in
+    /// `0..total_threads` of the launch.
+    fn thread<T: Tracer>(&self, ctx: &mut ThreadCtx<'_, T>);
+}
+
+/// Launch configuration (the paper uses 256 threads per block).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Threads per block.
+    pub block_threads: usize,
+}
+
+impl Default for LaunchConfig {
+    fn default() -> Self {
+        // Paper §VI-B: "configured to run with 256 threads per block".
+        Self { block_threads: 256 }
+    }
+}
+
+/// Timing and configuration facts about one kernel launch.
+#[derive(Clone, Debug)]
+pub struct LaunchStats {
+    /// Wall-clock execution time of the launch on the **host** pool.
+    pub wall: Duration,
+    /// Modeled execution time on the simulated device: the aggregate
+    /// thread work (`wall × host threads used`) divided by the device's
+    /// [`throughput_vs_host_core`](crate::DeviceSpec::throughput_vs_host_core).
+    /// Relative comparisons between launches are unaffected by the model
+    /// constant; only absolute magnitudes depend on it.
+    pub modeled_wall: Duration,
+    /// Number of thread blocks executed.
+    pub blocks: usize,
+    /// Total logical threads.
+    pub threads: usize,
+    /// Theoretical occupancy for this kernel/config on this device.
+    pub occupancy: OccupancyResult,
+}
+
+/// Executes `kernel` over `total_threads` logical threads in fast mode.
+///
+/// Blocks are independent parallel tasks, mirroring how a GPU schedules
+/// blocks onto SMs in any order. Within a block, threads run sequentially
+/// (a valid SIMT interleaving since the paper's kernels have no intra-block
+/// synchronization).
+pub fn launch<K: Kernel>(
+    device: &Device,
+    cfg: LaunchConfig,
+    total_threads: usize,
+    kernel: &K,
+) -> LaunchStats {
+    let occ = occupancy(device.spec(), kernel.resources(), cfg.block_threads);
+    let blocks = total_threads.div_ceil(cfg.block_threads.max(1));
+    let start = Instant::now();
+    (0..blocks).into_par_iter().for_each(|block_id| {
+        let mut tracer = NoTrace;
+        run_block(kernel, cfg, total_threads, block_id, &mut tracer);
+    });
+    let wall = start.elapsed();
+    LaunchStats {
+        wall,
+        modeled_wall: model_device_time(device, wall),
+        blocks,
+        threads: total_threads,
+        occupancy: occ,
+    }
+}
+
+/// Converts measured host wall time into modeled device time (see
+/// [`LaunchStats::modeled_wall`]).
+pub fn model_device_time(device: &Device, host_wall: Duration) -> Duration {
+    let host_threads = rayon::current_num_threads().max(1) as f64;
+    let factor = device.spec().throughput_vs_host_core.max(1e-9);
+    Duration::from_secs_f64(host_wall.as_secs_f64() * host_threads / factor)
+}
+
+/// Executes `kernel` in profiled mode: blocks are assigned round-robin to
+/// the device's SMs, each SM owns a cold L1 cache simulator and executes
+/// its blocks sequentially (SMs in parallel). Returns launch stats plus the
+/// merged cache statistics.
+pub fn launch_profiled<K: Kernel>(
+    device: &Device,
+    cfg: LaunchConfig,
+    total_threads: usize,
+    kernel: &K,
+) -> (LaunchStats, CacheStats) {
+    let spec = device.spec();
+    let occ = occupancy(spec, kernel.resources(), cfg.block_threads);
+    let blocks = total_threads.div_ceil(cfg.block_threads.max(1));
+    let sm_count = spec.sm_count;
+    let cache_cfg = crate::cache::CacheConfig {
+        capacity_bytes: spec.l1_bytes_per_sm,
+        line_bytes: spec.l1_line_bytes,
+        associativity: spec.l1_associativity,
+    };
+    let start = Instant::now();
+    let per_sm: Vec<CacheStats> = (0..sm_count)
+        .into_par_iter()
+        .map(|sm| {
+            let mut tracer = CacheTracer {
+                cache: CacheSim::new(cache_cfg),
+            };
+            let mut block_id = sm;
+            while block_id < blocks {
+                run_block(kernel, cfg, total_threads, block_id, &mut tracer);
+                block_id += sm_count;
+            }
+            *tracer.cache.stats()
+        })
+        .collect();
+    let mut merged = CacheStats::default();
+    for s in &per_sm {
+        merged.merge(s);
+    }
+    let wall = start.elapsed();
+    (
+        LaunchStats {
+            wall,
+            modeled_wall: model_device_time(device, wall),
+            blocks,
+            threads: total_threads,
+            occupancy: occ,
+        },
+        merged,
+    )
+}
+
+#[inline]
+fn run_block<K: Kernel, T: Tracer>(
+    kernel: &K,
+    cfg: LaunchConfig,
+    total_threads: usize,
+    block_id: usize,
+    tracer: &mut T,
+) {
+    let base = block_id * cfg.block_threads;
+    let end = (base + cfg.block_threads).min(total_threads);
+    for global_id in base..end {
+        tracer.begin_thread(global_id, global_id - base);
+        let mut ctx = ThreadCtx {
+            global_id,
+            block_id,
+            thread_in_block: global_id - base,
+            tracer,
+        };
+        kernel.thread(&mut ctx);
+    }
+}
+
+/// Crate-public block runner for alternative launch drivers (work
+/// profiling lives in [`crate::work`]).
+pub(crate) fn run_block_pub<K: Kernel, T: Tracer>(
+    kernel: &K,
+    cfg: LaunchConfig,
+    total_threads: usize,
+    block_id: usize,
+    tracer: &mut T,
+) {
+    run_block(kernel, cfg, total_threads, block_id, tracer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceSpec;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    /// Doubles every element: out[i] = 2 * in[i].
+    struct DoubleKernel<'a> {
+        input: &'a DeviceBuffer<f64>,
+        output: &'a [AtomicU64],
+    }
+
+    impl Kernel for DoubleKernel<'_> {
+        fn resources(&self) -> KernelResources {
+            KernelResources {
+                registers_per_thread: 16,
+                shared_mem_per_block: 0,
+            }
+        }
+
+        fn thread<T: Tracer>(&self, ctx: &mut ThreadCtx<'_, T>) {
+            let i = ctx.global_id;
+            if i >= self.input.len() {
+                return;
+            }
+            let x = ctx.read(self.input, i);
+            self.output[i].store((2.0 * x).to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn launch_covers_every_thread_exactly_once() {
+        let dev = Device::new(DeviceSpec::small_test_device());
+        let n = 1000;
+        let counter = AtomicUsize::new(0);
+        struct CountKernel<'a>(&'a AtomicUsize);
+        impl Kernel for CountKernel<'_> {
+            fn resources(&self) -> KernelResources {
+                KernelResources {
+                    registers_per_thread: 8,
+                    shared_mem_per_block: 0,
+                }
+            }
+            fn thread<T: Tracer>(&self, _ctx: &mut ThreadCtx<'_, T>) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let stats = launch(&dev, LaunchConfig::default(), n, &CountKernel(&counter));
+        assert_eq!(counter.load(Ordering::Relaxed), n);
+        assert_eq!(stats.blocks, 4); // ceil(1000/256)
+        assert_eq!(stats.threads, n);
+    }
+
+    #[test]
+    fn kernel_computes_correct_results() {
+        let dev = Device::new(DeviceSpec::small_test_device());
+        let input_data: Vec<f64> = (0..500).map(|i| i as f64).collect();
+        let input = dev.alloc_from_host(&input_data).unwrap();
+        let output: Vec<AtomicU64> = (0..500).map(|_| AtomicU64::new(0)).collect();
+        let k = DoubleKernel {
+            input: &input,
+            output: &output,
+        };
+        launch(&dev, LaunchConfig::default(), 500, &k);
+        for (i, o) in output.iter().enumerate() {
+            assert_eq!(f64::from_bits(o.load(Ordering::Relaxed)), 2.0 * i as f64);
+        }
+    }
+
+    #[test]
+    fn profiled_mode_matches_fast_mode_results() {
+        let dev = Device::new(DeviceSpec::small_test_device());
+        let input_data: Vec<f64> = (0..300).map(|i| i as f64 * 0.5).collect();
+        let input = dev.alloc_from_host(&input_data).unwrap();
+        let fast: Vec<AtomicU64> = (0..300).map(|_| AtomicU64::new(0)).collect();
+        let prof: Vec<AtomicU64> = (0..300).map(|_| AtomicU64::new(0)).collect();
+        launch(
+            &dev,
+            LaunchConfig::default(),
+            300,
+            &DoubleKernel { input: &input, output: &fast },
+        );
+        let (_stats, cache) = launch_profiled(
+            &dev,
+            LaunchConfig::default(),
+            300,
+            &DoubleKernel { input: &input, output: &prof },
+        );
+        for (a, b) in fast.iter().zip(&prof) {
+            assert_eq!(a.load(Ordering::Relaxed), b.load(Ordering::Relaxed));
+        }
+        // 300 8-byte loads = 2400 bytes requested.
+        assert_eq!(cache.bytes_requested, 2400);
+        assert!(cache.hits + cache.misses >= 300);
+    }
+
+    #[test]
+    fn sequential_scan_has_good_cache_behaviour() {
+        // A sequential 8-byte-stride scan touches each 32-byte line 4 times:
+        // 1 miss + 3 hits → 75% hit rate.
+        let dev = Device::new(DeviceSpec::small_test_device());
+        let input_data: Vec<f64> = vec![1.0; 4096];
+        let input = dev.alloc_from_host(&input_data).unwrap();
+        struct ScanKernel<'a>(&'a DeviceBuffer<f64>);
+        impl Kernel for ScanKernel<'_> {
+            fn resources(&self) -> KernelResources {
+                KernelResources {
+                    registers_per_thread: 8,
+                    shared_mem_per_block: 0,
+                }
+            }
+            fn thread<T: Tracer>(&self, ctx: &mut ThreadCtx<'_, T>) {
+                if ctx.global_id < self.0.len() {
+                    let _ = ctx.read(self.0, ctx.global_id);
+                }
+            }
+        }
+        let (_s, cache) = launch_profiled(&dev, LaunchConfig::default(), 4096, &ScanKernel(&input));
+        let rate = cache.hit_rate();
+        assert!(
+            (rate - 0.75).abs() < 0.02,
+            "sequential scan hit rate {rate}, expected ~0.75"
+        );
+    }
+
+    #[test]
+    fn empty_launch_is_fine() {
+        let dev = Device::new(DeviceSpec::small_test_device());
+        let counter = AtomicUsize::new(0);
+        struct CountKernel<'a>(&'a AtomicUsize);
+        impl Kernel for CountKernel<'_> {
+            fn resources(&self) -> KernelResources {
+                KernelResources {
+                    registers_per_thread: 8,
+                    shared_mem_per_block: 0,
+                }
+            }
+            fn thread<T: Tracer>(&self, _ctx: &mut ThreadCtx<'_, T>) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let stats = launch(&dev, LaunchConfig::default(), 0, &CountKernel(&counter));
+        assert_eq!(stats.blocks, 0);
+        assert_eq!(counter.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn block_and_thread_ids_are_consistent() {
+        let dev = Device::new(DeviceSpec::small_test_device());
+        struct CheckKernel;
+        impl Kernel for CheckKernel {
+            fn resources(&self) -> KernelResources {
+                KernelResources {
+                    registers_per_thread: 8,
+                    shared_mem_per_block: 0,
+                }
+            }
+            fn thread<T: Tracer>(&self, ctx: &mut ThreadCtx<'_, T>) {
+                assert_eq!(ctx.global_id, ctx.block_id * 64 + ctx.thread_in_block);
+                assert!(ctx.thread_in_block < 64);
+            }
+        }
+        launch(
+            &dev,
+            LaunchConfig { block_threads: 64 },
+            1000,
+            &CheckKernel,
+        );
+    }
+}

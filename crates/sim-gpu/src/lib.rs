@@ -1,0 +1,49 @@
+//! A software SIMT device model — the substrate that stands in for the
+//! paper's NVIDIA TITAN X (Pascal).
+//!
+//! The container this reproduction runs in has no GPU, and Rust GPU-kernel
+//! authoring remains immature, so the paper's CUDA device is replaced by a
+//! simulator that preserves every property the paper's *arguments* rely on:
+//!
+//! * **Massive data parallelism** — kernels are written one-thread-per-point
+//!   exactly as in the paper (Algorithm 1) and executed block-by-block on a
+//!   thread pool ([`kernel`]).
+//! * **Bounded global memory** — allocations are accounted against the
+//!   device capacity and fail when exhausted ([`memory`]), which is what
+//!   forces the result-set batching scheme of §V-A to exist.
+//! * **Occupancy arithmetic** — a CUDA-style theoretical-occupancy
+//!   calculator driven by registers/thread and block size ([`mod@occupancy`]),
+//!   reproducing Table II's occupancy column.
+//! * **Unified (L1) cache behaviour** — a per-SM set-associative cache
+//!   simulator fed by traced kernel loads ([`cache`]), reproducing Table
+//!   II's cache-utilization column.
+//! * **Host↔device transfer cost** — a PCIe bandwidth/latency model with
+//!   multi-stream overlap accounting ([`transfer`]), used by the batching
+//!   executor to model computation/communication overlap.
+//!
+//! Kernels run in two modes sharing one code path: a **fast mode** (no-op
+//! tracer, zero overhead after monomorphization) used for timing figures,
+//! and a **profiled mode** (cache-simulating tracer) used for Table II.
+
+pub mod append;
+pub mod cache;
+pub mod device;
+pub mod kernel;
+pub mod memory;
+pub mod occupancy;
+pub mod profiler;
+pub mod transfer;
+pub mod work;
+
+pub use append::AppendBuffer;
+pub use cache::{CacheConfig, CacheSim, CacheStats};
+pub use device::{Device, DeviceSpec};
+pub use kernel::{
+    launch, launch_profiled, model_device_time, Kernel, LaunchConfig, LaunchStats, NoTrace,
+    ThreadCtx, Tracer,
+};
+pub use memory::{DeviceBuffer, MemoryPool, OutOfMemory};
+pub use occupancy::{occupancy, KernelResources, OccupancyResult};
+pub use profiler::{KernelMetrics, ProfiledLaunch};
+pub use transfer::{BatchCost, StreamTimeline, TimelineReport, TransferModel};
+pub use work::{launch_work_profiled, WorkProfile, WorkTracer};

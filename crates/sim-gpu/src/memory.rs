@@ -1,0 +1,270 @@
+//! Capacity-accounted global memory.
+//!
+//! The TITAN X has 12 GiB of global memory; the paper's batching scheme
+//! (§V-A) exists because self-join result sets routinely exceed it. The
+//! simulator therefore enforces capacity at allocation time: every
+//! [`DeviceBuffer`] charges its byte size to the device's [`MemoryPool`]
+//! and allocation fails once the pool is exhausted.
+//!
+//! Each buffer is also assigned a non-overlapping *virtual base address*
+//! (256-byte aligned, as CUDA's allocator guarantees) so the cache
+//! simulator can map loads from distinct buffers to distinct cache lines.
+
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+
+/// Error returned when an allocation would exceed device capacity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// Bytes the allocation asked for.
+    pub requested: usize,
+    /// Bytes that were still free.
+    pub available: usize,
+}
+
+impl fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "device out of memory: requested {} bytes, {} available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+#[derive(Debug)]
+struct PoolInner {
+    capacity: usize,
+    used: usize,
+    next_addr: u64,
+}
+
+/// A device's global-memory accounting pool. Cheap to clone (shared).
+#[derive(Clone, Debug)]
+pub struct MemoryPool {
+    inner: Arc<Mutex<PoolInner>>,
+}
+
+/// Allocation alignment, matching CUDA's minimum guarantee.
+const ALLOC_ALIGN: u64 = 256;
+
+impl MemoryPool {
+    /// Creates a pool with the given capacity in bytes.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(PoolInner {
+                capacity,
+                used: 0,
+                // Start away from address zero, as real allocators do.
+                next_addr: ALLOC_ALIGN,
+            })),
+        }
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> usize {
+        self.inner.lock().used
+    }
+
+    /// Pool capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().capacity
+    }
+
+    /// Reserves `bytes`, returning the assigned base address.
+    fn reserve(&self, bytes: usize) -> Result<u64, OutOfMemory> {
+        let mut inner = self.inner.lock();
+        let free = inner.capacity - inner.used;
+        if bytes > free {
+            return Err(OutOfMemory {
+                requested: bytes,
+                available: free,
+            });
+        }
+        inner.used += bytes;
+        let addr = inner.next_addr;
+        let span = (bytes as u64).div_ceil(ALLOC_ALIGN) * ALLOC_ALIGN;
+        inner.next_addr += span.max(ALLOC_ALIGN);
+        Ok(addr)
+    }
+
+    fn release(&self, bytes: usize) {
+        let mut inner = self.inner.lock();
+        debug_assert!(inner.used >= bytes, "double free in MemoryPool");
+        inner.used -= bytes;
+    }
+}
+
+/// A typed allocation in simulated global memory.
+///
+/// The backing store is host RAM; what makes it a *device* buffer is the
+/// capacity accounting and the virtual address used for cache simulation.
+#[derive(Debug)]
+pub struct DeviceBuffer<T> {
+    data: Vec<T>,
+    base_addr: u64,
+    bytes: usize,
+    pool: MemoryPool,
+}
+
+impl<T: Copy> DeviceBuffer<T> {
+    /// Allocates `len` zero-initialized elements.
+    pub fn zeroed(pool: &MemoryPool, len: usize) -> Result<Self, OutOfMemory>
+    where
+        T: Default,
+    {
+        let bytes = len * std::mem::size_of::<T>();
+        let base_addr = pool.reserve(bytes)?;
+        Ok(Self {
+            data: vec![T::default(); len],
+            base_addr,
+            bytes,
+            pool: pool.clone(),
+        })
+    }
+
+    /// Allocates a buffer holding a copy of `data`.
+    pub fn from_host(pool: &MemoryPool, data: &[T]) -> Result<Self, OutOfMemory> {
+        let bytes = std::mem::size_of_val(data);
+        let base_addr = pool.reserve(bytes)?;
+        Ok(Self {
+            data: data.to_vec(),
+            base_addr,
+            bytes,
+            pool: pool.clone(),
+        })
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size in bytes (what the allocation is charged).
+    pub fn size_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Virtual base address (for cache tracing).
+    pub fn base_addr(&self) -> u64 {
+        self.base_addr
+    }
+
+    /// Virtual address of element `i`.
+    #[inline]
+    pub fn addr_of(&self, i: usize) -> u64 {
+        self.base_addr + (i * std::mem::size_of::<T>()) as u64
+    }
+
+    /// Read-only view of the contents.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable view of the contents.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Copies the buffer back to a host vector (a device→host download; the
+    /// transfer time is modeled separately).
+    pub fn to_host(&self) -> Vec<T> {
+        self.data.clone()
+    }
+
+    /// Overwrites the buffer contents from host data of identical length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ (CUDA would fault on out-of-bounds copy).
+    pub fn copy_from_host(&mut self, data: &[T]) {
+        assert_eq!(data.len(), self.data.len(), "host/device length mismatch");
+        self.data.copy_from_slice(data);
+    }
+}
+
+impl<T> Drop for DeviceBuffer<T> {
+    fn drop(&mut self) {
+        self.pool.release(self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_and_release() {
+        let pool = MemoryPool::new(1000);
+        let a = DeviceBuffer::<u8>::zeroed(&pool, 600).unwrap();
+        assert_eq!(pool.used(), 600);
+        let err = DeviceBuffer::<u8>::zeroed(&pool, 500).unwrap_err();
+        assert_eq!(err, OutOfMemory { requested: 500, available: 400 });
+        drop(a);
+        assert_eq!(pool.used(), 0);
+        let _b = DeviceBuffer::<u8>::zeroed(&pool, 1000).unwrap();
+    }
+
+    #[test]
+    fn addresses_do_not_overlap() {
+        let pool = MemoryPool::new(1 << 20);
+        let a = DeviceBuffer::<f64>::zeroed(&pool, 100).unwrap();
+        let b = DeviceBuffer::<f64>::zeroed(&pool, 100).unwrap();
+        let a_end = a.base_addr() + a.size_bytes() as u64;
+        assert!(
+            b.base_addr() >= a_end,
+            "buffer b at {:#x} overlaps a ending at {:#x}",
+            b.base_addr(),
+            a_end
+        );
+        assert_eq!(a.base_addr() % 256, 0);
+        assert_eq!(b.base_addr() % 256, 0);
+    }
+
+    #[test]
+    fn addr_of_walks_elements() {
+        let pool = MemoryPool::new(1 << 20);
+        let a = DeviceBuffer::<f64>::zeroed(&pool, 10).unwrap();
+        assert_eq!(a.addr_of(3), a.base_addr() + 24);
+    }
+
+    #[test]
+    fn from_host_and_back() {
+        let pool = MemoryPool::new(1 << 20);
+        let buf = DeviceBuffer::from_host(&pool, &[1u32, 2, 3]).unwrap();
+        assert_eq!(buf.to_host(), vec![1, 2, 3]);
+        assert_eq!(buf.size_bytes(), 12);
+    }
+
+    #[test]
+    fn copy_from_host_replaces_contents() {
+        let pool = MemoryPool::new(1 << 20);
+        let mut buf = DeviceBuffer::<u32>::zeroed(&pool, 3).unwrap();
+        buf.copy_from_host(&[7, 8, 9]);
+        assert_eq!(buf.as_slice(), &[7, 8, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn copy_from_host_length_checked() {
+        let pool = MemoryPool::new(1 << 20);
+        let mut buf = DeviceBuffer::<u32>::zeroed(&pool, 3).unwrap();
+        buf.copy_from_host(&[1, 2]);
+    }
+
+    #[test]
+    fn zero_length_allocation_is_free() {
+        let pool = MemoryPool::new(16);
+        let buf = DeviceBuffer::<u64>::zeroed(&pool, 0).unwrap();
+        assert_eq!(pool.used(), 0);
+        assert!(buf.is_empty());
+    }
+}

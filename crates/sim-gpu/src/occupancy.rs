@@ -1,0 +1,235 @@
+//! CUDA-style theoretical occupancy calculation.
+//!
+//! Theoretical occupancy is the ratio of resident warps to the SM's maximum
+//! resident warps, given a kernel's resource footprint (registers per
+//! thread, shared memory per block) and launch configuration. It is the
+//! first metric the paper inspects in Table II: UNICOMP raises register
+//! pressure, which lowers how many blocks fit on an SM, which lowers
+//! occupancy (100% → 75% in 2-D; 62.5% → 50% in 5-/6-D).
+//!
+//! The arithmetic follows the CUDA occupancy calculator: the number of
+//! blocks resident on one SM is the minimum of four limits (block-count
+//! limit, thread-count limit, register-file limit, shared-memory limit).
+
+use crate::device::DeviceSpec;
+
+/// Resource footprint of a compiled kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KernelResources {
+    /// Registers used per thread.
+    pub registers_per_thread: usize,
+    /// Static shared memory per block in bytes.
+    pub shared_mem_per_block: usize,
+}
+
+/// Result of the occupancy calculation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OccupancyResult {
+    /// Blocks resident per SM.
+    pub blocks_per_sm: usize,
+    /// Warps resident per SM.
+    pub warps_per_sm: usize,
+    /// Theoretical occupancy in `[0, 1]`.
+    pub occupancy: f64,
+    /// Which resource bound the result ("blocks", "threads", "registers",
+    /// "shared").
+    pub limiter: &'static str,
+}
+
+/// Computes theoretical occupancy for a kernel on a device at the given
+/// block size.
+///
+/// # Panics
+///
+/// Panics if `block_threads` is zero or exceeds the device block limit.
+pub fn occupancy(spec: &DeviceSpec, res: KernelResources, block_threads: usize) -> OccupancyResult {
+    assert!(block_threads > 0, "block size must be positive");
+    assert!(
+        block_threads <= spec.max_threads_per_block,
+        "block size {} exceeds device limit {}",
+        block_threads,
+        spec.max_threads_per_block
+    );
+
+    let warps_per_block = block_threads.div_ceil(spec.warp_size);
+
+    // Register limit: registers are allocated per warp with a granularity.
+    let regs_per_warp = res.registers_per_thread * spec.warp_size;
+    let regs_per_warp = regs_per_warp.div_ceil(spec.register_alloc_granularity)
+        * spec.register_alloc_granularity;
+    let regs_per_block = regs_per_warp * warps_per_block;
+    let reg_limit = spec
+        .registers_per_sm
+        .checked_div(regs_per_block)
+        .unwrap_or(usize::MAX);
+
+    // Shared memory limit.
+    let shared_limit = spec
+        .shared_mem_per_sm
+        .checked_div(res.shared_mem_per_block)
+        .unwrap_or(usize::MAX);
+
+    let thread_limit = spec.max_threads_per_sm / block_threads;
+    let block_limit = spec.max_blocks_per_sm;
+
+    let (blocks_per_sm, limiter) = [
+        (block_limit, "blocks"),
+        (thread_limit, "threads"),
+        (reg_limit, "registers"),
+        (shared_limit, "shared"),
+    ]
+    .into_iter()
+    .min_by_key(|&(v, _)| v)
+    .expect("non-empty limit list");
+
+    let max_warps = spec.max_threads_per_sm / spec.warp_size;
+    let warps = blocks_per_sm * warps_per_block;
+    OccupancyResult {
+        blocks_per_sm,
+        warps_per_sm: warps,
+        occupancy: warps as f64 / max_warps as f64,
+        limiter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn titan() -> DeviceSpec {
+        DeviceSpec::titan_x_pascal()
+    }
+
+    fn occ(regs: usize) -> f64 {
+        occupancy(
+            &titan(),
+            KernelResources {
+                registers_per_thread: regs,
+                shared_mem_per_block: 0,
+            },
+            256,
+        )
+        .occupancy
+    }
+
+    /// The four occupancy values that appear in the paper's Table II, at
+    /// the paper's launch configuration of 256 threads/block.
+    #[test]
+    fn table_two_occupancy_points() {
+        assert_eq!(occ(32), 1.0); // GPU kernel, 2-D
+        assert_eq!(occ(40), 0.75); // UNICOMP kernel, 2-D
+        assert_eq!(occ(44), 0.625); // GPU kernel, 5-D/6-D
+        assert_eq!(occ(64), 0.5); // UNICOMP kernel, 5-D/6-D
+    }
+
+    #[test]
+    fn register_limited_kernel_reports_limiter() {
+        let r = occupancy(
+            &titan(),
+            KernelResources {
+                registers_per_thread: 64,
+                shared_mem_per_block: 0,
+            },
+            256,
+        );
+        assert_eq!(r.limiter, "registers");
+        assert_eq!(r.blocks_per_sm, 4);
+        assert_eq!(r.warps_per_sm, 32);
+    }
+
+    #[test]
+    fn thread_limited_when_registers_are_light() {
+        let r = occupancy(
+            &titan(),
+            KernelResources {
+                registers_per_thread: 16,
+                shared_mem_per_block: 0,
+            },
+            256,
+        );
+        assert_eq!(r.limiter, "threads");
+        assert_eq!(r.occupancy, 1.0);
+        assert_eq!(r.blocks_per_sm, 8);
+    }
+
+    #[test]
+    fn shared_memory_can_limit() {
+        let r = occupancy(
+            &titan(),
+            KernelResources {
+                registers_per_thread: 16,
+                shared_mem_per_block: 48 * 1024,
+            },
+            256,
+        );
+        assert_eq!(r.limiter, "shared");
+        assert_eq!(r.blocks_per_sm, 2);
+        assert_eq!(r.occupancy, 0.25);
+    }
+
+    #[test]
+    fn block_limit_binds_tiny_blocks() {
+        let r = occupancy(
+            &titan(),
+            KernelResources {
+                registers_per_thread: 8,
+                shared_mem_per_block: 0,
+            },
+            32,
+        );
+        assert_eq!(r.limiter, "blocks");
+        assert_eq!(r.blocks_per_sm, 32);
+        assert_eq!(r.occupancy, 0.5); // 32 blocks × 1 warp / 64 warps
+    }
+
+    #[test]
+    fn occupancy_monotone_in_registers() {
+        let mut prev = 2.0;
+        for regs in [16, 32, 48, 64, 96, 128, 255] {
+            let o = occ(regs);
+            assert!(o <= prev, "occupancy must not increase with registers");
+            prev = o;
+        }
+    }
+
+    #[test]
+    fn register_granularity_rounds_up() {
+        // 33 regs/thread × 32 = 1056 → rounds to 1280 (granularity 256) per
+        // warp; 8 warps/block → 10240 per block → 6 blocks, not 7.
+        let r = occupancy(
+            &titan(),
+            KernelResources {
+                registers_per_thread: 33,
+                shared_mem_per_block: 0,
+            },
+            256,
+        );
+        assert_eq!(r.blocks_per_sm, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be positive")]
+    fn zero_block_rejected() {
+        let _ = occupancy(
+            &titan(),
+            KernelResources {
+                registers_per_thread: 32,
+                shared_mem_per_block: 0,
+            },
+            0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds device limit")]
+    fn oversized_block_rejected() {
+        let _ = occupancy(
+            &titan(),
+            KernelResources {
+                registers_per_thread: 32,
+                shared_mem_per_block: 0,
+            },
+            2048,
+        );
+    }
+}

@@ -1,0 +1,286 @@
+//! Host↔device transfer timing and multi-stream overlap accounting.
+//!
+//! The batching scheme (paper §V-A) exists for two reasons: result sets can
+//! exceed global memory, and splitting work into ≥3 batches lets the GPU
+//! overlap kernel execution with bidirectional PCIe transfers. This module
+//! models that pipeline so the executor can report how much transfer time
+//! the batching hides.
+//!
+//! The model has three resources, mirroring a Pascal GPU with dual copy
+//! engines: an H2D engine, a compute engine, and a D2H engine. A batch is
+//! an (upload, kernel, download) triple; batches are issued round-robin
+//! across `k` streams, operations within a stream serialize, and each
+//! resource serves one operation at a time in issue order. With one stream
+//! the pipeline degenerates to fully serial execution; with ≥3 streams
+//! transfers hide behind neighbouring batches' kernels.
+
+use std::time::Duration;
+
+/// PCIe-like transfer cost model: fixed latency plus bandwidth term.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TransferModel {
+    /// Sustained bandwidth in GiB/s.
+    pub gib_per_s: f64,
+    /// Per-transfer fixed cost in microseconds (driver + DMA setup).
+    pub latency_us: f64,
+}
+
+impl TransferModel {
+    /// Creates a model with the given bandwidth and latency.
+    pub fn new(gib_per_s: f64, latency_us: f64) -> Self {
+        assert!(gib_per_s > 0.0, "bandwidth must be positive");
+        assert!(latency_us >= 0.0, "latency must be non-negative");
+        Self {
+            gib_per_s,
+            latency_us,
+        }
+    }
+
+    /// Modeled duration of a transfer of `bytes`.
+    pub fn time(&self, bytes: usize) -> Duration {
+        let secs = self.latency_us * 1e-6 + bytes as f64 / (self.gib_per_s * 1024.0 * 1024.0 * 1024.0);
+        Duration::from_secs_f64(secs)
+    }
+}
+
+/// One batch's resource demands.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchCost {
+    /// Bytes uploaded before the kernel runs.
+    pub h2d_bytes: usize,
+    /// Kernel execution time.
+    pub kernel: Duration,
+    /// Bytes downloaded after the kernel completes.
+    pub d2h_bytes: usize,
+}
+
+/// Outcome of scheduling a batch sequence onto streams.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimelineReport {
+    /// Pipelined makespan.
+    pub total: Duration,
+    /// What the same work would take fully serialized (1 stream, no
+    /// overlap) — the baseline the paper's overlap hides.
+    pub serial_total: Duration,
+    /// Total kernel-engine busy time.
+    pub compute_busy: Duration,
+    /// Total H2D engine busy time.
+    pub h2d_busy: Duration,
+    /// Total D2H engine busy time.
+    pub d2h_busy: Duration,
+}
+
+impl TimelineReport {
+    /// Fraction of transfer time hidden by overlap, in `[0, 1]`.
+    pub fn overlap_efficiency(&self) -> f64 {
+        let transfers = self.h2d_busy + self.d2h_busy;
+        if transfers.is_zero() {
+            return 1.0;
+        }
+        let hidden = self.serial_total.saturating_sub(self.total);
+        (hidden.as_secs_f64() / transfers.as_secs_f64()).clamp(0.0, 1.0)
+    }
+}
+
+/// Schedules batches onto `streams` CUDA-style streams over the three
+/// engine resources.
+#[derive(Clone, Debug)]
+pub struct StreamTimeline {
+    model: TransferModel,
+    streams: usize,
+}
+
+impl StreamTimeline {
+    /// Creates a scheduler with the given transfer model and stream count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams == 0`.
+    pub fn new(model: TransferModel, streams: usize) -> Self {
+        assert!(streams > 0, "need at least one stream");
+        Self { model, streams }
+    }
+
+    /// Computes the pipelined makespan of the batch sequence.
+    pub fn schedule(&self, batches: &[BatchCost]) -> TimelineReport {
+        let mut h2d_free = 0.0f64;
+        let mut compute_free = 0.0f64;
+        let mut d2h_free = 0.0f64;
+        let mut stream_free = vec![0.0f64; self.streams];
+        let mut h2d_busy = 0.0f64;
+        let mut compute_busy = 0.0f64;
+        let mut d2h_busy = 0.0f64;
+        let mut end = 0.0f64;
+
+        for (i, b) in batches.iter().enumerate() {
+            let stream = i % self.streams;
+            let t_h2d = self.model.time(b.h2d_bytes).as_secs_f64();
+            let t_k = b.kernel.as_secs_f64();
+            let t_d2h = self.model.time(b.d2h_bytes).as_secs_f64();
+
+            let h2d_start = h2d_free.max(stream_free[stream]);
+            let h2d_end = h2d_start + t_h2d;
+            h2d_free = h2d_end;
+            h2d_busy += t_h2d;
+
+            let k_start = compute_free.max(h2d_end);
+            let k_end = k_start + t_k;
+            compute_free = k_end;
+            compute_busy += t_k;
+
+            let d2h_start = d2h_free.max(k_end);
+            let d2h_end = d2h_start + t_d2h;
+            d2h_free = d2h_end;
+            d2h_busy += t_d2h;
+
+            stream_free[stream] = d2h_end;
+            end = end.max(d2h_end);
+        }
+
+        TimelineReport {
+            total: Duration::from_secs_f64(end),
+            serial_total: Duration::from_secs_f64(h2d_busy + compute_busy + d2h_busy),
+            compute_busy: Duration::from_secs_f64(compute_busy),
+            h2d_busy: Duration::from_secs_f64(h2d_busy),
+            d2h_busy: Duration::from_secs_f64(d2h_busy),
+        }
+    }
+
+    /// The underlying transfer model.
+    pub fn model(&self) -> &TransferModel {
+        &self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> TransferModel {
+        // 1 GiB/s, zero latency → easy arithmetic.
+        TransferModel::new(1.0, 0.0)
+    }
+
+    fn batch(mib_up: usize, kernel_ms: u64, mib_down: usize) -> BatchCost {
+        BatchCost {
+            h2d_bytes: mib_up * 1024 * 1024,
+            kernel: Duration::from_millis(kernel_ms),
+            d2h_bytes: mib_down * 1024 * 1024,
+        }
+    }
+
+    #[test]
+    fn transfer_time_arithmetic() {
+        let m = TransferModel::new(2.0, 100.0);
+        let t = m.time(2 * 1024 * 1024 * 1024);
+        assert!((t.as_secs_f64() - 1.0001).abs() < 1e-9, "{t:?}");
+        assert_eq!(m.time(0), Duration::from_secs_f64(1e-4));
+    }
+
+    #[test]
+    fn single_stream_is_fully_serial() {
+        let tl = StreamTimeline::new(model(), 1);
+        // Each batch: ~1s up + 0.5s kernel + ~1s down (1024 MiB = 1 GiB).
+        let batches = vec![batch(1024, 500, 1024); 3];
+        let r = tl.schedule(&batches);
+        assert!(
+            (r.total.as_secs_f64() - r.serial_total.as_secs_f64()).abs() < 1e-9,
+            "single stream must not overlap: {r:?}"
+        );
+        assert!((r.serial_total.as_secs_f64() - 7.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn three_streams_hide_transfers() {
+        let tl = StreamTimeline::new(model(), 3);
+        let batches = vec![batch(1024, 2000, 1024); 6];
+        let r = tl.schedule(&batches);
+        // Kernels dominate (2s each, 12s total); transfers (1s each side)
+        // should hide almost entirely behind neighbouring kernels.
+        let total = r.total.as_secs_f64();
+        assert!(total < 15.0, "pipelined total {total} too close to serial 24");
+        assert!(total >= 12.0, "cannot beat pure compute time");
+        assert!(r.overlap_efficiency() > 0.7, "{}", r.overlap_efficiency());
+    }
+
+    #[test]
+    fn compute_engine_never_overlaps_itself() {
+        let tl = StreamTimeline::new(model(), 4);
+        let batches = vec![batch(0, 1000, 0); 4];
+        let r = tl.schedule(&batches);
+        assert!((r.total.as_secs_f64() - 4.0).abs() < 1e-9, "{r:?}");
+    }
+
+    #[test]
+    fn pipeline_latency_bound_by_longest_stage_chain() {
+        let tl = StreamTimeline::new(model(), 2);
+        let batches = vec![batch(1024, 0, 0), batch(1024, 0, 0)];
+        // Two uploads share one H2D engine: 2 seconds total.
+        let r = tl.schedule(&batches);
+        assert!((r.total.as_secs_f64() - 2.0).abs() < 1e-6, "{r:?}");
+    }
+
+    #[test]
+    fn empty_schedule_is_zero() {
+        let tl = StreamTimeline::new(model(), 3);
+        let r = tl.schedule(&[]);
+        assert_eq!(r.total, Duration::ZERO);
+        assert_eq!(r.overlap_efficiency(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stream")]
+    fn zero_streams_rejected() {
+        let _ = StreamTimeline::new(model(), 0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_batches() -> impl Strategy<Value = Vec<BatchCost>> {
+            proptest::collection::vec(
+                (0usize..50, 0u64..100, 0usize..80).prop_map(|(up, k, down)| BatchCost {
+                    h2d_bytes: up * 1024 * 1024,
+                    kernel: Duration::from_millis(k),
+                    d2h_bytes: down * 1024 * 1024,
+                }),
+                0..24,
+            )
+        }
+
+        proptest! {
+            #[test]
+            fn makespan_bounds(batches in arb_batches(), streams in 1usize..6) {
+                let tl = StreamTimeline::new(TransferModel::new(1.0, 5.0), streams);
+                let r = tl.schedule(&batches);
+                // Lower bound: the busiest single engine.
+                let busiest = r.compute_busy.max(r.h2d_busy).max(r.d2h_busy);
+                prop_assert!(r.total + Duration::from_nanos(1) > busiest);
+                // Upper bound: fully serialized execution.
+                prop_assert!(r.total <= r.serial_total + Duration::from_nanos(1));
+                prop_assert!((0.0..=1.0).contains(&r.overlap_efficiency()));
+            }
+
+            #[test]
+            fn single_stream_serializes(batches in arb_batches()) {
+                let tl = StreamTimeline::new(TransferModel::new(2.0, 1.0), 1);
+                let r = tl.schedule(&batches);
+                let diff = (r.total.as_secs_f64() - r.serial_total.as_secs_f64()).abs();
+                prop_assert!(diff < 1e-9, "serial gap {diff}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_streams_never_slower() {
+        let batches: Vec<BatchCost> = (0..8).map(|i| batch(256, 300 + i * 50, 512)).collect();
+        let mut prev = f64::INFINITY;
+        for k in 1..=4 {
+            let r = StreamTimeline::new(model(), k).schedule(&batches);
+            let t = r.total.as_secs_f64();
+            assert!(t <= prev + 1e-9, "streams {k}: {t} > {prev}");
+            prev = t;
+        }
+    }
+}

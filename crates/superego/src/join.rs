@@ -1,0 +1,456 @@
+//! EGO-sort and the recursive, multi-threaded EGO-join.
+
+use crate::normalize::normalize_uniform;
+use crate::reorder::{permute_dims, pruning_power_order};
+use grid_join::{NeighborTable, Pair};
+use sj_datasets::Dataset;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Maximum dimensionality (mirrors the rest of the workspace).
+const MAX_DIM: usize = 8;
+
+/// The Super-EGO join operator.
+#[derive(Clone, Copy, Debug)]
+pub struct SuperEgo {
+    /// Sequences at or below this length are joined with the simple
+    /// (nested-loop, early-exit) join instead of recursing.
+    pub simple_join_threshold: usize,
+    /// Run the recursion on the rayon pool (the paper uses 32 threads).
+    pub parallel: bool,
+    /// Apply the dimension-reordering heuristic.
+    pub reorder: bool,
+}
+
+impl Default for SuperEgo {
+    fn default() -> Self {
+        Self {
+            simple_join_threshold: 32,
+            parallel: true,
+            reorder: true,
+        }
+    }
+}
+
+/// Execution report.
+#[derive(Clone, Debug)]
+pub struct SuperEgoReport {
+    /// Dimension permutation applied (identity when reordering is off).
+    pub order: Vec<usize>,
+    /// Normalization + reorder + EGO-sort time (the paper's "ego-sort").
+    pub sort_time: Duration,
+    /// Recursive join time.
+    pub join_time: Duration,
+    /// Number of simple-join leaf invocations.
+    pub simple_joins: u64,
+    /// Number of sequence pairs pruned by the separation test.
+    pub pruned: u64,
+    /// Directed result pairs.
+    pub results: u64,
+}
+
+#[derive(Clone, Copy)]
+struct BBox {
+    lo: [f64; MAX_DIM],
+    hi: [f64; MAX_DIM],
+}
+
+impl BBox {
+    fn of(coords: &[f64], dim: usize, range: std::ops::Range<usize>) -> Self {
+        let mut lo = [f64::INFINITY; MAX_DIM];
+        let mut hi = [f64::NEG_INFINITY; MAX_DIM];
+        for i in range {
+            let p = &coords[i * dim..(i + 1) * dim];
+            for j in 0..dim {
+                lo[j] = lo[j].min(p[j]);
+                hi[j] = hi[j].max(p[j]);
+            }
+        }
+        Self { lo, hi }
+    }
+
+    /// Whether the boxes are separated by more than ε in some dimension —
+    /// the EGO pruning condition (no point pair can be within ε).
+    fn separated(&self, other: &BBox, dim: usize, eps: f64) -> bool {
+        for j in 0..dim {
+            if self.lo[j] - other.hi[j] > eps || other.lo[j] - self.hi[j] > eps {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+struct JoinCtx<'a> {
+    coords: &'a [f64],
+    ids: &'a [u32],
+    dim: usize,
+    eps: f64,
+    eps_sq: f64,
+    threshold: usize,
+    parallel: bool,
+    simple_joins: AtomicU64,
+    pruned: AtomicU64,
+}
+
+impl SuperEgo {
+    /// Runs the self-join: directed pairs, self excluded — identical
+    /// semantics to GPU-SJ and CPU-RTREE.
+    pub fn self_join(&self, data: &Dataset, epsilon: f64) -> (NeighborTable, SuperEgoReport) {
+        assert!(epsilon > 0.0 && epsilon.is_finite(), "bad epsilon");
+        let n = data.len();
+        let dim = data.dim();
+        if n == 0 {
+            return (
+                NeighborTable::from_pairs(0, &[]),
+                SuperEgoReport {
+                    order: (0..dim).collect(),
+                    sort_time: Duration::ZERO,
+                    join_time: Duration::ZERO,
+                    simple_joins: 0,
+                    pruned: 0,
+                    results: 0,
+                },
+            );
+        }
+
+        // --- EGO-sort phase (normalize, reorder, sort) ---
+        let t0 = Instant::now();
+        let norm = normalize_uniform(data, epsilon);
+        let (order, pdata) = if self.reorder {
+            let order = pruning_power_order(&norm.data, norm.epsilon);
+            let pdata = permute_dims(&norm.data, &order);
+            (order, pdata)
+        } else {
+            ((0..dim).collect(), norm.data)
+        };
+        let eps = norm.epsilon;
+
+        // Sort point ids in epsilon-grid order (lexicographic cell coords
+        // in the permuted dimension order).
+        let cell = |i: usize, j: usize| (pdata.point(i)[j] / eps).floor() as i64;
+        let mut ids: Vec<u32> = (0..n as u32).collect();
+        ids.sort_by(|&a, &b| {
+            for j in 0..dim {
+                match cell(a as usize, j).cmp(&cell(b as usize, j)) {
+                    std::cmp::Ordering::Equal => continue,
+                    o => return o,
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        // Gather coordinates into EGO order for locality.
+        let mut coords = Vec::with_capacity(n * dim);
+        for &id in &ids {
+            coords.extend_from_slice(pdata.point(id as usize));
+        }
+        let sort_time = t0.elapsed();
+
+        // --- EGO-join phase ---
+        let t1 = Instant::now();
+        let ctx = JoinCtx {
+            coords: &coords,
+            ids: &ids,
+            dim,
+            eps,
+            eps_sq: eps * eps,
+            threshold: self.simple_join_threshold.max(1),
+            parallel: self.parallel,
+            simple_joins: AtomicU64::new(0),
+            pruned: AtomicU64::new(0),
+        };
+        let pairs = ego_self(&ctx, 0, n);
+        let join_time = t1.elapsed();
+
+        let table = NeighborTable::from_pairs(n, &pairs);
+        let report = SuperEgoReport {
+            order,
+            sort_time,
+            join_time,
+            simple_joins: ctx.simple_joins.load(Ordering::Relaxed),
+            pruned: ctx.pruned.load(Ordering::Relaxed),
+            results: pairs.len() as u64,
+        };
+        (table, report)
+    }
+}
+
+/// Early-terminating distance predicate: accumulates squared differences
+/// in the (reordered) dimension order and bails as soon as ε² is exceeded
+/// — Super-EGO's fail-fast refinement.
+#[inline]
+fn within_eps(a: &[f64], b: &[f64], eps_sq: f64) -> bool {
+    let mut acc = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        let d = x - y;
+        acc += d * d;
+        if acc > eps_sq {
+            return false;
+        }
+    }
+    true
+}
+
+fn point<'a>(ctx: &JoinCtx<'a>, i: usize) -> &'a [f64] {
+    &ctx.coords[i * ctx.dim..(i + 1) * ctx.dim]
+}
+
+fn simple_self(ctx: &JoinCtx<'_>, lo: usize, hi: usize, out: &mut Vec<Pair>) {
+    ctx.simple_joins.fetch_add(1, Ordering::Relaxed);
+    for i in lo..hi {
+        let pi = point(ctx, i);
+        for j in (i + 1)..hi {
+            if within_eps(pi, point(ctx, j), ctx.eps_sq) {
+                let a = ctx.ids[i];
+                let b = ctx.ids[j];
+                out.push(Pair::new(a, b));
+                out.push(Pair::new(b, a));
+            }
+        }
+    }
+}
+
+fn simple_cross(
+    ctx: &JoinCtx<'_>,
+    a_lo: usize,
+    a_hi: usize,
+    b_lo: usize,
+    b_hi: usize,
+    out: &mut Vec<Pair>,
+) {
+    ctx.simple_joins.fetch_add(1, Ordering::Relaxed);
+    for i in a_lo..a_hi {
+        let pi = point(ctx, i);
+        for j in b_lo..b_hi {
+            if within_eps(pi, point(ctx, j), ctx.eps_sq) {
+                let a = ctx.ids[i];
+                let b = ctx.ids[j];
+                out.push(Pair::new(a, b));
+                out.push(Pair::new(b, a));
+            }
+        }
+    }
+}
+
+fn ego_self(ctx: &JoinCtx<'_>, lo: usize, hi: usize) -> Vec<Pair> {
+    let len = hi - lo;
+    if len <= ctx.threshold {
+        let mut out = Vec::new();
+        simple_self(ctx, lo, hi, &mut out);
+        return out;
+    }
+    let mid = lo + len / 2;
+    let box1 = BBox::of(ctx.coords, ctx.dim, lo..mid);
+    let box2 = BBox::of(ctx.coords, ctx.dim, mid..hi);
+    let run = |f: &mut dyn FnMut() -> (Vec<Pair>, Vec<Pair>, Vec<Pair>)| f();
+    let _ = run;
+    let cross = |out: &mut Vec<Pair>| {
+        if box1.separated(&box2, ctx.dim, ctx.eps) {
+            ctx.pruned.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let mut c = ego_cross(ctx, lo, mid, mid, hi, box1, box2);
+            out.append(&mut c);
+        }
+    };
+    if ctx.parallel && len > 4096 {
+        let (mut left, (mut right, mut between)) = rayon::join(
+            || ego_self(ctx, lo, mid),
+            || {
+                rayon::join(
+                    || ego_self(ctx, mid, hi),
+                    || {
+                        let mut out = Vec::new();
+                        cross(&mut out);
+                        out
+                    },
+                )
+            },
+        );
+        left.append(&mut right);
+        left.append(&mut between);
+        left
+    } else {
+        let mut out = ego_self(ctx, lo, mid);
+        let mut right = ego_self(ctx, mid, hi);
+        out.append(&mut right);
+        cross(&mut out);
+        out
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn ego_cross(
+    ctx: &JoinCtx<'_>,
+    a_lo: usize,
+    a_hi: usize,
+    b_lo: usize,
+    b_hi: usize,
+    a_box: BBox,
+    b_box: BBox,
+) -> Vec<Pair> {
+    debug_assert!(!a_box.separated(&b_box, ctx.dim, ctx.eps));
+    let a_len = a_hi - a_lo;
+    let b_len = b_hi - b_lo;
+    if a_len <= ctx.threshold && b_len <= ctx.threshold {
+        let mut out = Vec::new();
+        simple_cross(ctx, a_lo, a_hi, b_lo, b_hi, &mut out);
+        return out;
+    }
+    // Split the longer sequence and recurse on the surviving halves.
+    let (halves, fixed_box, fixed_lo, fixed_hi, split_a) = if a_len >= b_len {
+        let mid = a_lo + a_len / 2;
+        (
+            [(a_lo, mid), (mid, a_hi)],
+            b_box,
+            b_lo,
+            b_hi,
+            true,
+        )
+    } else {
+        let mid = b_lo + b_len / 2;
+        (
+            [(b_lo, mid), (mid, b_hi)],
+            a_box,
+            a_lo,
+            a_hi,
+            false,
+        )
+    };
+    let mut tasks: Vec<(usize, usize, BBox)> = Vec::with_capacity(2);
+    for &(h_lo, h_hi) in &halves {
+        let hb = BBox::of(ctx.coords, ctx.dim, h_lo..h_hi);
+        if hb.separated(&fixed_box, ctx.dim, ctx.eps) {
+            ctx.pruned.fetch_add(1, Ordering::Relaxed);
+        } else {
+            tasks.push((h_lo, h_hi, hb));
+        }
+    }
+    let run_task = |(h_lo, h_hi, hb): (usize, usize, BBox)| {
+        if split_a {
+            ego_cross(ctx, h_lo, h_hi, fixed_lo, fixed_hi, hb, fixed_box)
+        } else {
+            ego_cross(ctx, fixed_lo, fixed_hi, h_lo, h_hi, fixed_box, hb)
+        }
+    };
+    match tasks.len() {
+        0 => Vec::new(),
+        1 => run_task(tasks[0]),
+        _ => {
+            if ctx.parallel && (a_len + b_len) > 4096 {
+                let t1 = tasks[1];
+                let t0 = tasks[0];
+                let (mut x, mut y) = rayon::join(|| run_task(t0), || run_task(t1));
+                x.append(&mut y);
+                x
+            } else {
+                let mut x = run_task(tasks[0]);
+                let mut y = run_task(tasks[1]);
+                x.append(&mut y);
+                x
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grid_join::{host_self_join, GridIndex};
+    use sj_datasets::synthetic::{clustered, lattice, uniform};
+
+    fn reference(data: &Dataset, eps: f64) -> NeighborTable {
+        let grid = GridIndex::build(data, eps).unwrap();
+        host_self_join(data, &grid)
+    }
+
+    #[test]
+    fn matches_reference_2d() {
+        let data = uniform(2, 1000, 91);
+        let (table, report) = SuperEgo::default().self_join(&data, 3.0);
+        assert_eq!(table, reference(&data, 3.0));
+        assert!(report.simple_joins > 0);
+        assert_eq!(report.results as usize, table.total_pairs());
+    }
+
+    #[test]
+    fn matches_reference_5d() {
+        let data = uniform(5, 500, 92);
+        let (table, _) = SuperEgo::default().self_join(&data, 20.0);
+        assert_eq!(table, reference(&data, 20.0));
+    }
+
+    #[test]
+    fn matches_on_skewed_data() {
+        let data = clustered(3, 900, 6, 1.2, 0.1, 93);
+        let (table, report) = SuperEgo::default().self_join(&data, 2.0);
+        assert_eq!(table, reference(&data, 2.0));
+        assert!(report.pruned > 0, "skewed data must trigger pruning");
+    }
+
+    #[test]
+    fn sequential_equals_parallel() {
+        let data = uniform(3, 800, 94);
+        let seq = SuperEgo {
+            parallel: false,
+            ..Default::default()
+        };
+        let par = SuperEgo::default();
+        assert_eq!(seq.self_join(&data, 5.0).0, par.self_join(&data, 5.0).0);
+    }
+
+    #[test]
+    fn reorder_off_still_correct() {
+        let data = clustered(2, 600, 4, 1.0, 0.2, 95);
+        let plain = SuperEgo {
+            reorder: false,
+            ..Default::default()
+        };
+        let (table, report) = plain.self_join(&data, 1.5);
+        assert_eq!(table, reference(&data, 1.5));
+        assert_eq!(report.order, vec![0, 1]);
+    }
+
+    #[test]
+    fn lattice_counts() {
+        // ε slightly above the lattice spacing: Super-EGO normalizes
+        // coordinates, so pairs at distance *exactly* ε can flip either way
+        // under f64 rounding (a knife-edge the paper also acknowledges when
+        // validating against its 32-bit Super-EGO build). Off the boundary
+        // the count is exact.
+        let data = lattice(2, 6, 1.0);
+        let (table, _) = SuperEgo::default().self_join(&data, 1.001);
+        // 2 × (2·6·5) directed axis-adjacent pairs.
+        assert_eq!(table.total_pairs(), 120);
+    }
+
+    #[test]
+    fn tiny_threshold_still_correct() {
+        let data = uniform(2, 400, 96);
+        let se = SuperEgo {
+            simple_join_threshold: 2,
+            ..Default::default()
+        };
+        assert_eq!(se.self_join(&data, 4.0).0, reference(&data, 4.0));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let (t, _) = SuperEgo::default().self_join(&Dataset::new(3), 1.0);
+        assert_eq!(t.num_points(), 0);
+        let mut one = Dataset::new(2);
+        one.push(&[1.0, 1.0]);
+        let (t, _) = SuperEgo::default().self_join(&one, 1.0);
+        assert_eq!(t.total_pairs(), 0);
+    }
+
+    #[test]
+    fn duplicate_points() {
+        let mut data = Dataset::new(2);
+        for _ in 0..20 {
+            data.push(&[3.0, 3.0]);
+        }
+        let (t, _) = SuperEgo::default().self_join(&data, 0.1);
+        assert_eq!(t.total_pairs(), 20 * 19);
+        assert!(t.is_irreflexive());
+    }
+}

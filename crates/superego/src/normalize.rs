@@ -1,0 +1,113 @@
+//! Uniform-scale normalization to the unit cube.
+//!
+//! Super-EGO expects inputs in `[0, 1]` per dimension. Normalizing each
+//! dimension *independently* would distort Euclidean balls into ellipsoids
+//! and change the join result; the paper sidesteps this by modifying its
+//! datasets and reporting the non-normalized ε. We instead apply one
+//! **uniform** scale — translate by the per-dimension minimum, divide
+//! everything (including ε) by the largest dimension span — which maps the
+//! data into `[0, 1]^n` while preserving the result set exactly.
+
+use sj_datasets::Dataset;
+
+/// Result of uniform normalization.
+#[derive(Clone, Debug)]
+pub struct Normalized {
+    /// The rescaled dataset (all coordinates in `[0, 1]`).
+    pub data: Dataset,
+    /// The rescaled search radius.
+    pub epsilon: f64,
+    /// The single scale factor applied (`1 / max_span`).
+    pub scale: f64,
+}
+
+/// Applies the uniform normalization described in the module docs.
+///
+/// Degenerate datasets (empty, or all points identical) return scale 1.
+pub fn normalize_uniform(data: &Dataset, epsilon: f64) -> Normalized {
+    let (mins, maxs) = match (data.min_per_dim(), data.max_per_dim()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => {
+            return Normalized {
+                data: data.clone(),
+                epsilon,
+                scale: 1.0,
+            }
+        }
+    };
+    let max_span = mins
+        .iter()
+        .zip(&maxs)
+        .map(|(lo, hi)| hi - lo)
+        .fold(0.0f64, f64::max);
+    let scale = if max_span > 0.0 { 1.0 / max_span } else { 1.0 };
+    let dim = data.dim();
+    let coords: Vec<f64> = data
+        .coords()
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (c - mins[i % dim]) * scale)
+        .collect();
+    Normalized {
+        data: Dataset::from_flat(dim, coords),
+        epsilon: epsilon * scale,
+        scale,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_datasets::euclidean;
+    use sj_datasets::synthetic::uniform;
+
+    #[test]
+    fn output_in_unit_cube() {
+        let d = uniform(3, 2000, 71);
+        let n = normalize_uniform(&d, 2.0);
+        for p in n.data.iter() {
+            for &x in p {
+                assert!((0.0..=1.0).contains(&x), "{x}");
+            }
+        }
+    }
+
+    #[test]
+    fn distances_scale_uniformly() {
+        let d = uniform(2, 200, 72);
+        let n = normalize_uniform(&d, 2.0);
+        for (i, j) in [(0usize, 1usize), (5, 99), (100, 150)] {
+            let orig = euclidean(d.point(i), d.point(j));
+            let new = euclidean(n.data.point(i), n.data.point(j));
+            assert!(
+                (new - orig * n.scale).abs() < 1e-12,
+                "distance not preserved up to scale"
+            );
+        }
+    }
+
+    #[test]
+    fn join_predicate_preserved() {
+        // dist(a,b) ≤ ε  ⇔  dist'(a,b) ≤ ε′.
+        let d = uniform(2, 300, 73);
+        let eps = 3.0;
+        let n = normalize_uniform(&d, eps);
+        for i in 0..50 {
+            for j in 0..50 {
+                let before = euclidean(d.point(i), d.point(j)) <= eps;
+                let after = euclidean(n.data.point(i), n.data.point(j)) <= n.epsilon;
+                assert_eq!(before, after, "pair ({i},{j}) predicate flipped");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_dataset() {
+        let d = Dataset::from_flat(2, vec![3.0, 3.0, 3.0, 3.0]);
+        let n = normalize_uniform(&d, 1.0);
+        assert_eq!(n.scale, 1.0);
+        assert_eq!(n.epsilon, 1.0);
+        let e = normalize_uniform(&Dataset::new(2), 1.0);
+        assert_eq!(e.scale, 1.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: index a point cloud and run the GPU self-join.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use gpu_self_join::prelude::*;
+
+fn main() {
+    // 50k uniformly distributed 3-D points in [0, 100]³.
+    let data = uniform(3, 50_000, 42);
+    let epsilon = 2.0;
+
+    // The default device is a simulated TITAN X (Pascal); the default
+    // configuration enables UNICOMP and ≥3-batch result streaming.
+    let join = GpuSelfJoin::default_device();
+    let out = join.run(&data, epsilon).expect("self-join failed");
+
+    println!("points:          {}", data.len());
+    println!("epsilon:         {epsilon}");
+    println!("directed pairs:  {}", out.table.total_pairs());
+    println!("avg neighbors:   {:.2}", out.table.avg_neighbors());
+    println!("non-empty cells: {}", out.report.non_empty_cells);
+    println!("index size:      {} KiB", out.report.index_bytes / 1024);
+    println!("batches:         {}", out.report.batching.batches);
+    println!(
+        "occupancy:       {:.1}% (limited by {})",
+        out.report.occupancy.occupancy * 100.0,
+        out.report.occupancy.limiter
+    );
+    println!("grid build:      {:?}", out.report.grid_build);
+    println!("device pipeline: {:?}", out.report.device_pipeline);
+    println!("total:           {:?}", out.report.total);
+
+    // Inspect one point's neighborhood.
+    let p = 1234;
+    let neighbors = out.table.neighbors(p);
+    println!(
+        "\npoint {p} at {:?} has {} neighbors within {epsilon}",
+        data.point(p),
+        neighbors.len()
+    );
+    for &q in neighbors.iter().take(5) {
+        println!(
+            "  -> {q} at distance {:.3}",
+            euclidean(data.point(p), data.point(q as usize))
+        );
+    }
+
+    // Sanity: the result is symmetric and self-free by construction.
+    assert!(out.table.is_symmetric());
+    assert!(out.table.is_irreflexive());
+}

@@ -1,0 +1,52 @@
+//! # gpu-self-join
+//!
+//! A complete Rust reproduction of *GPU Accelerated Self-Join for the
+//! Distance Similarity Metric* (Gowanlock & Karsin, 2018): the GPU-SJ
+//! algorithm — ε-grid index, `GPUSELFJOINGLOBAL` kernel, UNICOMP work
+//! avoidance, result-set batching — running on a software SIMT device
+//! model, together with the paper's baselines (sequential R-tree
+//! search-and-refine, multi-threaded Super-EGO, GPU brute force) and its
+//! full evaluation harness.
+//!
+//! This crate is a facade: it re-exports the workspace's five libraries
+//! so applications can depend on a single crate.
+//!
+//! ```
+//! use gpu_self_join::prelude::*;
+//!
+//! let data = uniform(2, 1_000, 42);
+//! let out = GpuSelfJoin::default_device().run(&data, 2.0).unwrap();
+//! println!("avg neighbors: {:.2}", out.table.avg_neighbors());
+//! # assert!(out.table.is_symmetric());
+//! ```
+//!
+//! ## Crate map
+//!
+//! * [`join`] (`grid-join`) — the paper's contribution: [`GpuSelfJoin`].
+//! * [`gpu`] (`sim-gpu`) — the simulated device substrate.
+//! * [`baseline_rtree`] (`rtree`) — CPU-RTREE.
+//! * [`baseline_superego`] (`superego`) — Super-EGO.
+//! * [`datasets`] (`sj-datasets`) — workload generators (Table I).
+//! * [`clustering`] (`sj-clustering`) — DBSCAN over the neighbour table.
+
+pub use grid_join as join;
+pub use sj_clustering as clustering;
+pub use rtree as baseline_rtree;
+pub use sim_gpu as gpu;
+pub use sj_datasets as datasets;
+pub use superego as baseline_superego;
+
+pub use grid_join::{
+    GpuSelfJoin, GridIndex, NeighborTable, Pair, SelfJoinConfig, SelfJoinError, SelfJoinOutput,
+};
+pub use sim_gpu::{Device, DeviceSpec};
+
+/// Convenience re-exports for examples and quick starts.
+pub mod prelude {
+    pub use grid_join::{gpu_brute_force, host_self_join, GpuSelfJoin, GridIndex, NeighborTable, Pair, SelfJoinConfig};
+    pub use rtree::rtree_self_join;
+    pub use sim_gpu::{Device, DeviceSpec};
+    pub use sj_datasets::synthetic::{clustered, lattice, uniform};
+    pub use sj_datasets::{euclidean, euclidean_sq, Dataset};
+    pub use superego::SuperEgo;
+}

@@ -1,0 +1,103 @@
+//! Device-memory behaviour: batching under pressure, out-of-memory
+//! surfacing, and allocation hygiene.
+
+use gpu_self_join::join::SelfJoinConfig;
+use gpu_self_join::prelude::*;
+use gpu_self_join::SelfJoinError;
+
+fn mib(m: usize) -> usize {
+    m * 1024 * 1024
+}
+
+#[test]
+fn results_invariant_under_memory_pressure() {
+    let data = uniform(2, 3000, 21);
+    let eps = 3.0;
+    let reference = GpuSelfJoin::default_device().run(&data, eps).unwrap().table;
+    for mem in [mib(64), mib(4), mib(1)] {
+        let device = Device::new(DeviceSpec::titan_x_with_memory(mem));
+        let out = GpuSelfJoin::new(device).run(&data, eps).unwrap();
+        assert_eq!(out.table, reference, "memory {mem} changed the result");
+    }
+}
+
+#[test]
+fn tighter_memory_means_more_batches() {
+    let data = uniform(2, 5000, 22);
+    let eps = 6.0;
+    let roomy = GpuSelfJoin::new(Device::new(DeviceSpec::titan_x_pascal()))
+        .run(&data, eps)
+        .unwrap();
+    let tight = GpuSelfJoin::new(Device::new(DeviceSpec::titan_x_with_memory(512 * 1024)))
+        .run(&data, eps)
+        .unwrap();
+    assert!(roomy.report.batching.batches >= 3, "paper minimum");
+    assert!(
+        tight.report.batching.batches > roomy.report.batching.batches,
+        "tight: {} vs roomy: {}",
+        tight.report.batching.batches,
+        roomy.report.batching.batches
+    );
+    assert_eq!(tight.table, roomy.table);
+}
+
+#[test]
+fn impossible_memory_surfaces_oom() {
+    // Device too small to even hold the input coordinates.
+    let data = uniform(2, 100_000, 23);
+    let device = Device::new(DeviceSpec::titan_x_with_memory(64 * 1024));
+    let err = GpuSelfJoin::new(device).run(&data, 1.0).unwrap_err();
+    assert!(matches!(err, SelfJoinError::Device(_)), "{err}");
+}
+
+#[test]
+fn device_memory_fully_released() {
+    let device = Device::new(DeviceSpec::titan_x_pascal());
+    let data = uniform(3, 2000, 24);
+    for _ in 0..3 {
+        let join = GpuSelfJoin::new(device.clone());
+        let _ = join.run(&data, 6.0).unwrap();
+        assert_eq!(device.used_bytes(), 0, "leak after join");
+    }
+}
+
+#[test]
+fn estimation_overshoot_is_bounded() {
+    // The estimator's safety factor is 1.25; on uniform data the estimate
+    // should stay within ~2x of the truth (gross overshoot wastes device
+    // memory and batches).
+    let data = uniform(2, 4000, 25);
+    let out = GpuSelfJoin::default_device().run(&data, 2.5).unwrap();
+    let est = out.report.batching.estimated_pairs as f64;
+    let actual = out.report.batching.actual_pairs.max(1) as f64;
+    assert!(est >= 0.8 * actual, "estimate {est} far below actual {actual}");
+    assert!(est <= 3.0 * actual, "estimate {est} far above actual {actual}");
+}
+
+#[test]
+fn min_batches_honoured_even_for_tiny_inputs() {
+    let data = uniform(2, 1000, 26);
+    let out = GpuSelfJoin::default_device().run(&data, 1.0).unwrap();
+    assert!(out.report.batching.batches >= 3);
+}
+
+#[test]
+fn custom_batching_config_respected() {
+    let data = uniform(2, 2000, 27);
+    let mut cfg = SelfJoinConfig::default();
+    cfg.batching.min_batches = 7;
+    let out = GpuSelfJoin::default_device()
+        .with_config(cfg)
+        .run(&data, 2.0)
+        .unwrap();
+    assert!(out.report.batching.batches >= 7);
+}
+
+#[test]
+fn overlap_model_reports_sane_timeline() {
+    let data = uniform(2, 3000, 28);
+    let out = GpuSelfJoin::default_device().run(&data, 3.0).unwrap();
+    let tl = &out.report.batching.timeline;
+    assert!(tl.total <= tl.serial_total, "pipelining can't be slower than serial");
+    assert!(tl.total >= tl.compute_busy, "makespan below pure compute is impossible");
+}

@@ -1,0 +1,121 @@
+//! Cross-algorithm equivalence: the repo's strongest correctness signal.
+//!
+//! Five independent implementations — the simulated-GPU grid join (with
+//! and without UNICOMP), the host grid join, the R-tree search-and-refine
+//! baseline, and Super-EGO — must produce the *identical* neighbour table
+//! on the same input, across dimensionalities and data distributions.
+
+use gpu_self_join::prelude::*;
+use gpu_self_join::datasets::{sdss, sw};
+
+fn all_agree(data: &Dataset, eps: f64) {
+    let grid = GridIndex::build(data, eps).unwrap();
+    let reference = host_self_join(data, &grid);
+
+    let gpu = GpuSelfJoin::default_device()
+        .unicomp(false)
+        .run(data, eps)
+        .unwrap();
+    assert_eq!(gpu.table, reference, "GPU (full) diverged");
+
+    let gpu_uni = GpuSelfJoin::default_device()
+        .unicomp(true)
+        .run(data, eps)
+        .unwrap();
+    assert_eq!(gpu_uni.table, reference, "GPU (unicomp) diverged");
+
+    let (rt, _) = rtree_self_join(data, eps);
+    assert_eq!(rt, reference, "R-tree diverged");
+
+    let (ego, _) = SuperEgo::default().self_join(data, eps);
+    assert_eq!(ego, reference, "Super-EGO diverged");
+
+    // Brute force counts directed pairs.
+    let device = Device::new(DeviceSpec::titan_x_pascal());
+    let brute = gpu_brute_force(&device, data, eps).unwrap();
+    assert_eq!(
+        brute.pairs as usize,
+        reference.total_pairs(),
+        "brute-force count diverged"
+    );
+}
+
+#[test]
+fn uniform_2d() {
+    all_agree(&uniform(2, 1200, 1), 3.0);
+}
+
+#[test]
+fn uniform_3d() {
+    all_agree(&uniform(3, 900, 2), 8.0);
+}
+
+#[test]
+fn uniform_4d() {
+    all_agree(&uniform(4, 700, 3), 15.0);
+}
+
+#[test]
+fn uniform_5d() {
+    all_agree(&uniform(5, 500, 4), 22.0);
+}
+
+#[test]
+fn uniform_6d() {
+    all_agree(&uniform(6, 400, 5), 30.0);
+}
+
+#[test]
+fn clustered_2d() {
+    all_agree(&clustered(2, 1200, 5, 1.0, 0.1, 6), 1.2);
+}
+
+#[test]
+fn clustered_4d() {
+    all_agree(&clustered(4, 600, 4, 2.0, 0.15, 7), 3.5);
+}
+
+#[test]
+fn sw_surrogate_2d() {
+    all_agree(&sw::sw2d(1000, 8), 4.0);
+}
+
+#[test]
+fn sw_surrogate_3d() {
+    all_agree(&sw::sw3d(800, 9), 8.0);
+}
+
+#[test]
+fn sdss_surrogate() {
+    all_agree(&sdss::sdss2d(1000, 10), 1.0);
+}
+
+#[test]
+fn near_duplicate_heavy() {
+    // Many coincident and near-coincident points: stress tie handling.
+    let mut d = Dataset::new(2);
+    for i in 0..300 {
+        let x = (i % 10) as f64;
+        d.push(&[x, x]);
+        d.push(&[x + 1e-9, x - 1e-9]);
+    }
+    all_agree(&d, 1.0);
+}
+
+#[test]
+fn epsilon_extremes() {
+    let d = uniform(2, 300, 11);
+    // Tiny eps: no pairs anywhere.
+    all_agree(&d, 0.001);
+    // Huge eps: complete graph.
+    all_agree(&d, 200.0);
+    let grid = GridIndex::build(&d, 200.0).unwrap();
+    let t = host_self_join(&d, &grid);
+    assert_eq!(t.total_pairs(), 300 * 299);
+}
+
+#[test]
+fn one_dimensional_data() {
+    // The paper evaluates 2–6-D, but the implementation supports 1-D.
+    all_agree(&uniform(1, 1500, 12), 0.05);
+}

@@ -1,0 +1,183 @@
+//! Tests for the features this repo adds beyond the paper: kNN search
+//! (the paper's stated future work), cell-ordered query scheduling, and
+//! the warp-work regularity argument of §IV-A.
+
+use gpu_self_join::gpu::append::AppendBuffer;
+use gpu_self_join::gpu::{launch_profiled, launch_work_profiled, Device, DeviceSpec, LaunchConfig};
+use gpu_self_join::join::kernels::SelfJoinKernel;
+use gpu_self_join::join::knn::{gpu_knn, host_knn};
+use gpu_self_join::join::{DeviceGrid, GridIndex, Pair, SelfJoinConfig};
+use gpu_self_join::prelude::*;
+
+#[test]
+fn cell_order_does_not_change_results() {
+    let data = clustered(3, 2000, 5, 1.5, 0.1, 41);
+    for unicomp in [false, true] {
+        let mut cfg = SelfJoinConfig {
+            unicomp,
+            ..SelfJoinConfig::default()
+        };
+        cfg.cell_order_queries = false;
+        let plain = GpuSelfJoin::default_device().with_config(cfg).run(&data, 2.0).unwrap();
+        cfg.cell_order_queries = true;
+        let ordered = GpuSelfJoin::default_device().with_config(cfg).run(&data, 2.0).unwrap();
+        assert_eq!(plain.table, ordered.table, "unicomp={unicomp}");
+    }
+}
+
+/// On skewed data, scheduling same-cell queries onto adjacent threads
+/// improves L1 hit rate (same neighbour cells re-read by consecutive
+/// threads) — the locality rationale for the extension.
+#[test]
+fn cell_order_improves_cache_hit_rate_on_skewed_data() {
+    let data = clustered(2, 4000, 6, 1.0, 0.1, 42);
+    let eps = 1.5;
+    let grid = GridIndex::build(&data, eps).unwrap();
+    let device = Device::new(DeviceSpec::titan_x_pascal());
+    let dg = DeviceGrid::upload(&device, &data, &grid).unwrap();
+    let mut rates = Vec::new();
+    for cell_order in [false, true] {
+        let results = AppendBuffer::<Pair>::new(device.pool(), 4_000_000).unwrap();
+        let kernel = SelfJoinKernel {
+            grid: &dg,
+            results: &results,
+            query_offset: 0,
+            query_count: data.len(),
+            unicomp: false,
+            cell_order,
+        };
+        let (_, cache) = launch_profiled(&device, LaunchConfig::default(), data.len(), &kernel);
+        rates.push(cache.hit_rate());
+    }
+    assert!(
+        rates[1] > rates[0],
+        "cell order should raise hit rate: {:.4} -> {:.4}",
+        rates[0],
+        rates[1]
+    );
+}
+
+/// Same-cell queries do the same amount of work, so cell ordering lowers
+/// warp imbalance (the §IV-A regularity argument, quantified).
+#[test]
+fn cell_order_lowers_warp_imbalance_on_skewed_data() {
+    let data = clustered(2, 4000, 6, 1.0, 0.15, 43);
+    let eps = 1.2;
+    let grid = GridIndex::build(&data, eps).unwrap();
+    let device = Device::new(DeviceSpec::titan_x_pascal());
+    let dg = DeviceGrid::upload(&device, &data, &grid).unwrap();
+    let mut imbalance = Vec::new();
+    for cell_order in [false, true] {
+        let results = AppendBuffer::<Pair>::new(device.pool(), 4_000_000).unwrap();
+        let kernel = SelfJoinKernel {
+            grid: &dg,
+            results: &results,
+            query_offset: 0,
+            query_count: data.len(),
+            unicomp: false,
+            cell_order,
+        };
+        let (_, profile) =
+            launch_work_profiled(&device, LaunchConfig::default(), data.len(), &kernel);
+        imbalance.push(profile.mean_warp_imbalance());
+    }
+    assert!(
+        imbalance[1] < imbalance[0],
+        "cell order should lower imbalance: {:.3} -> {:.3}",
+        imbalance[0],
+        imbalance[1]
+    );
+}
+
+/// The grid kernel's bounded search is more SIMD-regular than the
+/// brute-force kernel is *irregular* — i.e. the grid join keeps decent
+/// efficiency even on skewed data (brute force is trivially 1.0; the
+/// interesting bound is that the grid join doesn't collapse).
+#[test]
+fn grid_kernel_simd_efficiency_reasonable() {
+    let data = uniform(2, 3000, 44);
+    let grid = GridIndex::build(&data, 2.0).unwrap();
+    let device = Device::new(DeviceSpec::titan_x_pascal());
+    let dg = DeviceGrid::upload(&device, &data, &grid).unwrap();
+    let results = AppendBuffer::<Pair>::new(device.pool(), 4_000_000).unwrap();
+    let kernel = SelfJoinKernel {
+        grid: &dg,
+        results: &results,
+        query_offset: 0,
+        query_count: data.len(),
+        unicomp: false,
+        cell_order: false,
+    };
+    let (_, profile) = launch_work_profiled(&device, LaunchConfig::default(), data.len(), &kernel);
+    let eff = profile.simd_efficiency();
+    assert!(
+        eff > 0.5,
+        "uniform-data grid kernel should stay SIMD-efficient, got {eff:.3}"
+    );
+}
+
+#[test]
+fn knn_consistent_with_self_join() {
+    // Every kNN neighbour with distance ≤ ε must appear in the ε-join
+    // table, and vice versa for the k nearest.
+    let data = uniform(2, 800, 45);
+    let eps = 4.0;
+    let k = 10;
+    let device = Device::new(DeviceSpec::titan_x_pascal());
+    let knn = gpu_knn(&device, &data, eps, k).unwrap();
+    let join = GpuSelfJoin::default_device().run(&data, eps).unwrap();
+    for (q, hits) in knn.iter().enumerate() {
+        let within: Vec<u32> = hits
+            .iter()
+            .filter(|h| h.dist_sq <= eps * eps)
+            .map(|h| h.neighbor)
+            .collect();
+        for n in &within {
+            assert!(
+                join.table.neighbors(q).binary_search(n).is_ok(),
+                "kNN hit {n} of query {q} missing from join table"
+            );
+        }
+        // If the query has fewer than k join-neighbours, kNN must have
+        // found all of them within ε.
+        if join.table.neighbors(q).len() < k {
+            assert_eq!(within.len(), join.table.neighbors(q).len(), "query {q}");
+        }
+    }
+}
+
+#[test]
+fn knn_host_and_gpu_agree_on_surrogates() {
+    use gpu_self_join::datasets::sdss;
+    let data = sdss::sdss2d(600, 46);
+    let device = Device::new(DeviceSpec::titan_x_pascal());
+    let grouped = gpu_knn(&device, &data, 0.5, 4).unwrap();
+    let grid = GridIndex::build(&data, 0.5).unwrap();
+    for q in (0..data.len()).step_by(7) {
+        let host = host_knn(&data, &grid, q, 4);
+        assert_eq!(grouped[q].len(), host.len());
+        for (g, h) in grouped[q].iter().zip(&host) {
+            assert!((g.dist_sq - h.0).abs() < 1e-12, "q={q}");
+        }
+    }
+}
+
+#[test]
+fn dbscan_pipeline_on_all_generators() {
+    use gpu_self_join::clustering::dbscan;
+    use gpu_self_join::datasets::{sdss, sw};
+    let join = GpuSelfJoin::default_device();
+    for (name, data, eps) in [
+        ("sw2d", sw::sw2d(1500, 47), 3.0),
+        ("sdss", sdss::sdss2d(1500, 48), 0.8),
+        ("clustered", clustered(3, 1500, 4, 1.5, 0.1, 49), 1.5),
+    ] {
+        let out = join.run(&data, eps).unwrap();
+        let c = dbscan(&out.table, 4);
+        assert!(
+            c.num_clusters() > 0,
+            "{name}: no clusters found (eps too small for surrogate?)"
+        );
+        assert!(c.noise_count() < data.len(), "{name}: everything noise");
+    }
+}

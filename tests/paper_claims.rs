@@ -1,0 +1,158 @@
+//! Shape-level assertions for the paper's quantitative claims — the ones
+//! that are checkable at test scale and don't depend on wall-clock noise.
+
+use gpu_self_join::gpu::{launch_profiled, Device, DeviceSpec, LaunchConfig};
+use gpu_self_join::join::kernels::{kernel_registers, SelfJoinKernel};
+use gpu_self_join::join::{DeviceGrid, GridIndex, Pair};
+use gpu_self_join::gpu::append::AppendBuffer;
+use gpu_self_join::prelude::*;
+
+/// Paper §V-B: "UNICOMP reduces both the index search overhead (cell
+/// evaluations) and Euclidean distance calculations roughly by a factor of
+/// two." We measure work as traced global-memory bytes requested by the
+/// kernel — a direct proxy for cell scans + distance loads.
+#[test]
+fn unicomp_halves_traced_work() {
+    for (dim, n, eps) in [(2usize, 2000usize, 3.0), (3, 1500, 8.0), (4, 1000, 14.0)] {
+        let data = uniform(dim, n, 31);
+        let grid = GridIndex::build(&data, eps).unwrap();
+        let device = Device::new(DeviceSpec::titan_x_pascal());
+        let dg = DeviceGrid::upload(&device, &data, &grid).unwrap();
+
+        let mut requested = Vec::new();
+        for unicomp in [false, true] {
+            let results = AppendBuffer::<Pair>::new(device.pool(), n * n).unwrap();
+            let kernel = SelfJoinKernel {
+                grid: &dg,
+                results: &results,
+                query_offset: 0,
+                query_count: n,
+                unicomp,
+                cell_order: false,
+            };
+            let (_, cache) = launch_profiled(&device, LaunchConfig::default(), n, &kernel);
+            requested.push(cache.bytes_requested as f64);
+        }
+        let ratio = requested[0] / requested[1];
+        assert!(
+            (1.6..=2.4).contains(&ratio),
+            "dim {dim}: work ratio {ratio:.2}, expected ~2x"
+        );
+    }
+}
+
+/// Paper Table II occupancy column, reproduced through the register model
+/// and the CUDA-style occupancy calculator at 256-thread blocks.
+#[test]
+fn occupancy_matches_table_two() {
+    use gpu_self_join::gpu::occupancy::{occupancy, KernelResources};
+    let spec = DeviceSpec::titan_x_pascal();
+    let occ = |dim: usize, unicomp: bool| {
+        occupancy(
+            &spec,
+            KernelResources {
+                registers_per_thread: kernel_registers(dim, unicomp),
+                shared_mem_per_block: 0,
+            },
+            256,
+        )
+        .occupancy
+    };
+    assert_eq!(occ(2, false), 1.0);
+    assert_eq!(occ(2, true), 0.75);
+    assert_eq!(occ(5, false), 0.625);
+    assert_eq!(occ(5, true), 0.5);
+    assert_eq!(occ(6, false), 0.625);
+    assert_eq!(occ(6, true), 0.5);
+}
+
+/// Paper §IV-D: with constant |D| and ε, higher dimensionality means
+/// fewer non-empty adjacent cells per query (density falls), so the share
+/// of the 3ⁿ virtual neighbours that actually exists collapses.
+#[test]
+fn adjacent_cell_occupancy_collapses_with_dimension() {
+    let mut prev_fraction = f64::INFINITY;
+    for dim in [2usize, 4, 6] {
+        let data = uniform(dim, 3000, 32);
+        let grid = GridIndex::build(&data, 5.0).unwrap();
+        // Fraction of virtual cells that are non-empty.
+        let virtual_cells: f64 = grid
+            .cells_per_dim()
+            .iter()
+            .map(|&c| c as f64)
+            .product();
+        let fraction = grid.non_empty_cells() as f64 / virtual_cells;
+        assert!(
+            fraction < prev_fraction,
+            "dim {dim}: non-empty fraction did not fall"
+        );
+        prev_fraction = fraction;
+    }
+}
+
+/// Paper §IV-C: index space is O(|D|), independent of the virtual cell
+/// count — doubling the data roughly doubles the index, regardless of
+/// dimension.
+#[test]
+fn index_size_scales_with_points_not_cells() {
+    for dim in [2usize, 6] {
+        let small = GridIndex::build(&uniform(dim, 2000, 33), 4.0).unwrap();
+        let big = GridIndex::build(&uniform(dim, 4000, 33), 4.0).unwrap();
+        // Growth is at most linear in |D| (sub-linear when the non-empty
+        // cell set saturates, as happens in low dimensions)…
+        let ratio = big.size_bytes() as f64 / small.size_bytes() as f64;
+        assert!(
+            (1.0..=2.3).contains(&ratio),
+            "dim {dim}: size ratio {ratio:.2} not within [1, 2.3]"
+        );
+        // …and the absolute footprint stays a few tens of bytes per point,
+        // no matter how large the virtual cell space is.
+        assert!(big.size_bytes() <= 32 * 4000, "dim {dim}: {} bytes", big.size_bytes());
+    }
+}
+
+/// Paper §VI-C: skewed (real-world-like) data produces *fewer* non-empty
+/// cells than uniform data of the same size and ε — uniform is the grid's
+/// worst case.
+#[test]
+fn uniform_is_worst_case_for_cell_count() {
+    let n = 5000;
+    let eps = 2.0;
+    let uni = GridIndex::build(&uniform(2, n, 34), eps).unwrap();
+    let skew = GridIndex::build(&clustered(2, n, 6, 1.5, 0.1, 34), eps).unwrap();
+    assert!(
+        skew.non_empty_cells() < uni.non_empty_cells(),
+        "skewed {} vs uniform {}",
+        skew.non_empty_cells(),
+        uni.non_empty_cells()
+    );
+}
+
+/// Figure 1's selectivity trend: with |D| and ε fixed, average neighbors
+/// fall monotonically (and steeply) with dimension.
+#[test]
+fn avg_neighbors_fall_with_dimension() {
+    let mut prev = f64::INFINITY;
+    for dim in 2..=5usize {
+        let data = uniform(dim, 1200, 35);
+        let out = GpuSelfJoin::default_device().run(&data, 8.0).unwrap();
+        let avg = out.table.avg_neighbors();
+        assert!(avg < prev, "dim {dim}: avg {avg} did not fall (prev {prev})");
+        prev = avg;
+    }
+}
+
+/// The brute-force baseline's work is ε-independent: its pair *count*
+/// changes with ε but its comparisons don't — checked via equal thread
+/// counts and the ε-independent structure (here: just the count behaviour
+/// plus agreement at two ε values).
+#[test]
+fn brute_force_agrees_at_multiple_epsilons() {
+    let data = uniform(3, 800, 36);
+    let device = Device::new(DeviceSpec::titan_x_pascal());
+    for eps in [2.0, 10.0] {
+        let r = gpu_brute_force(&device, &data, eps).unwrap();
+        let reference = GpuSelfJoin::default_device().run(&data, eps).unwrap();
+        assert_eq!(r.pairs as usize, reference.table.total_pairs());
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests over the public API.
+
+use gpu_self_join::prelude::*;
+use proptest::prelude::*;
+
+/// Random small dataset: dimension 1..=6, 10..300 points, coordinates in
+/// a box whose scale varies so cell geometry is exercised broadly.
+fn dataset_strategy() -> impl Strategy<Value = (Dataset, f64)> {
+    (1usize..=6, 10usize..200, 1u64..10_000, 0.02f64..0.3).prop_map(
+        |(dim, n, seed, eps_frac)| {
+            let data = uniform(dim, n, seed);
+            // ε as a fraction of the [0,100] box, floored to avoid
+            // CellSpaceOverflow in high dimensions.
+            let eps = (100.0 * eps_frac).max(2.0);
+            (data, eps)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn join_is_symmetric_and_irreflexive((data, eps) in dataset_strategy()) {
+        let out = GpuSelfJoin::default_device().run(&data, eps).unwrap();
+        prop_assert!(out.table.is_symmetric());
+        prop_assert!(out.table.is_irreflexive());
+    }
+
+    #[test]
+    fn unicomp_is_result_invariant((data, eps) in dataset_strategy()) {
+        let with = GpuSelfJoin::default_device().unicomp(true).run(&data, eps).unwrap();
+        let without = GpuSelfJoin::default_device().unicomp(false).run(&data, eps).unwrap();
+        prop_assert_eq!(with.table, without.table);
+    }
+
+    #[test]
+    fn join_matches_quadratic_scan((data, eps) in dataset_strategy()) {
+        let out = GpuSelfJoin::default_device().run(&data, eps).unwrap();
+        let eps_sq = eps * eps;
+        for i in 0..data.len() {
+            let expected: Vec<u32> = (0..data.len())
+                .filter(|&j| j != i && euclidean_sq(data.point(i), data.point(j)) <= eps_sq)
+                .map(|j| j as u32)
+                .collect();
+            prop_assert_eq!(out.table.neighbors(i), &expected[..], "point {}", i);
+        }
+    }
+
+    #[test]
+    fn neighbor_count_monotone_in_epsilon((data, eps) in dataset_strategy()) {
+        let small = GpuSelfJoin::default_device().run(&data, eps).unwrap();
+        let large = GpuSelfJoin::default_device().run(&data, eps * 1.7).unwrap();
+        prop_assert!(large.table.total_pairs() >= small.table.total_pairs());
+        // Containment, not just counts: every small-ε neighbor survives.
+        for i in 0..data.len() {
+            for &q in small.table.neighbors(i) {
+                prop_assert!(large.table.neighbors(i).binary_search(&q).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn grid_size_linear_in_points((data, eps) in dataset_strategy()) {
+        let grid = GridIndex::build(&data, eps).unwrap();
+        // O(|D|) with small constants: B+G+A+M ≤ 24 bytes/point + slack.
+        prop_assert!(grid.size_bytes() <= 32 * data.len() + 1024);
+        prop_assert!(grid.non_empty_cells() <= data.len());
+    }
+
+    #[test]
+    fn rtree_and_superego_agree_with_gpu((data, eps) in dataset_strategy()) {
+        let gpu = GpuSelfJoin::default_device().run(&data, eps).unwrap();
+        let (rt, _) = rtree_self_join(&data, eps);
+        prop_assert_eq!(&rt, &gpu.table);
+        let (ego, _) = SuperEgo::default().self_join(&data, eps);
+        prop_assert_eq!(&ego, &gpu.table);
+    }
+}
