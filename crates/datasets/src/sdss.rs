@@ -13,8 +13,10 @@
 //!    child clusters displaced by a Rayleigh-distributed offset (a
 //!    Neyman–Scott / Thomas process, the standard toy model of galaxy
 //!    clustering).
-//! 3. **Galaxies** — cluster members with Rayleigh radial profiles, plus a
-//!    uniform "field galaxy" background.
+//! 3. **Galaxies** — cluster members drawn from a core+halo mixture (a
+//!    compact Rayleigh core inside a wider Rayleigh halo, approximating the
+//!    cuspy radial profile of real clusters), plus a uniform "field galaxy"
+//!    background.
 //!
 //! The footprint mimics the SDSS contiguous northern cap: RA ∈ [110, 260]°,
 //! Dec ∈ [-5, 70]°.
@@ -35,8 +37,21 @@ const FIELD_FRACTION: f64 = 0.25;
 const CLUSTERS_PER_PARENT: f64 = 6.0;
 /// Rayleigh scale of cluster displacement from its parent (degrees).
 const PARENT_SPREAD: f64 = 2.2;
-/// Rayleigh scale of galaxy displacement within a cluster (degrees).
+/// Rayleigh scale of galaxy displacement within a cluster halo (degrees).
 const CLUSTER_SPREAD: f64 = 0.18;
+/// Fraction of cluster members in the compact core rather than the halo.
+const CORE_FRACTION: f64 = 0.2;
+/// Rayleigh scale of the core (degrees). Much tighter than the halo, so
+/// cluster centers are orders of magnitude denser than the sky average —
+/// the property close-pair searches on galaxy catalogs exploit.
+const CORE_SPREAD: f64 = 0.03;
+/// Pareto tail index of the cluster richness distribution: most centers
+/// are poor groups, a few are rich clusters (observed richness functions
+/// are steep power laws). Smaller = heavier tail.
+const RICHNESS_ALPHA: f64 = 2.5;
+/// Cap on the richness weight, bounding the result-set size any single
+/// cluster can contribute.
+const RICHNESS_CAP: f64 = 20.0;
 
 /// Generates the 2-D SDSS surrogate: `(RA, Dec)` pairs in degrees.
 pub fn sdss2d(count: usize, seed: u64) -> Dataset {
@@ -61,14 +76,32 @@ pub fn sdss2d(count: usize, seed: u64) -> Dataset {
         }
     }
 
+    // Draw a Pareto richness weight per cluster and build its CDF; galaxies
+    // pick their cluster proportionally, so a handful of centers become the
+    // rich, dense systems a close-pair search should surface.
+    let mut richness_cdf: Vec<f64> = Vec::with_capacity(cluster_centers.len());
+    let mut total_richness = 0.0;
+    for _ in 0..cluster_centers.len() {
+        let u = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        total_richness += u.powf(-1.0 / RICHNESS_ALPHA).min(RICHNESS_CAP);
+        richness_cdf.push(total_richness);
+    }
+
     let mut coords = Vec::with_capacity(2 * count);
     for _ in 0..count {
         if rng.gen_bool(FIELD_FRACTION) {
             coords.push(rng.gen_range(RA_RANGE.0..RA_RANGE.1));
             coords.push(rng.gen_range(DEC_RANGE.0..DEC_RANGE.1));
         } else {
-            let (cra, cdec) = cluster_centers[rng.gen_range(0..cluster_centers.len())];
-            let r = sample_rayleigh(CLUSTER_SPREAD, &mut rng);
+            let t = rng.gen_range(0.0..total_richness);
+            let idx = richness_cdf.partition_point(|&c| c <= t);
+            let (cra, cdec) = cluster_centers[idx.min(cluster_centers.len() - 1)];
+            let spread = if rng.gen_bool(CORE_FRACTION) {
+                CORE_SPREAD
+            } else {
+                CLUSTER_SPREAD
+            };
+            let r = sample_rayleigh(spread, &mut rng);
             let theta = rng.gen_range(0.0..std::f64::consts::TAU);
             coords.push((cra + r * theta.cos()).clamp(RA_RANGE.0, RA_RANGE.1));
             coords.push((cdec + r * theta.sin()).clamp(DEC_RANGE.0, DEC_RANGE.1));

@@ -1,0 +1,53 @@
+//! Workspace smoke test: the facade crate's advertised entry point (the
+//! same path the crate-level doctest exercises) agrees with the
+//! independent host-side reference join.
+
+use gpu_self_join::prelude::*;
+
+#[test]
+fn facade_run_matches_host_reference() {
+    let data = uniform(2, 2_000, 42);
+    let eps = 2.0;
+
+    let out = GpuSelfJoin::default_device()
+        .run(&data, eps)
+        .expect("GPU self-join on a small uniform dataset must succeed");
+
+    let grid = GridIndex::build(&data, eps).expect("grid build");
+    let host = host_self_join(&data, &grid);
+
+    assert_eq!(
+        out.table.total_pairs(),
+        host.total_pairs(),
+        "device join and host reference disagree on pair count"
+    );
+    assert_eq!(out.table, host, "device join and host reference disagree");
+    assert!(out.table.is_symmetric());
+    assert!(out.table.avg_neighbors() > 0.0, "ε=2 on 2k uniform points must find neighbors");
+}
+
+#[test]
+fn facade_reexports_are_wired() {
+    // Each workspace library is reachable through the facade.
+    let data = uniform(2, 300, 7);
+    let eps = 4.0;
+
+    let gpu = GpuSelfJoin::default_device().run(&data, eps).unwrap().table;
+    let (rt, _) = rtree_self_join(&data, eps);
+    assert_eq!(rt, gpu, "rtree baseline disagrees with GPU join");
+
+    let (ego, _) = SuperEgo::default().self_join(&data, eps);
+    assert_eq!(ego, gpu, "Super-EGO baseline disagrees with GPU join");
+
+    let bf = gpu_brute_force(
+        &gpu_self_join::Device::new(gpu_self_join::DeviceSpec::titan_x_pascal()),
+        &data,
+        eps,
+    )
+    .unwrap();
+    assert_eq!(
+        bf.pairs as usize,
+        gpu.total_pairs(),
+        "brute force pair count disagrees with GPU join"
+    );
+}

@@ -1,0 +1,287 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the workspace benches use — `Criterion`,
+//! `BenchmarkGroup` (`sample_size`, `bench_function`, `bench_with_input`,
+//! `finish`), `BenchmarkId`, `criterion_group!`, `criterion_main!` — with a
+//! plain wall-clock measurement loop: per benchmark, a short warm-up, then
+//! `sample_size` timed samples whose median per-iteration time is printed.
+//! No statistical analysis, plotting, or HTML reports.
+//!
+//! Harness flags: `--test` runs each benchmark body exactly once (this is
+//! what `cargo test --benches` passes); a bare positional argument filters
+//! benchmarks by substring, as upstream does; every other flag cargo or a
+//! user may pass (`--bench`, `--quiet`, ...) is accepted and ignored.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifier for a parameterized benchmark: `group_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Anything usable as a benchmark name: `&str`, `String`, or [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the measured body.
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    /// Median per-iteration time of the last `iter` call (test mode: zero).
+    last: Duration,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Measure,
+    TestOnce,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        match self.mode {
+            Mode::TestOnce => {
+                std::hint::black_box(body());
+                self.last = Duration::ZERO;
+            }
+            Mode::Measure => {
+                // Warm-up: run until ~20ms or 3 iterations, whichever first.
+                let warm_start = Instant::now();
+                let mut warm_iters = 0u32;
+                while warm_iters < 3 && warm_start.elapsed() < Duration::from_millis(20) {
+                    std::hint::black_box(body());
+                    warm_iters += 1;
+                }
+                let per_iter_guess = (warm_start.elapsed() / warm_iters.max(1)).max(Duration::from_nanos(1));
+                // Choose an inner batch so one sample lasts >= ~1ms.
+                let batch = (Duration::from_millis(1).as_nanos() / per_iter_guess.as_nanos())
+                    .clamp(1, 1_000_000) as u32;
+                let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+                for _ in 0..self.sample_size {
+                    let t = Instant::now();
+                    for _ in 0..batch {
+                        std::hint::black_box(body());
+                    }
+                    samples.push(t.elapsed() / batch);
+                }
+                samples.sort_unstable();
+                self.last = samples[samples.len() / 2];
+            }
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        let sample_size = self.sample_size;
+        self.criterion.run_one(&full, sample_size, |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        let sample_size = self.sample_size;
+        self.criterion.run_one(&full, sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream finalizes reports here; the shim prints as
+    /// it goes, so this only consumes the group).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut mode = Mode::Measure;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => mode = Mode::TestOnce,
+                s if !s.starts_with('-') => filter = Some(s.to_string()),
+                _ => {} // --bench and friends: accepted, ignored
+            }
+        }
+        Self {
+            mode,
+            filter,
+            default_sample_size: 100,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = name.into_benchmark_id();
+        let sample_size = self.default_sample_size;
+        self.run_one(&full, sample_size, |b| f(b));
+        self
+    }
+
+    fn run_one(&mut self, name: &str, sample_size: usize, f: impl FnOnce(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            mode: self.mode,
+            sample_size,
+            last: Duration::ZERO,
+        };
+        f(&mut b);
+        match self.mode {
+            Mode::TestOnce => println!("test {name} ... ok"),
+            Mode::Measure => println!("{name:<60} {:>12.3?}/iter", b.last),
+        }
+    }
+}
+
+/// Declares a function that runs the listed benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// Re-export for code that uses `criterion::black_box`.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("grid", 4).to_string(), "grid/4");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+
+    #[test]
+    fn bencher_runs_body() {
+        let mut count = 0u64;
+        let mut b = Bencher {
+            mode: Mode::TestOnce,
+            sample_size: 10,
+            last: Duration::ZERO,
+        };
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn group_runs_and_filters() {
+        let mut c = Criterion {
+            mode: Mode::TestOnce,
+            filter: Some("keep".into()),
+            default_sample_size: 10,
+        };
+        let mut ran = Vec::new();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10);
+            g.bench_function("keep_me", |b| b.iter(|| ran.push("keep")));
+            g.bench_function("skip_me", |b| b.iter(|| ran.push("skip")));
+            g.finish();
+        }
+        assert_eq!(ran, vec!["keep"]);
+    }
+}

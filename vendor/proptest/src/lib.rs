@@ -1,0 +1,180 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the strategy subset this workspace's property tests use:
+//! numeric range strategies (`0u64..100`, `0.0f64..1.0`, inclusive forms),
+//! tuple strategies up to arity 6, [`Strategy::prop_map`],
+//! [`collection::vec`], the [`proptest!`] macro with an optional
+//! `#![proptest_config(...)]` header, and `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assert_ne!`.
+//!
+//! Differences from upstream, deliberate for an offline shim: no shrinking
+//! (a failing case reports its values via the panic message and the
+//! deterministic per-test seed reproduces it), and `prop_assert*` are plain
+//! `assert*` (failures abort the case immediately).
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::Strategy;
+pub use test_runner::{ProptestConfig, TestRng};
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr);) => {};
+    (config = ($cfg:expr);
+        $(#[$attr:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            let strategies = ($($strat,)+);
+            for case in 0..config.cases {
+                let ($($pat,)+) = $crate::strategy::Strategy::sample(&strategies, &mut rng);
+                let run = || { $body };
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run));
+                if let Err(payload) = result {
+                    eprintln!(
+                        "proptest case {}/{} of {} failed (deterministic seed; rerun reproduces it)",
+                        case + 1, config.cases, stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_impl!{ config = ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn range_strategies_in_bounds() {
+        let mut rng = TestRng::deterministic("range_strategies_in_bounds");
+        for _ in 0..1000 {
+            let x = (3u64..17).sample(&mut rng);
+            assert!((3..17).contains(&x));
+            let y = (1usize..=6).sample(&mut rng);
+            assert!((1..=6).contains(&y));
+            let z = (0.25f64..0.75).sample(&mut rng);
+            assert!((0.25..0.75).contains(&z));
+        }
+    }
+
+    #[test]
+    fn signed_ranges_do_not_overflow() {
+        // Regression: span arithmetic must wrap (debug builds panicked on
+        // sign-extended subtraction for negative starts).
+        let mut rng = TestRng::deterministic("signed_ranges_do_not_overflow");
+        for _ in 0..1000 {
+            let x = (-5i32..5).sample(&mut rng);
+            assert!((-5..5).contains(&x));
+            let y = (-100i64..=-10).sample(&mut rng);
+            assert!((-100..=-10).contains(&y));
+        }
+    }
+
+    #[test]
+    fn float_range_stays_below_end() {
+        // Regression: rounding in start + unit*(end-start) must not yield
+        // exactly `end`.
+        let mut rng = TestRng::deterministic("float_range_stays_below_end");
+        for _ in 0..100_000 {
+            let v = (110.0f64..260.0).sample(&mut rng);
+            assert!(v < 260.0);
+        }
+    }
+
+    #[test]
+    fn tuple_and_map_compose() {
+        let mut rng = TestRng::deterministic("tuple_and_map_compose");
+        let strat = (0u32..10, 0u32..10).prop_map(|(a, b)| a + b);
+        for _ in 0..1000 {
+            assert!(strat.sample(&mut rng) < 19);
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_len() {
+        let mut rng = TestRng::deterministic("vec_strategy_respects_len");
+        let strat = collection::vec(0u8..4, 2..=5);
+        for _ in 0..1000 {
+            let v = strat.sample(&mut rng);
+            assert!((2..=5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 4));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_single_binding(x in 0u64..100) {
+            prop_assert!(x < 100);
+        }
+
+        #[test]
+        fn macro_tuple_pattern((a, b) in (0u32..5, 5u32..10)) {
+            prop_assert!(a < b);
+        }
+
+        #[test]
+        fn macro_multiple_bindings(
+            v in collection::vec(0u32..7, 1..=4),
+            k in 1usize..3,
+        ) {
+            prop_assert!(!v.is_empty() && v.len() <= 4);
+            prop_assert_ne!(k, 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_default_config(x in 0i32..10) {
+            prop_assert_eq!(x, x);
+        }
+    }
+}

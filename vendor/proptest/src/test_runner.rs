@@ -1,0 +1,98 @@
+//! Test configuration and the deterministic generator behind sampling.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+///
+/// Only `cases` is honoured; the other fields exist so upstream-style
+/// struct-update syntax (`..ProptestConfig::default()`) keeps compiling.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of sampled inputs per property.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 64,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Deterministic generator for property sampling, wrapping the vendored
+/// `rand::rngs::StdRng` (as upstream proptest wraps a rand generator).
+///
+/// Every property test derives its stream from its fully-qualified name, so
+/// runs are reproducible without recording seeds.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Creates a generator whose stream is a pure function of `name`.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the name yields the seed.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        Self {
+            inner: StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::TestRng;
+
+    #[test]
+    fn same_name_same_stream() {
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_names_differ() {
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("y");
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = TestRng::deterministic("below");
+        for _ in 0..10_000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+}

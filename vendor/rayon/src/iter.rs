@@ -1,0 +1,256 @@
+//! Parallel iterators over integer ranges.
+//!
+//! Everything reduces to an *indexed source*: a length plus a `Sync`
+//! position→item function. Adapters (`map`, `flat_map_iter`) compose the
+//! function; terminals (`for_each`, `collect`) chunk the index space over
+//! scoped threads via [`crate::run_chunked`], preserving index order.
+
+use crate::run_chunked;
+
+/// An indexed parallel source: `len` items addressable by position, plus a
+/// minimum chunk length for the thread fan-out.
+pub trait IndexedSource: Sync {
+    type Elem: Send;
+    fn len(&self) -> usize;
+    fn at(&self, i: usize) -> Self::Elem;
+    fn min_len_hint(&self) -> usize {
+        1
+    }
+}
+
+/// Conversion into a parallel iterator (rayon's entry point).
+pub trait IntoParallelIterator {
+    type Iter: ParallelIterator<Item = Self::Item>;
+    type Item: Send;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Ordered collection target (rayon's `FromParallelIterator`): builds the
+/// collection from per-chunk vectors produced in index order.
+pub trait FromParallelIterator<T: Send>: Sized {
+    fn from_chunk_vecs(chunks: Vec<Vec<T>>) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_chunk_vecs(chunks: Vec<Vec<T>>) -> Self {
+        let total = chunks.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for c in chunks {
+            out.extend(c);
+        }
+        out
+    }
+}
+
+/// The subset of rayon's `ParallelIterator` this workspace uses.
+pub trait ParallelIterator: Sized + IndexedSource {
+    type Item: Send;
+
+    /// Hint: chunks handed to worker threads hold at least `n` items.
+    fn with_min_len(self, n: usize) -> MinLen<Self> {
+        MinLen { base: self, min: n }
+    }
+
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: Send,
+        F: Fn(<Self as IndexedSource>::Elem) -> U + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Maps each item to a serial iterator and flattens, in index order.
+    fn flat_map_iter<U, F>(self, f: F) -> FlatMapIter<Self, F>
+    where
+        U: IntoIterator,
+        U::Item: Send,
+        F: Fn(<Self as IndexedSource>::Elem) -> U + Sync,
+    {
+        FlatMapIter { base: self, f }
+    }
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+        Self: IndexedSource<Elem = Self::Item>,
+    {
+        run_chunked(self.len(), self.min_len_hint(), |range| {
+            for i in range {
+                f(self.at(i));
+            }
+        });
+    }
+
+    /// Collects into `C`, preserving index order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+        Self: IndexedSource<Elem = Self::Item>,
+    {
+        let chunks = run_chunked(self.len(), self.min_len_hint(), |range| {
+            range.map(|i| self.at(i)).collect::<Vec<_>>()
+        });
+        C::from_chunk_vecs(chunks)
+    }
+}
+
+// --- integer ranges -------------------------------------------------------
+
+/// Parallel iterator over `start..end` for an integer type.
+pub struct ParRange<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! par_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Iter = ParRange<$t>;
+            type Item = $t;
+            fn into_par_iter(self) -> ParRange<$t> {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                ParRange { start: self.start, len }
+            }
+        }
+
+        impl IndexedSource for ParRange<$t> {
+            type Elem = $t;
+            fn len(&self) -> usize {
+                self.len
+            }
+            fn at(&self, i: usize) -> $t {
+                self.start + i as $t
+            }
+        }
+
+        impl ParallelIterator for ParRange<$t> {
+            type Item = $t;
+        }
+    )*};
+}
+
+par_range!(u32, u64, usize, i32, i64);
+
+// --- adapters -------------------------------------------------------------
+
+pub struct MinLen<P> {
+    base: P,
+    min: usize,
+}
+
+impl<P: IndexedSource> IndexedSource for MinLen<P> {
+    type Elem = P::Elem;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn at(&self, i: usize) -> P::Elem {
+        self.base.at(i)
+    }
+    fn min_len_hint(&self) -> usize {
+        self.min.max(1)
+    }
+}
+
+impl<P: ParallelIterator> ParallelIterator for MinLen<P> {
+    type Item = P::Elem;
+}
+
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F, U> IndexedSource for Map<P, F>
+where
+    P: IndexedSource,
+    U: Send,
+    F: Fn(P::Elem) -> U + Sync,
+{
+    type Elem = U;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn at(&self, i: usize) -> U {
+        (self.f)(self.base.at(i))
+    }
+    fn min_len_hint(&self) -> usize {
+        self.base.min_len_hint()
+    }
+}
+
+impl<P, F, U> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    U: Send,
+    F: Fn(P::Elem) -> U + Sync,
+{
+    type Item = U;
+}
+
+pub struct FlatMapIter<P, F> {
+    base: P,
+    f: F,
+}
+
+// A flat-map's output is not indexed, but its *input* is; the terminals
+// below walk the input index space and flatten per chunk. `at` is
+// intentionally unreachable — `for_each`/`collect` are overridden.
+impl<P, F, U> IndexedSource for FlatMapIter<P, F>
+where
+    P: IndexedSource,
+    U: IntoIterator,
+    U::Item: Send,
+    F: Fn(P::Elem) -> U + Sync,
+{
+    type Elem = U::Item;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn at(&self, _i: usize) -> U::Item {
+        unreachable!("FlatMapIter items are consumed per input index, not addressed")
+    }
+    fn min_len_hint(&self) -> usize {
+        self.base.min_len_hint()
+    }
+}
+
+impl<P, F, U> ParallelIterator for FlatMapIter<P, F>
+where
+    P: ParallelIterator,
+    U: IntoIterator,
+    U::Item: Send,
+    F: Fn(P::Elem) -> U + Sync,
+{
+    type Item = U::Item;
+
+    fn for_each<G>(self, g: G)
+    where
+        G: Fn(U::Item) + Sync,
+    {
+        run_chunked(self.base.len(), self.base.min_len_hint(), |range| {
+            for i in range {
+                for item in (self.f)(self.base.at(i)) {
+                    g(item);
+                }
+            }
+        });
+    }
+
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<U::Item>,
+    {
+        let chunks = run_chunked(self.base.len(), self.base.min_len_hint(), |range| {
+            let mut out = Vec::new();
+            for i in range {
+                out.extend((self.f)(self.base.at(i)));
+            }
+            out
+        });
+        C::from_chunk_vecs(chunks)
+    }
+}

@@ -1,0 +1,168 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the slice of rayon it uses, implemented on `std::thread::scope`:
+//!
+//! * [`join`] — genuinely parallel two-way fork/join, with a global active-
+//!   thread limiter so deep recursions (Super-EGO's EGO-join) degrade to
+//!   sequential calls instead of spawning unbounded threads.
+//! * `into_par_iter()` on integer ranges with `map`, `flat_map_iter`,
+//!   `with_min_len`, `for_each` and order-preserving `collect` — enough for
+//!   the simulated GPU's block scheduler and the parallel host join.
+//! * `par_sort_unstable` via [`slice::ParallelSliceMut`].
+//!
+//! Unlike rayon there is no work-stealing pool: each parallel call chunks
+//! its index space over `available_parallelism` scoped threads. That keeps
+//! the one-thread-per-point kernel model honest (blocks really do run
+//! concurrently) without a scheduler dependency.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod iter;
+pub mod slice;
+
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, ParallelIterator};
+    pub use crate::slice::ParallelSliceMut;
+}
+
+/// Number of worker threads parallel calls will fan out to.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+static ACTIVE_FORKS: AtomicUsize = AtomicUsize::new(0);
+
+/// Runs both closures, potentially in parallel, returning both results.
+///
+/// A global limiter caps concurrent forks at twice the hardware thread
+/// count; beyond that the call runs sequentially (matching rayon's
+/// behaviour of executing on the current thread when the pool is busy).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let limit = current_num_threads() * 2;
+    if ACTIVE_FORKS.fetch_add(1, Ordering::Relaxed) < limit {
+        let out = std::thread::scope(|s| {
+            let hb = s.spawn(b);
+            let ra = a();
+            (ra, hb.join().expect("rayon::join closure panicked"))
+        });
+        ACTIVE_FORKS.fetch_sub(1, Ordering::Relaxed);
+        out
+    } else {
+        ACTIVE_FORKS.fetch_sub(1, Ordering::Relaxed);
+        (a(), b())
+    }
+}
+
+/// Splits `0..len` into per-thread chunks (each at least `min_len` long,
+/// except possibly the last) and runs `work` on each chunk concurrently,
+/// returning the per-chunk results in index order.
+pub(crate) fn run_chunked<R, W>(len: usize, min_len: usize, work: W) -> Vec<R>
+where
+    R: Send,
+    W: Fn(std::ops::Range<usize>) -> R + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let min_len = min_len.max(1);
+    let threads = current_num_threads().max(1);
+    let chunk = len.div_ceil(threads).max(min_len);
+    let n_chunks = len.div_ceil(chunk);
+    if n_chunks <= 1 {
+        return vec![work(0..len)];
+    }
+    std::thread::scope(|s| {
+        let work = &work;
+        let handles: Vec<_> = (0..n_chunks)
+            .map(|c| {
+                let lo = c * chunk;
+                let hi = (lo + chunk).min(len);
+                s.spawn(move || work(lo..hi))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel chunk panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+
+    #[test]
+    fn nested_join_deep_recursion() {
+        fn sum(lo: u64, hi: u64) -> u64 {
+            if hi - lo <= 64 {
+                (lo..hi).sum()
+            } else {
+                let mid = lo + (hi - lo) / 2;
+                let (a, b) = super::join(|| sum(lo, mid), || sum(mid, hi));
+                a + b
+            }
+        }
+        assert_eq!(sum(0, 100_000), 100_000 * 99_999 / 2);
+    }
+
+    #[test]
+    fn for_each_visits_every_index() {
+        let acc = AtomicU64::new(0);
+        (0..10_000u64).into_par_iter().for_each(|i| {
+            acc.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(acc.load(Ordering::Relaxed), 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..5_000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..5_000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flat_map_iter_preserves_order() {
+        let v: Vec<u32> = (0..100u32)
+            .into_par_iter()
+            .with_min_len(3)
+            .flat_map_iter(|i| std::iter::repeat(i).take((i % 3) as usize))
+            .collect();
+        let expected: Vec<u32> = (0..100u32)
+            .flat_map(|i| std::iter::repeat(i).take((i % 3) as usize))
+            .collect();
+        assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn par_sort_unstable_sorts() {
+        let mut v: Vec<u64> = (0..10_000u64).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        v.par_sort_unstable();
+        assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn empty_range_is_fine() {
+        let v: Vec<usize> = (0..0usize).into_par_iter().map(|i| i).collect();
+        assert!(v.is_empty());
+        (0..0u32).into_par_iter().for_each(|_| panic!("must not run"));
+    }
+}

@@ -1,0 +1,174 @@
+//! Parallel slice operations.
+
+use crate::{current_num_threads, join};
+use std::cmp::Ordering;
+
+/// The subset of rayon's `ParallelSliceMut` this workspace uses.
+pub trait ParallelSliceMut<T: Send> {
+    fn as_parallel_slice_mut(&mut self) -> &mut [T];
+
+    /// Unstable sort, parallelized as a fork/join merge sort over
+    /// [`crate::join`] once slices are large enough to amortize a thread.
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.par_sort_unstable_by(T::cmp);
+    }
+
+    fn par_sort_unstable_by<F>(&mut self, compare: F)
+    where
+        F: Fn(&T, &T) -> Ordering + Sync,
+    {
+        let slice = self.as_parallel_slice_mut();
+        let threshold = (slice.len() / (current_num_threads() * 2).max(1)).max(4096);
+        par_merge_sort(slice, &compare, threshold);
+    }
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn as_parallel_slice_mut(&mut self) -> &mut [T] {
+        self
+    }
+}
+
+fn par_merge_sort<T, F>(slice: &mut [T], compare: &F, threshold: usize)
+where
+    T: Send,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    if slice.len() <= threshold {
+        slice.sort_unstable_by(compare);
+        return;
+    }
+    let mid = slice.len() / 2;
+    let (left, right) = slice.split_at_mut(mid);
+    join(
+        || par_merge_sort(left, compare, threshold),
+        || par_merge_sort(right, compare, threshold),
+    );
+    merge_halves(slice, mid, compare);
+}
+
+/// Merges the two sorted halves `slice[..mid]` and `slice[mid..]` in
+/// O(n) moves using a buffer holding the left half.
+///
+/// Safety scheme (the same one `std`'s stable sort uses): the left half is
+/// bitwise-copied into `tmp` (whose `len` stays 0, so the `Vec` never drops
+/// elements), after which positions `k..j` of the slice form a hole owning
+/// no values. The guard restores the unconsumed tail of `tmp` into the hole
+/// on every exit path, including a panicking comparator, so each element is
+/// owned exactly once at all times.
+fn merge_halves<T, F>(slice: &mut [T], mid: usize, compare: &F)
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    let len = slice.len();
+    if mid == 0 || mid == len {
+        return;
+    }
+    let ptr = slice.as_mut_ptr();
+    let mut tmp: Vec<T> = Vec::with_capacity(mid);
+
+    struct HoleGuard<T> {
+        src: *const T,
+        dest: *mut T,
+        remaining: usize,
+    }
+    impl<T> Drop for HoleGuard<T> {
+        fn drop(&mut self) {
+            unsafe {
+                std::ptr::copy_nonoverlapping(self.src, self.dest, self.remaining);
+            }
+        }
+    }
+
+    unsafe {
+        std::ptr::copy_nonoverlapping(ptr, tmp.as_mut_ptr(), mid);
+        let mut hole = HoleGuard {
+            src: tmp.as_ptr(),
+            dest: ptr,
+            remaining: mid,
+        };
+        let mut j = mid; // next unconsumed element of the right half
+        while hole.remaining > 0 && j < len {
+            if compare(&*hole.src, &*ptr.add(j)) != Ordering::Greater {
+                std::ptr::copy_nonoverlapping(hole.src, hole.dest, 1);
+                hole.src = hole.src.add(1);
+                hole.remaining -= 1;
+            } else {
+                std::ptr::copy(ptr.add(j), hole.dest, 1);
+                j += 1;
+            }
+            hole.dest = hole.dest.add(1);
+        }
+        // Guard drop flushes any left-half tail into the hole; a consumed
+        // left half leaves the right tail already in place.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_interleaved_is_correct() {
+        // Worst case for a rotation-based merge: strictly alternating keys.
+        let n = 200_000usize;
+        let mut v: Vec<u64> = Vec::with_capacity(n);
+        for i in 0..n / 2 {
+            v.push(2 * i as u64);
+        }
+        for i in 0..n / 2 {
+            v.push(2 * i as u64 + 1);
+        }
+        merge_halves(&mut v, n / 2, &u64::cmp);
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(v.len(), n);
+    }
+
+    #[test]
+    fn sort_random_keys_at_scale() {
+        // Random keys exercise the merge's interleaving heavily; with the
+        // old rotation merge this size took seconds, now it is O(n log n).
+        let n = 500_000usize;
+        let mut v: Vec<u64> = (0..n as u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17))
+            .collect();
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        v.par_sort_unstable();
+        assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn sort_with_comparator() {
+        let mut v: Vec<i32> = (0..50_000).map(|i| (i * 37) % 1013 - 500).collect();
+        let mut expected = v.clone();
+        expected.sort_unstable_by(|a, b| b.cmp(a));
+        v.par_sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn merge_edge_cases() {
+        let mut empty: Vec<u64> = vec![];
+        merge_halves(&mut empty, 0, &u64::cmp);
+        let mut single = vec![1u64];
+        merge_halves(&mut single, 0, &u64::cmp);
+        merge_halves(&mut single, 1, &u64::cmp);
+        assert_eq!(single, vec![1]);
+        let mut already = vec![1u64, 2, 3, 4];
+        merge_halves(&mut already, 2, &u64::cmp);
+        assert_eq!(already, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn non_copy_elements_survive() {
+        let mut v: Vec<String> = (0..10_000).map(|i| format!("{:05}", (i * 7919) % 10_000)).collect();
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        v.par_sort_unstable();
+        assert_eq!(v, expected);
+    }
+}
