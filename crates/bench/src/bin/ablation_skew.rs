@@ -17,7 +17,7 @@ use sim_gpu::append::AppendBuffer;
 use sim_gpu::work::launch_work_profiled;
 use sim_gpu::{launch_profiled, Device, DeviceSpec, LaunchConfig};
 use sj_bench::cli::Args;
-use sj_bench::table::{fmt_secs, print_table};
+use sj_bench::table::{emit_table, fmt_secs};
 use sj_datasets::synthetic::{clustered, uniform};
 use sj_datasets::Dataset;
 use superego::SuperEgo;
@@ -94,7 +94,9 @@ fn main() {
             format!("{:.3}", cache.hit_rate()),
         ]);
     }
-    print_table(
+    emit_table(
+        &args,
+        "ablation_skew",
         &format!("Skew ablation: 2-D, |D| = {n}, eps = {eps}"),
         &[
             "dataset",

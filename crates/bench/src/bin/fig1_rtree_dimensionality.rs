@@ -11,7 +11,7 @@
 
 use rtree::rtree_self_join;
 use sj_bench::cli::Args;
-use sj_bench::table::{fmt_secs, print_table};
+use sj_bench::table::{emit_table, fmt_secs};
 use sj_datasets::catalog::Catalog;
 use sj_datasets::synthetic;
 
@@ -39,7 +39,9 @@ fn main() {
             format!("{}", report.candidates),
         ]);
     }
-    print_table(
+    emit_table(
+        &args,
+        "fig1_rtree_dimensionality",
         &format!(
             "Figure 1a: R-tree self-join vs dimension (Syn-nD, paper eps=1, scale {})",
             args.scale
@@ -64,7 +66,9 @@ fn main() {
             format!("{:.2}", table.avg_neighbors()),
         ]);
     }
-    print_table(
+    emit_table(
+        &args,
+        "fig1_rtree_dimensionality",
         "Figure 1b: R-tree time vs eps (Syn6D2M)",
         &["eps (paper)", "eps (scaled)", "time", "avg neighbors"],
         &rows,

@@ -15,6 +15,6 @@ fn main() {
     let mut cache = SweepCache::open(args.scale, !args.no_cache);
     let catalog = Catalog::new();
     for spec in catalog.real_world() {
-        print_response_time_panel(spec, &args, &mut cache);
+        print_response_time_panel("fig4_realworld", spec, &args, &mut cache);
     }
 }

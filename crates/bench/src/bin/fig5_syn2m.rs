@@ -11,6 +11,6 @@ fn main() {
     let mut cache = SweepCache::open(args.scale, !args.no_cache);
     let catalog = Catalog::new();
     for spec in catalog.synthetic_tier("2M") {
-        print_response_time_panel(spec, &args, &mut cache);
+        print_response_time_panel("fig5_syn2m", spec, &args, &mut cache);
     }
 }

@@ -11,6 +11,6 @@ fn main() {
     let mut cache = SweepCache::open(args.scale, !args.no_cache);
     let catalog = Catalog::new();
     for spec in catalog.synthetic_tier("10M") {
-        print_response_time_panel(spec, &args, &mut cache);
+        print_response_time_panel("fig6_syn10m", spec, &args, &mut cache);
     }
 }

@@ -8,7 +8,7 @@ use sj_bench::cache::SweepCache;
 use sj_bench::cli::Args;
 use sj_bench::runner::Algo;
 use sj_bench::sweep::{seconds_of, sweep_dataset, BrutePolicy};
-use sj_bench::table::{fmt_speedup, mean, print_table};
+use sj_bench::table::{emit_table, fmt_speedup, mean};
 use sj_datasets::catalog::Catalog;
 
 fn main() {
@@ -35,7 +35,9 @@ fn main() {
             ]);
         }
     }
-    print_table(
+    emit_table(
+        &args,
+        "fig7_speedup_rtree",
         &format!("Figure 7: speedup of GPU-SJ (unicomp) over CPU-RTREE (scale {})", args.scale),
         &["dataset", "eps", "speedup"],
         &rows,
@@ -44,7 +46,13 @@ fn main() {
         .iter()
         .map(|(d, v)| vec![format!("{d}-D"), fmt_speedup(mean(v))])
         .collect();
-    print_table("Average speedup by dimensionality", &["n", "avg speedup"], &dim_rows);
+    emit_table(
+        &args,
+        "fig7_speedup_rtree",
+        "Average speedup by dimensionality",
+        &["n", "avg speedup"],
+        &dim_rows,
+    );
     println!(
         "\nAverage speedup over CPU-RTREE across all datasets: {} (paper: 26.9x on a TITAN X vs 1 CPU core)",
         fmt_speedup(mean(&all_speedups))

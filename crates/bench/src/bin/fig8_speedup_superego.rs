@@ -6,7 +6,7 @@ use sj_bench::cache::SweepCache;
 use sj_bench::cli::Args;
 use sj_bench::runner::Algo;
 use sj_bench::sweep::{seconds_of, sweep_dataset, BrutePolicy};
-use sj_bench::table::{fmt_speedup, mean, print_table};
+use sj_bench::table::{emit_table, fmt_speedup, mean};
 use sj_datasets::catalog::{Catalog, Family};
 
 fn main() {
@@ -39,7 +39,9 @@ fn main() {
             ]);
         }
     }
-    print_table(
+    emit_table(
+        &args,
+        "fig8_speedup_superego",
         &format!("Figure 8: speedup of GPU-SJ (unicomp) over SuperEGO (scale {})", args.scale),
         &["dataset", "eps", "speedup"],
         &rows,

@@ -10,7 +10,7 @@ use sj_bench::cache::SweepCache;
 use sj_bench::cli::Args;
 use sj_bench::runner::Algo;
 use sj_bench::sweep::{seconds_of, sweep_dataset, BrutePolicy};
-use sj_bench::table::{mean, print_table};
+use sj_bench::table::{emit_table, mean};
 use sj_datasets::catalog::{Catalog, DatasetSpec};
 
 fn panel(title: &str, specs: &[&DatasetSpec], args: &Args, cache: &mut SweepCache) {
@@ -31,7 +31,13 @@ fn panel(title: &str, specs: &[&DatasetSpec], args: &Args, cache: &mut SweepCach
             ]);
         }
     }
-    print_table(title, &["dataset", "eps", "ratio (no-unicomp / unicomp)"], &rows);
+    emit_table(
+        args,
+        "fig9_unicomp_ratio",
+        title,
+        &["dataset", "eps", "ratio (no-unicomp / unicomp)"],
+        &rows,
+    );
     println!("panel average ratio: {:.2}", mean(&ratios));
 }
 

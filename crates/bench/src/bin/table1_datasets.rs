@@ -5,7 +5,7 @@
 //! box, density) from a small sample of each generator.
 
 use sj_bench::cli::Args;
-use sj_bench::table::print_table;
+use sj_bench::table::emit_table;
 use sj_datasets::catalog::Catalog;
 use sj_datasets::stats;
 
@@ -33,7 +33,9 @@ fn main() {
             ]
         })
         .collect();
-    print_table(
+    emit_table(
+        &args,
+        "table1_datasets",
         &format!("Table I: datasets (scale {})", args.scale),
         &[
             "Dataset",

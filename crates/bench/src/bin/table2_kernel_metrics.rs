@@ -16,7 +16,7 @@ use grid_join::{DeviceGrid, GridIndex, Pair};
 use sim_gpu::append::AppendBuffer;
 use sim_gpu::{Device, DeviceSpec, LaunchConfig, ProfiledLaunch};
 use sj_bench::cli::Args;
-use sj_bench::table::print_table;
+use sj_bench::table::emit_table;
 use sj_datasets::catalog::Catalog;
 
 struct ProfilePoint {
@@ -89,7 +89,9 @@ fn main() {
             format!("{:.3}/{:.3}", base.hit_rate(), uni.hit_rate()),
         ]);
     }
-    print_table(
+    emit_table(
+        &args,
+        "table2_kernel_metrics",
         &format!("Table II: kernel metrics without/with UNICOMP (scale {})", args.scale),
         &[
             "Dataset",

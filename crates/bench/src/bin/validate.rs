@@ -1,47 +1,88 @@
-//! Five-way cross-validation sweep — the release gate.
+//! Cross-validation sweep — the release gate.
 //!
-//! Runs every algorithm on a matrix of dataset families, dimensionalities
-//! and ε values and asserts identical result counts everywhere. Exits
-//! non-zero on any mismatch (`run_algorithms` panics), so CI can gate on
-//! this binary.
+//! Two layers, both over the paper's Table I workloads (scaled):
+//!
+//! 1. **Count validation**: the five evaluated algorithms (GPU brute
+//!    force, CPU-RTREE, Super-EGO, GPU-SJ, GPU-SJ+UNICOMP) must report
+//!    identical directed-pair counts (`run_algorithms` panics on any
+//!    mismatch).
+//! 2. **Exact-table validation**: the sharded multi-device engine must be
+//!    *pair-for-pair* identical to single-device GPU-SJ, the parallel
+//!    host join and the R-tree — and its deduplicating merge must remove
+//!    zero duplicates (the halo-ownership invariant).
+//!
+//! Exits non-zero on any disagreement, so CI can gate on this binary.
 
+use grid_join::{GpuSelfJoin, GridIndex};
+use rtree::rtree_self_join;
 use sj_bench::cli::Args;
 use sj_bench::runner::{run_algorithms, Algo};
-use sj_bench::table::print_table;
-use sj_datasets::synthetic::{clustered, uniform};
-use sj_datasets::{sdss, sw, Dataset};
+use sj_bench::table::emit_table;
+use sj_datasets::catalog::Catalog;
+use sj_shard::ShardedSelfJoin;
 
 fn main() {
     let args = Args::parse();
-    let n = ((2000.0 * (args.scale / 0.002)) as usize).clamp(500, 50_000);
-    let cases: Vec<(String, Dataset, f64)> = vec![
-        ("uniform-2d".into(), uniform(2, n, 1), 3.0),
-        ("uniform-3d".into(), uniform(3, n, 2), 8.0),
-        ("uniform-4d".into(), uniform(4, n / 2, 3), 14.0),
-        ("uniform-5d".into(), uniform(5, n / 2, 4), 22.0),
-        ("uniform-6d".into(), uniform(6, n / 2, 5), 30.0),
-        ("clustered-2d".into(), clustered(2, n, 5, 1.0, 0.1, 6), 1.2),
-        ("clustered-4d".into(), clustered(4, n / 2, 4, 2.0, 0.15, 7), 3.5),
-        ("sw-2d".into(), sw::sw2d(n, 8), 4.0),
-        ("sw-3d".into(), sw::sw3d(n, 9), 8.0),
-        ("sdss-2d".into(), sdss::sdss2d(n, 10), 1.0),
-    ];
+    let catalog = Catalog::new();
     let mut rows = Vec::new();
-    for (name, data, eps) in &cases {
-        // run_algorithms panics on any count mismatch across the five.
-        let ms = run_algorithms(data, *eps, &Algo::ALL, 1);
+    for (i, spec) in catalog.specs().iter().enumerate() {
+        let data = spec.generate(args.scale);
+        let eps = spec.scaled_epsilons(args.scale)[2]; // mid-sweep ε
+        eprintln!(
+            "  validating {} ({} pts, eps {eps:.4})…",
+            spec.name,
+            data.len()
+        );
+
+        // Layer 1: five-way count agreement (panics on mismatch).
+        let ms = run_algorithms(&data, eps, &Algo::ALL, 1);
+
+        // Layer 2: exact neighbour-table agreement, sharded included.
+        // Device count varies across cases to exercise 2/3/4-device pools.
+        let devices = 2 + i % 3;
+        let single = GpuSelfJoin::default_device()
+            .run(&data, eps)
+            .expect("single-device GPU-SJ failed");
+        let sharded = ShardedSelfJoin::titan_x(devices)
+            .run(&data, eps)
+            .expect("sharded engine failed");
+        assert_eq!(
+            sharded.table, single.table,
+            "{}: sharded (x{devices}) != single-device GPU-SJ",
+            spec.name
+        );
+        assert_eq!(
+            sharded.report.duplicates_merged, 0,
+            "{}: sharded merge removed duplicates — ownership violated",
+            spec.name
+        );
+        let grid = GridIndex::build(&data, eps).expect("grid build failed");
+        let host = grid_join::host_self_join_parallel(&data, &grid);
+        assert_eq!(host, single.table, "{}: host parallel != GPU-SJ", spec.name);
+        let (rt, _) = rtree_self_join(&data, eps);
+        assert_eq!(rt, single.table, "{}: R-tree != GPU-SJ", spec.name);
+        assert_eq!(ms[0].pairs as usize, single.table.total_pairs());
+
         rows.push(vec![
-            name.clone(),
+            spec.name.to_string(),
             format!("{}", data.len()),
-            format!("{eps}"),
+            format!("{eps:.4}"),
             format!("{}", ms[0].pairs),
+            format!("x{devices}, {} shards", sharded.report.shards.len()),
             "agree".to_string(),
         ]);
     }
-    print_table(
-        "Cross-validation: GPU brute / R-tree / Super-EGO / GPU / GPU+unicomp",
-        &["case", "|D|", "eps", "directed pairs", "status"],
+    emit_table(
+        &args,
+        "validate",
+        "Cross-validation: brute / R-tree / Super-EGO / GPU / GPU+unicomp / sharded / host",
+        &["case", "|D|", "eps", "directed pairs", "sharded run", "status"],
         &rows,
     );
-    println!("\nAll {} cases validated: five implementations agree exactly.", cases.len());
+    println!(
+        "\nAll {} Table I workloads validated: counts agree across the five algorithms,\n\
+         and the sharded engine is pair-for-pair identical to GPU-SJ, the parallel host\n\
+         join and the R-tree (zero merge duplicates).",
+        rows.len()
+    );
 }

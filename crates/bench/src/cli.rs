@@ -13,6 +13,9 @@ pub struct Args {
     pub quick: bool,
     /// Skip reading/writing the CSV cache.
     pub no_cache: bool,
+    /// Also write every printed table as JSON under `bench_results/`
+    /// (see [`crate::table::emit_table`]).
+    pub json: bool,
 }
 
 impl Default for Args {
@@ -22,6 +25,7 @@ impl Default for Args {
             trials: 1,
             quick: false,
             no_cache: false,
+            json: false,
         }
     }
 }
@@ -56,6 +60,7 @@ impl Args {
                 }
                 "--quick" => out.quick = true,
                 "--no-cache" => out.no_cache = true,
+                "--json" => out.json = true,
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
             }
@@ -72,12 +77,13 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: <figure-binary> [--scale F] [--trials N] [--quick] [--no-cache]\n\
+        "usage: <figure-binary> [--scale F] [--trials N] [--quick] [--no-cache] [--json]\n\
          \n\
          --scale F    fraction of the paper's dataset sizes, 0 < F <= 1 (default 0.002)\n\
          --trials N   trials per measurement, best-of (default 1; paper used 3)\n\
          --quick      smoke mode: caps scale at 0.0005\n\
-         --no-cache   ignore bench_results/ CSV cache"
+         --no-cache   ignore bench_results/ CSV cache\n\
+         --json       also write printed tables to bench_results/<figure>.json"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -104,6 +110,13 @@ mod tests {
         assert_eq!(a.scale, 0.01);
         assert_eq!(a.trials, 3);
         assert!(a.no_cache);
+        assert!(!a.json);
+    }
+
+    #[test]
+    fn json_flag_parses() {
+        assert!(parse(&["--json"]).json);
+        assert!(parse(&["--quick", "--json"]).json);
     }
 
     #[test]

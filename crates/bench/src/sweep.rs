@@ -85,9 +85,15 @@ pub fn seconds_of(p: &SweepPoint, algo: Algo) -> Option<f64> {
 }
 
 /// Runs and prints one response-time panel (a dataset of Figures 4–6):
-/// rows are ε values, columns the five algorithms.
-pub fn print_response_time_panel(spec: &DatasetSpec, args: &Args, cache: &mut SweepCache) {
-    use crate::table::{fmt_secs, print_table};
+/// rows are ε values, columns the five algorithms. `figure` names the
+/// JSON export written when `--json` is on.
+pub fn print_response_time_panel(
+    figure: &str,
+    spec: &DatasetSpec,
+    args: &Args,
+    cache: &mut SweepCache,
+) {
+    use crate::table::{emit_table, fmt_secs};
     let points = sweep_dataset(spec, args, cache, &INDEXED, BrutePolicy::FirstEpsOnly);
     let rows: Vec<Vec<String>> = points
         .iter()
@@ -109,7 +115,9 @@ pub fn print_response_time_panel(spec: &DatasetSpec, args: &Args, cache: &mut Sw
             row
         })
         .collect();
-    print_table(
+    emit_table(
+        args,
+        figure,
         &format!(
             "{} (|D| scaled to {}, scale {})",
             spec.name,

@@ -1,4 +1,11 @@
-//! Fixed-width table printing for the figure binaries.
+//! Fixed-width table printing for the figure binaries, plus the optional
+//! machine-readable JSON export behind `--json`.
+
+use crate::cli::Args;
+use std::collections::HashMap;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock};
 
 /// Prints a header + rows as an aligned plain-text table (stdout is the
 /// harness's output medium; every figure binary prints the series the
@@ -28,6 +35,87 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * cols));
     for r in rows {
         println!("{}", fmt_row(r.iter().map(|s| s.as_str()).collect()));
+    }
+}
+
+/// Prints the table and, when `--json` was passed, also records it in
+/// `bench_results/<figure>.json` — a JSON array of table objects
+/// (`{"figure", "title", "header", "rows"}`) accumulated over the
+/// process, sitting alongside the CSV sweep cache so downstream tooling
+/// can consume every figure's numbers without scraping stdout.
+pub fn emit_table(args: &Args, figure: &str, title: &str, header: &[&str], rows: &[Vec<String>]) {
+    print_table(title, header, rows);
+    if args.json {
+        match write_json_table(figure, title, header, rows) {
+            Ok(path) => eprintln!("  (json: {})", path.display()),
+            Err(e) => eprintln!("  warning: could not write JSON for {figure}: {e}"),
+        }
+    }
+}
+
+/// Appends one table to the process-wide JSON export for `figure` and
+/// rewrites `bench_results/<figure>.json` (tables are small; rewriting
+/// keeps the file a valid JSON array at all times). Cells that parse as
+/// finite numbers are emitted as JSON numbers, everything else as strings.
+pub fn write_json_table(
+    figure: &str,
+    title: &str,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<PathBuf> {
+    static TABLES: OnceLock<Mutex<HashMap<PathBuf, Vec<String>>>> = OnceLock::new();
+    let mut table = String::new();
+    table.push_str(&format!(
+        "  {{\"figure\": {}, \"title\": {}, \"header\": [{}], \"rows\": [",
+        json_string(figure),
+        json_string(title),
+        header.iter().map(|h| json_string(h)).collect::<Vec<_>>().join(", ")
+    ));
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            table.push_str(", ");
+        }
+        table.push_str(&format!(
+            "[{}]",
+            row.iter().map(|c| json_cell(c)).collect::<Vec<_>>().join(", ")
+        ));
+    }
+    table.push_str("]}");
+
+    let dir = PathBuf::from("bench_results");
+    let path = dir.join(format!("{figure}.json"));
+    let registry = TABLES.get_or_init(Mutex::default);
+    let mut registry = registry.lock().expect("json registry poisoned");
+    let tables = registry.entry(path.clone()).or_default();
+    tables.push(table);
+    fs::create_dir_all(&dir)?;
+    fs::write(&path, format!("[\n{}\n]\n", tables.join(",\n")))?;
+    Ok(path)
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_cell(cell: &str) -> String {
+    match cell.trim().parse::<f64>() {
+        // Re-serialize through Rust's f64 Display, which is always a
+        // valid JSON number (inputs like "+1" or ".5" are not).
+        Ok(v) if v.is_finite() => format!("{v}"),
+        _ => json_string(cell),
     }
 }
 
@@ -89,5 +177,32 @@ mod tests {
     #[should_panic(expected = "row arity")]
     fn arity_checked() {
         print_table("bad", &["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn json_cells_type_correctly() {
+        assert_eq!(json_cell("1.25"), "1.25");
+        assert_eq!(json_cell(" 42 "), "42");
+        assert_eq!(json_cell("-0.5"), "-0.5");
+        assert_eq!(json_cell("1.2ms"), "\"1.2ms\"");
+        assert_eq!(json_cell("nan"), "\"nan\"");
+        assert_eq!(json_cell("-"), "\"-\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+
+    #[test]
+    fn json_export_accumulates_tables_in_one_valid_file() {
+        let figure = "test_json_export_scratch";
+        let p1 = write_json_table(figure, "t1", &["a", "b"], &[vec!["1".into(), "x".into()]])
+            .unwrap();
+        let p2 = write_json_table(figure, "t2", &["c"], &[vec!["2.5".into()]]).unwrap();
+        assert_eq!(p1, p2);
+        let text = std::fs::read_to_string(&p1).unwrap();
+        assert!(text.starts_with("[\n"));
+        assert!(text.contains("\"title\": \"t1\""));
+        assert!(text.contains("\"title\": \"t2\""));
+        assert!(text.contains("\"rows\": [[1, \"x\"]]"));
+        assert!(text.contains("[[2.5]]"));
+        let _ = std::fs::remove_file(&p1);
     }
 }

@@ -44,6 +44,12 @@ pub struct BatchingConfig {
     pub result_mem_fraction: f64,
     /// Simulated CUDA streams for the overlap model.
     pub streams: usize,
+    /// Externally supplied result-size estimate (directed pairs, already
+    /// including any safety factor). When set, the estimation kernel is
+    /// skipped — the sharded engine estimates every shard up front for its
+    /// cost-based scheduler and passes the prediction through here so the
+    /// work isn't done twice.
+    pub precomputed_estimate: Option<u64>,
 }
 
 impl Default for BatchingConfig {
@@ -55,6 +61,7 @@ impl Default for BatchingConfig {
             safety_factor: 1.25,
             result_mem_fraction: 0.5,
             streams: 3,
+            precomputed_estimate: None,
         }
     }
 }
@@ -131,8 +138,11 @@ pub fn run_batched(
     cfg: &BatchingConfig,
 ) -> Result<(Vec<Pair>, BatchReport), SelfJoinError> {
     let n = grid.num_points;
-    let (estimated, _sample, estimate_time, modeled_estimate_time) =
-        estimate_result_size(device, grid, cfg)?;
+    let (estimated, _sample, estimate_time, modeled_estimate_time) = match cfg.precomputed_estimate
+    {
+        Some(est) => (est, 0, Duration::ZERO, Duration::ZERO),
+        None => estimate_result_size(device, grid, cfg)?,
+    };
 
     // Buffer capacity: bounded by the free-memory budget, floored so tiny
     // datasets still get a useful buffer.
@@ -316,6 +326,24 @@ mod tests {
             report.overflow_retries > 0,
             "test should have provoked a retry"
         );
+        let got = NeighborTable::from_pairs(data.len(), &pairs);
+        assert_eq!(got, host_self_join(&data, &grid));
+    }
+
+    #[test]
+    fn precomputed_estimate_skips_estimation_kernel() {
+        let dev = Device::new(DeviceSpec::titan_x_pascal());
+        let (data, grid, dg) = setup(2, 2500, 2.5, 47, &dev);
+        let truth = host_self_join(&data, &grid).total_pairs() as u64;
+        let cfg = BatchingConfig {
+            precomputed_estimate: Some(truth),
+            ..BatchingConfig::default()
+        };
+        let (pairs, report) =
+            run_batched(&dev, &dg, LaunchConfig::default(), true, false, &cfg).unwrap();
+        assert_eq!(report.estimated_pairs, truth);
+        assert_eq!(report.estimate_time, Duration::ZERO);
+        assert_eq!(report.modeled_estimate_time, Duration::ZERO);
         let got = NeighborTable::from_pairs(data.len(), &pairs);
         assert_eq!(got, host_self_join(&data, &grid));
     }

@@ -47,5 +47,7 @@ pub use error::{GridBuildError, SelfJoinError};
 pub use grid::{CellRange, GridIndex};
 pub use host_join::{host_self_join, host_self_join_parallel};
 pub use knn::{gpu_knn, host_knn, KnnHit};
-pub use result::{NeighborTable, Pair};
-pub use selfjoin::{GpuSelfJoin, JoinReport, SelfJoinConfig, SelfJoinOutput};
+pub use result::{remap_pairs, retain_owned_pairs, NeighborTable, Pair};
+pub use selfjoin::{
+    GpuSelfJoin, JoinReport, ScopedJoinOutput, SelfJoinConfig, SelfJoinOutput,
+};

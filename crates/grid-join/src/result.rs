@@ -121,6 +121,34 @@ pub fn sort_pairs(pairs: &mut [Pair]) {
     pairs.sort_unstable();
 }
 
+/// Halo-aware ownership filter for shard-scoped joins: keeps only pairs
+/// whose *key* is an owned point (local id `< owned`) and drops the rest
+/// (ghost-keyed pairs, which the shard that owns the ghost will produce).
+/// Returns the number of dropped pairs.
+///
+/// Shard-local datasets are laid out owned-points-first, so ownership of a
+/// pair is a single comparison on the key. Values may reference ghosts —
+/// that is the point of the halo: an owned query must see its neighbours
+/// across the shard boundary.
+pub fn retain_owned_pairs(pairs: &mut Vec<Pair>, owned: u32) -> u64 {
+    let before = pairs.len();
+    pairs.retain(|p| p.key < owned);
+    (before - pairs.len()) as u64
+}
+
+/// Rewrites shard-local point ids to global ids through `global_ids`
+/// (index = local id, value = global id).
+///
+/// # Panics
+///
+/// Panics if any pair references a local id outside `global_ids`.
+pub fn remap_pairs(pairs: &mut [Pair], global_ids: &[u32]) {
+    for p in pairs {
+        p.key = global_ids[p.key as usize];
+        p.value = global_ids[p.value as usize];
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,6 +202,36 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_pair_rejected() {
         let _ = NeighborTable::from_pairs(2, &[Pair::new(0, 5)]);
+    }
+
+    #[test]
+    fn ownership_filter_keeps_owned_keys_only() {
+        let mut pairs = vec![
+            Pair::new(0, 3), // owned key, ghost value: kept
+            Pair::new(1, 0), // owned-owned: kept
+            Pair::new(3, 0), // ghost key: dropped
+            Pair::new(4, 3), // ghost-ghost: dropped
+        ];
+        let dropped = retain_owned_pairs(&mut pairs, 2);
+        assert_eq!(dropped, 2);
+        assert_eq!(pairs, vec![Pair::new(0, 3), Pair::new(1, 0)]);
+        let mut none: Vec<Pair> = Vec::new();
+        assert_eq!(retain_owned_pairs(&mut none, 5), 0);
+    }
+
+    #[test]
+    fn remap_translates_both_sides() {
+        let ids = [10u32, 20, 30];
+        let mut pairs = vec![Pair::new(0, 2), Pair::new(2, 1)];
+        remap_pairs(&mut pairs, &ids);
+        assert_eq!(pairs, vec![Pair::new(10, 30), Pair::new(30, 20)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn remap_rejects_out_of_range_local_ids() {
+        let mut pairs = vec![Pair::new(0, 9)];
+        remap_pairs(&mut pairs, &[1, 2]);
     }
 
     #[test]

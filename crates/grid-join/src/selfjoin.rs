@@ -27,7 +27,7 @@ use crate::device_grid::DeviceGrid;
 use crate::error::SelfJoinError;
 use crate::grid::GridIndex;
 use crate::kernels::kernel_registers;
-use crate::result::NeighborTable;
+use crate::result::{retain_owned_pairs, NeighborTable, Pair};
 use sim_gpu::occupancy::KernelResources;
 use sim_gpu::{occupancy, Device, DeviceSpec, LaunchConfig, OccupancyResult};
 use sj_datasets::Dataset;
@@ -93,6 +93,24 @@ pub struct SelfJoinOutput {
     pub report: JoinReport,
 }
 
+/// Output of a shard-scoped self-join (see [`GpuSelfJoin::run_scoped`]).
+///
+/// Pairs carry *shard-local* point ids; every key is an owned point
+/// (`key < owned`). The caller remaps local ids to global ones (see
+/// [`crate::result::remap_pairs`]) before merging shards.
+#[derive(Clone, Debug)]
+pub struct ScopedJoinOutput {
+    /// Owned-keyed result pairs in shard-local ids.
+    pub pairs: Vec<Pair>,
+    /// Number of owned points (the scope passed in).
+    pub owned: usize,
+    /// Ghost-keyed pairs discarded by the ownership filter — the shards
+    /// owning those ghosts produce them instead.
+    pub dropped_ghost_pairs: u64,
+    /// Timings and counters of the underlying device pipeline.
+    pub report: JoinReport,
+}
+
 /// The GPU self-join operator (paper: GPU-SJ).
 #[derive(Clone, Debug)]
 pub struct GpuSelfJoin {
@@ -143,8 +161,89 @@ impl GpuSelfJoin {
         let t0 = Instant::now();
         let grid = GridIndex::build(data, epsilon)?;
         let grid_build = t0.elapsed();
+        let (pairs, report) = self.pipeline(data, &grid, t0, grid_build)?;
+        Ok(SelfJoinOutput {
+            table: NeighborTable::from_pairs(data.len(), &pairs),
+            report,
+        })
+    }
 
-        let dg = DeviceGrid::upload(&self.device, data, &grid)?;
+    /// Runs the self-join against a prebuilt index (ε comes from the grid).
+    ///
+    /// The caller guarantees `grid` was built from `data`; the sharded
+    /// engine uses this to reuse the index constructed during cost
+    /// estimation. `report.grid_build` is zero — the build happened
+    /// outside this call.
+    pub fn run_on_grid(
+        &self,
+        data: &Dataset,
+        grid: &GridIndex,
+    ) -> Result<SelfJoinOutput, SelfJoinError> {
+        let t0 = Instant::now();
+        let (pairs, report) = self.pipeline(data, grid, t0, Duration::ZERO)?;
+        Ok(SelfJoinOutput {
+            table: NeighborTable::from_pairs(data.len(), &pairs),
+            report,
+        })
+    }
+
+    /// Runs a shard-scoped self-join: `data` holds the shard's `owned`
+    /// points first, followed by its ε-halo ghosts. The full point set is
+    /// joined (ghost queries must run — UNICOMP may assign a cross-boundary
+    /// cell interaction to the ghost side), then ghost-keyed pairs are
+    /// dropped so every directed pair is reported by exactly the shard
+    /// that owns its key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `owned > data.len()`.
+    pub fn run_scoped(
+        &self,
+        data: &Dataset,
+        epsilon: f64,
+        owned: usize,
+    ) -> Result<ScopedJoinOutput, SelfJoinError> {
+        let grid = GridIndex::build(data, epsilon)?;
+        self.run_scoped_on_grid(data, &grid, owned)
+    }
+
+    /// [`Self::run_scoped`] against a prebuilt index (see
+    /// [`Self::run_on_grid`] for the grid precondition).
+    pub fn run_scoped_on_grid(
+        &self,
+        data: &Dataset,
+        grid: &GridIndex,
+        owned: usize,
+    ) -> Result<ScopedJoinOutput, SelfJoinError> {
+        assert!(
+            owned <= data.len(),
+            "owned prefix {owned} exceeds dataset size {}",
+            data.len()
+        );
+        let t0 = Instant::now();
+        let (mut pairs, mut report) = self.pipeline(data, grid, t0, Duration::ZERO)?;
+        let dropped_ghost_pairs = retain_owned_pairs(&mut pairs, owned as u32);
+        report.total = t0.elapsed();
+        Ok(ScopedJoinOutput {
+            pairs,
+            owned,
+            dropped_ghost_pairs,
+            report,
+        })
+    }
+
+    /// Upload + batched kernels + report assembly, shared by every entry
+    /// point. `t0`/`grid_build` let callers fold an in-call index build
+    /// into the report.
+    fn pipeline(
+        &self,
+        data: &Dataset,
+        grid: &GridIndex,
+        t0: Instant,
+        grid_build: Duration,
+    ) -> Result<(Vec<Pair>, JoinReport), SelfJoinError> {
+        debug_assert_eq!(grid.a().len(), data.len(), "grid/data mismatch");
+        let dg = DeviceGrid::upload(&self.device, data, grid)?;
 
         let t1 = Instant::now();
         let (pairs, batching) = run_batched(
@@ -157,7 +256,6 @@ impl GpuSelfJoin {
         )?;
         let device_pipeline = t1.elapsed();
 
-        let table = NeighborTable::from_pairs(data.len(), &pairs);
         let occupancy = occupancy(
             self.device.spec(),
             KernelResources {
@@ -167,19 +265,17 @@ impl GpuSelfJoin {
             self.config.launch.block_threads,
         );
         let modeled_total = grid_build + batching.modeled_estimate_time + batching.timeline.total;
-        Ok(SelfJoinOutput {
-            table,
-            report: JoinReport {
-                grid_build,
-                device_pipeline,
-                total: t0.elapsed(),
-                modeled_total,
-                non_empty_cells: grid.non_empty_cells(),
-                index_bytes: grid.size_bytes(),
-                occupancy,
-                batching,
-            },
-        })
+        let report = JoinReport {
+            grid_build,
+            device_pipeline,
+            total: t0.elapsed(),
+            modeled_total,
+            non_empty_cells: grid.non_empty_cells(),
+            index_bytes: grid.size_bytes(),
+            occupancy,
+            batching,
+        };
+        Ok((pairs, report))
     }
 }
 
@@ -233,6 +329,55 @@ mod tests {
         let uni = GpuSelfJoin::default_device().unicomp(true).run(&data, 25.0).unwrap();
         assert_eq!(base.report.occupancy.occupancy, 0.625);
         assert_eq!(uni.report.occupancy.occupancy, 0.5);
+    }
+
+    #[test]
+    fn run_on_grid_matches_run() {
+        let data = uniform(2, 1200, 56);
+        let eps = 2.5;
+        let join = GpuSelfJoin::default_device();
+        let grid = GridIndex::build(&data, eps).unwrap();
+        let prepared = join.run_on_grid(&data, &grid).unwrap();
+        let fresh = join.run(&data, eps).unwrap();
+        assert_eq!(prepared.table, fresh.table);
+        assert_eq!(prepared.report.grid_build, Duration::ZERO);
+    }
+
+    #[test]
+    fn scoped_run_filters_ghost_keys() {
+        // Owned prefix of 600 points plus 600 "ghosts" (the same point
+        // population): every surviving key must be owned, and the owned
+        // neighbour lists must match an unscoped join over the full set.
+        let data = uniform(2, 1200, 57);
+        let eps = 3.0;
+        let join = GpuSelfJoin::default_device();
+        let owned = 600;
+        let scoped = join.run_scoped(&data, eps, owned).unwrap();
+        assert!(scoped.pairs.iter().all(|p| (p.key as usize) < owned));
+        let full = join.run(&data, eps).unwrap();
+        let expected_kept: usize = (0..owned).map(|i| full.table.neighbors(i).len()).sum();
+        assert_eq!(scoped.pairs.len(), expected_kept);
+        assert_eq!(
+            scoped.dropped_ghost_pairs as usize,
+            full.table.total_pairs() - expected_kept
+        );
+    }
+
+    #[test]
+    fn scoped_run_with_full_ownership_drops_nothing() {
+        let data = uniform(3, 800, 58);
+        let join = GpuSelfJoin::default_device();
+        let scoped = join.run_scoped(&data, 6.0, data.len()).unwrap();
+        assert_eq!(scoped.dropped_ghost_pairs, 0);
+        let full = join.run(&data, 6.0).unwrap();
+        assert_eq!(scoped.pairs.len(), full.table.total_pairs());
+    }
+
+    #[test]
+    #[should_panic(expected = "owned prefix")]
+    fn scoped_run_rejects_bad_owned_count() {
+        let data = uniform(2, 100, 59);
+        let _ = GpuSelfJoin::default_device().run_scoped(&data, 1.0, 101);
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Per-shard work prediction for the scheduler.
+//!
+//! Reuses the result-set batching scheme's on-device selectivity
+//! estimator ([`grid_join::batching::estimate_result_size`]): a sampled
+//! count kernel predicts each shard's directed result pairs, and the
+//! predicted kernel work — points processed plus pairs produced — becomes
+//! the scheduling cost. On skewed datasets two shards with equal point
+//! counts can differ by orders of magnitude in pair count; scheduling by
+//! this cost, not by `|shard|`, is what keeps the devices balanced.
+//!
+//! The prediction is also threaded into the shard's join via
+//! [`grid_join::BatchingConfig::precomputed_estimate`], so the estimation
+//! kernel runs once per shard, not twice.
+
+use crate::partition::Shard;
+use grid_join::batching::estimate_result_size;
+use grid_join::{BatchingConfig, DeviceGrid, GridIndex, SelfJoinError};
+use sim_gpu::Device;
+use std::time::Duration;
+
+/// Predicted execution cost of one shard.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardCost {
+    /// Shard index within the partition.
+    pub shard: usize,
+    /// Points in the shard-local dataset (owned + ghosts).
+    pub points: usize,
+    /// Predicted directed result pairs (after the estimator's safety
+    /// factor), over the full local dataset.
+    pub predicted_pairs: u64,
+    /// Host wall time of the estimation pass.
+    pub estimate_wall: Duration,
+    /// Modeled device time of the estimation kernel.
+    pub estimate_modeled: Duration,
+}
+
+impl ShardCost {
+    /// Scalar scheduling cost: kernel work scales with the points scanned
+    /// plus the pairs produced (result writes dominate dense shards).
+    pub fn cost(&self) -> u64 {
+        self.points as u64 + self.predicted_pairs
+    }
+}
+
+/// Estimates one shard's cost on `device` using the shard's prebuilt
+/// index. The device grid is uploaded for the duration of the estimate
+/// and freed before returning.
+pub fn estimate_shard_cost(
+    device: &Device,
+    shard: &Shard,
+    grid: &GridIndex,
+    cfg: &BatchingConfig,
+) -> Result<ShardCost, SelfJoinError> {
+    let dg = DeviceGrid::upload(device, &shard.data, grid)?;
+    let (predicted_pairs, _sample, estimate_wall, estimate_modeled) =
+        estimate_result_size(device, &dg, cfg)?;
+    Ok(ShardCost {
+        shard: shard.id,
+        points: shard.data.len(),
+        predicted_pairs,
+        estimate_wall,
+        estimate_modeled,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::partition;
+    use sim_gpu::DeviceSpec;
+    use sj_datasets::synthetic::{clustered, uniform};
+
+    #[test]
+    fn cost_tracks_density_not_count() {
+        // Three tight clusters on a line: equal-count shards, but the one
+        // holding a cluster at small ε has far more pairs than a sparse
+        // one. The estimator must see the difference.
+        let dev = Device::new(DeviceSpec::titan_x_pascal());
+        let data = clustered(2, 3000, 3, 1.0, 0.04, 21);
+        let part = partition(&data, 0.4, 3).unwrap();
+        let cfg = BatchingConfig::default();
+        let costs: Vec<ShardCost> = part
+            .shards
+            .iter()
+            .map(|s| {
+                let grid = GridIndex::build(&s.data, 0.4).unwrap();
+                estimate_shard_cost(&dev, s, &grid, &cfg).unwrap()
+            })
+            .collect();
+        assert_eq!(costs.len(), part.shards.len());
+        for (c, s) in costs.iter().zip(&part.shards) {
+            assert_eq!(c.points, s.data.len());
+        }
+        // All memory released after estimation.
+        assert_eq!(dev.used_bytes(), 0);
+    }
+
+    #[test]
+    fn prediction_close_to_truth_on_uniform_shard() {
+        let dev = Device::new(DeviceSpec::titan_x_pascal());
+        let data = uniform(2, 4000, 22);
+        let part = partition(&data, 3.0, 2).unwrap();
+        let shard = &part.shards[0];
+        let grid = GridIndex::build(&shard.data, 3.0).unwrap();
+        let cost = estimate_shard_cost(&dev, shard, &grid, &BatchingConfig::default()).unwrap();
+        let truth = grid_join::host_self_join(&shard.data, &grid).total_pairs() as f64;
+        // The estimator carries a 1.25 safety factor.
+        assert!(cost.predicted_pairs as f64 >= truth * 0.8, "under: {cost:?} truth {truth}");
+        assert!(cost.predicted_pairs as f64 <= truth * 2.5, "over: {cost:?} truth {truth}");
+        assert!(cost.cost() >= cost.predicted_pairs);
+    }
+}

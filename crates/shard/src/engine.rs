@@ -1,0 +1,457 @@
+//! The sharded multi-device self-join engine.
+//!
+//! Pipeline: partition → per-shard index build → on-device cost
+//! estimation → LPT scheduling → one executor task per device (rayon)
+//! running its shard queue through [`GpuSelfJoin`] → streaming,
+//! deduplicating merge into the global [`NeighborTable`].
+//!
+//! ## Timing model
+//!
+//! Every simulated device executes its kernels on the *host's* cores, and
+//! the device time model (`DeviceSpec::throughput_vs_host_core`) converts
+//! a launch's aggregate host work into modeled device time assuming the
+//! launch had the full host to itself. Running two simulated devices'
+//! kernels simultaneously would violate that assumption and double-count
+//! host throughput, so the executor serializes *kernel execution* across
+//! device tasks with a substrate lock (filtering, remapping and merging
+//! still overlap). Cross-device concurrency is then modeled exactly the
+//! way the batching scheme models transfer overlap: each device's modeled
+//! busy time accumulates independently, and the engine's modeled response
+//! time takes the **maximum** over devices — the busiest device bounds
+//! completion, just as a real multi-GPU driver would observe.
+
+use crate::cost::{estimate_shard_cost, ShardCost};
+use crate::partition::{partition, Partition};
+use crate::schedule::{lpt_schedule, Assignment};
+use grid_join::{
+    remap_pairs, GpuSelfJoin, GridIndex, NeighborTable, Pair, SelfJoinConfig, SelfJoinError,
+};
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use sim_gpu::{DevicePool, DeviceTally, PoolProfiler};
+use sj_datasets::Dataset;
+use std::time::{Duration, Instant};
+
+/// Configuration of the sharded engine.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardedConfig {
+    /// Shards created per device when `num_shards` is not set. Over-
+    /// decomposition (default 2) gives the cost-based scheduler freedom
+    /// to balance skew at the price of more halo replication.
+    pub shards_per_device: usize,
+    /// Explicit total shard count (overrides `shards_per_device`).
+    pub num_shards: Option<usize>,
+    /// Per-shard join configuration (UNICOMP on by default, as in the
+    /// paper's best configuration).
+    pub join: SelfJoinConfig,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        Self {
+            shards_per_device: 2,
+            num_shards: None,
+            join: SelfJoinConfig::default(),
+        }
+    }
+}
+
+/// Execution record of one shard.
+#[derive(Clone, Debug)]
+pub struct ShardRunReport {
+    /// Shard index within the partition.
+    pub shard: usize,
+    /// Device that executed it.
+    pub device: usize,
+    /// Owned points.
+    pub owned: usize,
+    /// Halo ghost points.
+    pub ghosts: usize,
+    /// Scheduler's predicted cost (points + predicted pairs).
+    pub predicted_cost: u64,
+    /// Directed pairs this shard contributed after ownership filtering.
+    pub actual_pairs: u64,
+    /// Ghost-keyed pairs dropped by the ownership filter.
+    pub dropped_ghost_pairs: u64,
+    /// Result batches the shard's join executed.
+    pub batches: usize,
+    /// Modeled device time of the shard's pipeline (upload + kernels +
+    /// drains, pipelined).
+    pub modeled: Duration,
+    /// Host wall time of the shard's pipeline.
+    pub wall: Duration,
+}
+
+/// Execution report of a sharded join.
+#[derive(Clone, Debug)]
+pub struct ShardedReport {
+    /// Dimension the partitioner cut across.
+    pub split_dim: usize,
+    /// Per-shard execution records, in shard order.
+    pub shards: Vec<ShardRunReport>,
+    /// Per-device aggregated usage (kernel launches, modeled busy time,
+    /// transfer bytes), in device order.
+    pub devices: Vec<DeviceTally>,
+    /// Predicted per-device load the scheduler balanced.
+    pub predicted_load: Vec<u64>,
+    /// Total halo ghost points (replication overhead).
+    pub ghost_points: usize,
+    /// Wall time of the partitioning pass.
+    pub partition_time: Duration,
+    /// Wall time of the per-shard host index builds.
+    pub index_build_time: Duration,
+    /// Wall time of the cost-estimation pass.
+    pub estimate_time: Duration,
+    /// Wall time of the parallel execution phase.
+    pub execute_time: Duration,
+    /// Wall time of the sort + dedup + table-build merge.
+    pub merge_time: Duration,
+    /// End-to-end host wall time.
+    pub total: Duration,
+    /// Modeled multi-device response time: the partition pass plus the
+    /// busiest device stream (per-shard index build + estimation kernel +
+    /// pipelined join timeline; devices run concurrently so the maximum
+    /// bounds completion). Matches the single-device
+    /// `JoinReport::modeled_total` convention, which likewise excludes
+    /// host-side table/merge construction.
+    pub modeled_total: Duration,
+    /// Duplicate pairs removed by the merge. Exclusive pair ownership
+    /// makes this 0; a non-zero value signals a halo/ownership bug.
+    pub duplicates_merged: u64,
+}
+
+/// Output of a sharded self-join.
+#[derive(Clone, Debug)]
+pub struct ShardedOutput {
+    /// Directed, self-excluded neighbour lists over the *global* point
+    /// ids — pair-for-pair identical to a single-device join.
+    pub table: NeighborTable,
+    /// Timings, per-shard and per-device accounting.
+    pub report: ShardedReport,
+}
+
+/// The sharded multi-device self-join operator.
+#[derive(Clone, Debug)]
+pub struct ShardedSelfJoin {
+    pool: DevicePool,
+    config: ShardedConfig,
+}
+
+impl ShardedSelfJoin {
+    /// Creates the engine over an existing device pool.
+    pub fn new(pool: DevicePool) -> Self {
+        Self {
+            pool,
+            config: ShardedConfig::default(),
+        }
+    }
+
+    /// Creates the engine over `devices` simulated TITAN X devices.
+    pub fn titan_x(devices: usize) -> Self {
+        Self::new(DevicePool::titan_x(devices))
+    }
+
+    /// Overrides the configuration.
+    pub fn with_config(mut self, config: ShardedConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Fixes the total shard count (otherwise `devices ×
+    /// shards_per_device`).
+    pub fn with_shards(mut self, num_shards: usize) -> Self {
+        self.config.num_shards = Some(num_shards);
+        self
+    }
+
+    /// The device pool.
+    pub fn pool(&self) -> &DevicePool {
+        &self.pool
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ShardedConfig {
+        &self.config
+    }
+
+    /// Runs the sharded self-join: all ordered pairs `(p, q)`, `p ≠ q`,
+    /// with `dist(p, q) ≤ epsilon`, merged across all devices.
+    pub fn run(&self, data: &Dataset, epsilon: f64) -> Result<ShardedOutput, SelfJoinError> {
+        let t0 = Instant::now();
+        let ndev = self.pool.len();
+        let num_shards = self
+            .config
+            .num_shards
+            .unwrap_or(ndev * self.config.shards_per_device)
+            .max(1);
+        let part = partition(data, epsilon, num_shards)?;
+
+        // Host index builds + on-device cost estimation (devices round-
+        // robin; the prediction is reused by the join so the estimation
+        // kernel runs once per shard).
+        let profiler = PoolProfiler::new(ndev);
+        let t1 = Instant::now();
+        let mut grids = Vec::with_capacity(part.shards.len());
+        let mut index_build_time = Duration::ZERO;
+        let mut costs: Vec<ShardCost> = Vec::with_capacity(part.shards.len());
+        for (i, shard) in part.shards.iter().enumerate() {
+            let tg = Instant::now();
+            // The partition is the source of truth for the halo geometry;
+            // index at its ε.
+            let grid = GridIndex::build(&shard.data, part.epsilon)?;
+            let grid_build = tg.elapsed();
+            index_build_time += grid_build;
+            let est =
+                estimate_shard_cost(self.pool.device(i % ndev), shard, &grid, &self.config.join.batching)?;
+            // The shard's host index build is attributed to the device
+            // stream that consumes it: builds feeding different devices
+            // overlap (the host is multi-core), builds feeding the same
+            // device serialize — matching how the single-device
+            // `JoinReport::modeled_total` counts its own grid build.
+            profiler.record(
+                i % ndev,
+                &DeviceTally {
+                    launches: 1,
+                    wall: est.estimate_wall,
+                    busy: grid_build + est.estimate_modeled,
+                    // The estimate uploads (and frees) the full shard
+                    // grid; count that transfer like the join phase does.
+                    h2d_bytes: grid.size_bytes() + shard.data.len() * shard.data.dim() * 8,
+                    ..DeviceTally::default()
+                },
+            );
+            grids.push(grid);
+            costs.push(est);
+        }
+        let estimate_time = t1.elapsed();
+
+        let assignment: Assignment =
+            lpt_schedule(&costs.iter().map(ShardCost::cost).collect::<Vec<_>>(), ndev);
+
+        // Parallel execution: one rayon task per device drains its queue,
+        // streaming ownership-filtered, globally-remapped pairs into the
+        // shared merge accumulator. The substrate lock serializes kernel
+        // execution across devices (see module docs).
+        let t2 = Instant::now();
+        let merged: Mutex<Vec<Pair>> = Mutex::new(Vec::new());
+        let shard_reports: Mutex<Vec<Option<ShardRunReport>>> =
+            Mutex::new(vec![None; part.shards.len()]);
+        let substrate = Mutex::new(());
+        let device_runs: Vec<Result<(), SelfJoinError>> = (0..ndev)
+            .into_par_iter()
+            .map(|d| -> Result<(), SelfJoinError> {
+                for &s in &assignment.queues[d] {
+                    let shard = &part.shards[s];
+                    let mut join_cfg = self.config.join;
+                    join_cfg.batching.precomputed_estimate = Some(costs[s].predicted_pairs);
+                    let join = GpuSelfJoin::new(self.pool.device(d).clone()).with_config(join_cfg);
+                    let scoped = {
+                        let _kernels = substrate.lock();
+                        join.run_scoped_on_grid(&shard.data, &grids[s], shard.owned)?
+                    };
+                    let mut pairs = scoped.pairs;
+                    remap_pairs(&mut pairs, &shard.global_ids);
+                    profiler.record(
+                        d,
+                        &DeviceTally {
+                            items: 1,
+                            launches: scoped.report.batching.batches,
+                            wall: scoped.report.device_pipeline,
+                            busy: scoped.report.modeled_total,
+                            h2d_bytes: scoped.report.index_bytes
+                                + shard.data.len() * shard.data.dim() * 8,
+                            d2h_bytes: scoped.report.batching.actual_pairs as usize
+                                * std::mem::size_of::<Pair>(),
+                        },
+                    );
+                    shard_reports.lock()[s] = Some(ShardRunReport {
+                        shard: s,
+                        device: d,
+                        owned: shard.owned,
+                        ghosts: shard.ghosts(),
+                        predicted_cost: costs[s].cost(),
+                        actual_pairs: pairs.len() as u64,
+                        dropped_ghost_pairs: scoped.dropped_ghost_pairs,
+                        batches: scoped.report.batching.batches,
+                        modeled: scoped.report.modeled_total,
+                        wall: scoped.report.total,
+                    });
+                    merged.lock().append(&mut pairs);
+                }
+                Ok(())
+            })
+            .collect();
+        for r in device_runs {
+            r?;
+        }
+        let execute_time = t2.elapsed();
+
+        // Deduplicating merge: canonical sort, drop duplicates (exclusive
+        // ownership predicts zero — the count is a cheap invariant check),
+        // build the global table.
+        let t3 = Instant::now();
+        let mut pairs = merged.into_inner();
+        pairs.par_sort_unstable();
+        let before = pairs.len();
+        pairs.dedup();
+        let duplicates_merged = (before - pairs.len()) as u64;
+        let table = NeighborTable::from_pairs(data.len(), &pairs);
+        let merge_time = t3.elapsed();
+
+        let devices = profiler.snapshot();
+        // Response-time convention matches the single-device
+        // `JoinReport::modeled_total` (grid build + estimate + pipelined
+        // device timeline): the partition pass plus the busiest device
+        // stream. Host-side table construction is excluded there and the
+        // host-side merge is excluded here (reported as `merge_time`).
+        let modeled_total = part.build_time + profiler.makespan();
+        let shards = shard_reports
+            .into_inner()
+            .into_iter()
+            .flatten()
+            .collect();
+        Ok(ShardedOutput {
+            table,
+            report: ShardedReport {
+                split_dim: part.split_dim,
+                shards,
+                devices,
+                predicted_load: assignment.predicted_load,
+                ghost_points: part.ghost_points(),
+                partition_time: part.build_time,
+                index_build_time,
+                estimate_time,
+                execute_time,
+                merge_time,
+                total: t0.elapsed(),
+                modeled_total,
+                duplicates_merged,
+            },
+        })
+    }
+
+    /// Partitions without executing — exposed for inspection and tests.
+    pub fn plan(&self, data: &Dataset, epsilon: f64) -> Result<Partition, SelfJoinError> {
+        let num_shards = self
+            .config
+            .num_shards
+            .unwrap_or(self.pool.len() * self.config.shards_per_device)
+            .max(1);
+        Ok(partition(data, epsilon, num_shards)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grid_join::host_self_join;
+    use sj_datasets::synthetic::{clustered, uniform};
+
+    #[test]
+    fn matches_single_device_join_on_uniform_data() {
+        let data = uniform(2, 3000, 31);
+        let eps = 2.5;
+        let sharded = ShardedSelfJoin::titan_x(4).run(&data, eps).unwrap();
+        let single = GpuSelfJoin::default_device().run(&data, eps).unwrap();
+        assert_eq!(sharded.table, single.table);
+        assert_eq!(sharded.report.duplicates_merged, 0);
+        assert_eq!(
+            sharded.report.shards.iter().map(|s| s.owned).sum::<usize>(),
+            data.len()
+        );
+    }
+
+    #[test]
+    fn matches_single_device_join_on_skewed_data() {
+        let data = clustered(2, 2500, 4, 1.0, 0.08, 32);
+        let eps = 0.9;
+        let sharded = ShardedSelfJoin::titan_x(2).run(&data, eps).unwrap();
+        let single = GpuSelfJoin::default_device().run(&data, eps).unwrap();
+        assert_eq!(sharded.table, single.table);
+        assert_eq!(sharded.report.duplicates_merged, 0);
+    }
+
+    #[test]
+    fn matches_host_reference_in_higher_dimensions() {
+        let data = uniform(4, 1500, 33);
+        let eps = 16.0;
+        let sharded = ShardedSelfJoin::titan_x(3).run(&data, eps).unwrap();
+        let grid = GridIndex::build(&data, eps).unwrap();
+        assert_eq!(sharded.table, host_self_join(&data, &grid));
+    }
+
+    #[test]
+    fn work_spreads_across_devices() {
+        let data = uniform(2, 4000, 34);
+        let out = ShardedSelfJoin::titan_x(4).run(&data, 2.0).unwrap();
+        let busy_devices = out.report.devices.iter().filter(|t| t.items > 0).count();
+        assert!(busy_devices >= 2, "only {busy_devices} devices used");
+        // With work spread over ≥2 devices, the busiest device's modeled
+        // time is strictly below the serial sum.
+        let total: Duration = out.report.devices.iter().map(|t| t.busy).sum();
+        let makespan = out.report.devices.iter().map(|t| t.busy).max().unwrap();
+        assert!(makespan < total);
+        assert_eq!(
+            out.report.shards.len(),
+            out.report.devices.iter().map(|t| t.items).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn explicit_shard_count_is_honored() {
+        let data = uniform(2, 2000, 35);
+        let out = ShardedSelfJoin::titan_x(2)
+            .with_shards(3)
+            .run(&data, 2.0)
+            .unwrap();
+        assert!(out.report.shards.len() <= 3);
+        let single = GpuSelfJoin::default_device().run(&data, 2.0).unwrap();
+        assert_eq!(out.table, single.table);
+    }
+
+    #[test]
+    fn one_device_one_shard_degenerates_to_plain_join() {
+        let data = uniform(3, 1000, 36);
+        let out = ShardedSelfJoin::titan_x(1)
+            .with_shards(1)
+            .run(&data, 7.0)
+            .unwrap();
+        let single = GpuSelfJoin::default_device().run(&data, 7.0).unwrap();
+        assert_eq!(out.table, single.table);
+        assert_eq!(out.report.ghost_points, 0);
+        assert_eq!(out.report.shards.len(), 1);
+        assert_eq!(out.report.shards[0].dropped_ghost_pairs, 0);
+    }
+
+    #[test]
+    fn empty_dataset_runs() {
+        let out = ShardedSelfJoin::titan_x(2)
+            .run(&Dataset::new(2), 1.0)
+            .unwrap();
+        assert_eq!(out.table.num_points(), 0);
+        assert_eq!(out.report.duplicates_merged, 0);
+    }
+
+    #[test]
+    fn invalid_epsilon_surfaces_error() {
+        let data = uniform(2, 100, 37);
+        let err = ShardedSelfJoin::titan_x(2).run(&data, -2.0).unwrap_err();
+        assert!(matches!(err, SelfJoinError::Grid(_)));
+    }
+
+    #[test]
+    fn device_memory_released_after_run() {
+        let data = uniform(2, 1500, 38);
+        let engine = ShardedSelfJoin::titan_x(3);
+        let _ = engine.run(&data, 2.0).unwrap();
+        assert_eq!(engine.pool().total_used_bytes(), 0);
+    }
+
+    #[test]
+    fn plan_exposes_partition() {
+        let data = uniform(2, 2000, 39);
+        let plan = ShardedSelfJoin::titan_x(2).plan(&data, 2.0).unwrap();
+        assert!(plan.shards.len() >= 2);
+        assert_eq!(plan.owned_points(), 2000);
+    }
+}

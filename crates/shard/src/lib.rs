@@ -1,0 +1,70 @@
+//! **sj-shard**: a sharded multi-device self-join engine.
+//!
+//! The paper's GPU-SJ (Gowanlock & Karsin 2018) runs on one device; its
+//! result-set batching exists precisely because a single GPU's memory
+//! bounds the join. This crate scales *out*: the dataset is spatially
+//! sharded across a pool of simulated devices and the ε-grid join runs on
+//! all of them concurrently — the trajectory the authors took in their
+//! later multi-GPU self-join work. Four pieces compose the engine:
+//!
+//! * [`partition`] — splits space into contiguous, grid-aligned slabs
+//!   along the widest dimension, each carrying an ε-wide ghost/halo band
+//!   (the halo-ownership invariant below).
+//! * [`cost`] — predicts each shard's work by reusing the batching
+//!   scheme's on-device selectivity estimator, so the scheduler sees
+//!   *cost*, not point count.
+//! * [`schedule`] — longest-processing-time assignment of shards to
+//!   devices by predicted cost; skewed datasets balance because a dense
+//!   shard counts for what it costs.
+//! * [`engine`] — [`ShardedSelfJoin`]: one executor task per device runs
+//!   its shard queue through [`grid_join::GpuSelfJoin`], streaming each
+//!   shard's ownership-filtered pairs into a deduplicating merge.
+//!
+//! ```
+//! use sj_shard::ShardedSelfJoin;
+//! use sj_datasets::synthetic::uniform;
+//!
+//! let data = uniform(2, 2_000, 7);
+//! let out = ShardedSelfJoin::titan_x(4).run(&data, 2.0).unwrap();
+//! assert!(out.table.is_symmetric());
+//! assert_eq!(out.report.duplicates_merged, 0); // exclusive ownership
+//! ```
+//!
+//! # The halo-ownership invariant
+//!
+//! Every shard owns a contiguous slab `[lo, hi)` of the global ε-grid
+//! along the split dimension (`lo`/`hi` are cell boundaries, so shards are
+//! grid-aligned), and additionally carries **ghost** copies of every
+//! foreign point within the ε-wide halo band `[lo − ε, hi + ε]`. Two
+//! facts make the merged result exact:
+//!
+//! 1. **Completeness.** If `p` is owned by shard `s` and
+//!    `dist(p, q) ≤ ε`, then `q`'s coordinate along the split dimension
+//!    differs from `p`'s by at most ε, so `q` lies inside `s`'s halo band
+//!    and is present (owned or ghost) in `s`'s local dataset. The local
+//!    join therefore finds every neighbour of every owned point. (The
+//!    band is widened by a ~1 ppb relative guard so floating-point
+//!    rounding at cell boundaries can never exclude a true neighbour.)
+//! 2. **Exclusivity.** The slabs partition space, so every point is owned
+//!    by exactly one shard, and a shard only reports pairs whose *key* is
+//!    an owned point (ghost-keyed pairs are dropped by the ownership
+//!    filter in `grid_join`). Hence each directed pair `(p, q)` is
+//!    reported by exactly one shard — the owner of `p` — and the merge
+//!    needs no cross-shard reconciliation (it still deduplicates and
+//!    counts, as a cheap runtime check of this invariant).
+//!
+//! Together: the union of per-shard results equals the single-device
+//! result pair-for-pair, which the workspace's property tests assert for
+//! random datasets, ε values and shard counts.
+
+pub mod cost;
+pub mod engine;
+pub mod partition;
+pub mod schedule;
+
+pub use cost::{estimate_shard_cost, ShardCost};
+pub use engine::{
+    ShardRunReport, ShardedConfig, ShardedOutput, ShardedReport, ShardedSelfJoin,
+};
+pub use partition::{partition, Partition, Shard};
+pub use schedule::{lpt_schedule, Assignment};

@@ -1,0 +1,393 @@
+//! Spatial partitioning into grid-aligned slabs with ε halos.
+//!
+//! Shards are contiguous runs of ε-grid columns along one dimension (the
+//! widest one, where slabs are cheapest relative to their halo area). Cut
+//! positions are chosen from the per-point column distribution so each
+//! shard owns roughly the same number of points; the cost-based scheduler
+//! downstream corrects for density skew *within* equal-count shards.
+//!
+//! See the crate docs for the halo-ownership invariant this module
+//! establishes.
+
+use grid_join::error::GridBuildError;
+use sj_datasets::Dataset;
+use std::time::{Duration, Instant};
+
+/// Relative widening of the ε halo band guarding against floating-point
+/// rounding at cell boundaries (see crate docs, invariant 1).
+pub const HALO_SLACK: f64 = 1e-9;
+
+/// One spatial shard: an owned slab plus its ε-halo ghosts.
+#[derive(Clone, Debug)]
+pub struct Shard {
+    /// Shard index within the partition.
+    pub id: usize,
+    /// Owned slab lower bound along the split dimension (a grid-cell
+    /// boundary; the first shard conceptually extends to −∞).
+    pub lo: f64,
+    /// Owned slab upper bound (exclusive; the last shard extends to +∞).
+    pub hi: f64,
+    /// Shard-local dataset: owned points first, then halo ghosts.
+    pub data: Dataset,
+    /// Number of owned points (the prefix of `data`).
+    pub owned: usize,
+    /// Local→global point-id map (`global_ids[local] = global`).
+    pub global_ids: Vec<u32>,
+}
+
+impl Shard {
+    /// Number of ghost points carried for the halo.
+    pub fn ghosts(&self) -> usize {
+        self.data.len() - self.owned
+    }
+}
+
+/// A complete spatial partition of a dataset.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// Dimension the slabs cut across.
+    pub split_dim: usize,
+    /// The search radius the halos were sized for.
+    pub epsilon: f64,
+    /// The shards, in slab order. Never empty; shards with zero owned
+    /// points are dropped (the requested shard count is an upper bound).
+    pub shards: Vec<Shard>,
+    /// Wall time of the partitioning pass.
+    pub build_time: Duration,
+}
+
+impl Partition {
+    /// Total ghost points across shards (the replication overhead).
+    pub fn ghost_points(&self) -> usize {
+        self.shards.iter().map(Shard::ghosts).sum()
+    }
+
+    /// Total owned points (equals the input size).
+    pub fn owned_points(&self) -> usize {
+        self.shards.iter().map(|s| s.owned).sum()
+    }
+}
+
+/// Splits `data` into at most `num_shards` grid-aligned slabs with ε-wide
+/// halos. Requesting one shard (or partitioning data too narrow to cut)
+/// yields a single ghost-free shard.
+pub fn partition(
+    data: &Dataset,
+    epsilon: f64,
+    num_shards: usize,
+) -> Result<Partition, GridBuildError> {
+    let t0 = Instant::now();
+    if !(epsilon.is_finite() && epsilon > 0.0) {
+        return Err(GridBuildError::InvalidEpsilon(epsilon));
+    }
+    if data.len() > u32::MAX as usize {
+        return Err(GridBuildError::TooManyPoints(data.len()));
+    }
+    let num_shards = num_shards.max(1);
+    if data.is_empty() || num_shards == 1 {
+        return Ok(Partition {
+            split_dim: 0,
+            epsilon,
+            shards: vec![whole_shard(data)],
+            build_time: t0.elapsed(),
+        });
+    }
+
+    // Split along the widest dimension: for a fixed shard count the halo
+    // volume fraction scales with ε / slab width, so the dimension with
+    // the most ε cells minimizes replication. (Single fused pass: the
+    // partition sits on the response-time path.)
+    let dim = data.dim();
+    let mut mins = vec![f64::INFINITY; dim];
+    let mut maxs = vec![f64::NEG_INFINITY; dim];
+    for p in data.iter() {
+        for j in 0..dim {
+            mins[j] = mins[j].min(p[j]);
+            maxs[j] = maxs[j].max(p[j]);
+        }
+    }
+    let split_dim = (0..data.dim())
+        .max_by(|&a, &b| {
+            let (sa, sb) = (maxs[a] - mins[a], maxs[b] - mins[b]);
+            sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .unwrap_or(0);
+
+    // Column geometry identical to `GridIndex` for this dimension: origin
+    // min − ε, cell side ε — cuts land on global grid-cell boundaries.
+    let gmin = mins[split_dim] - epsilon;
+    let span = (maxs[split_dim] + epsilon) - gmin;
+    let ncols = (span / epsilon).floor() as u64 + 1;
+    let col_of = |x: f64| -> u64 {
+        let c = ((x - gmin) / epsilon).floor();
+        let c = if c < 0.0 { 0 } else { c as u64 };
+        c.min(ncols - 1)
+    };
+    let cols: Vec<u64> = data.iter().map(|p| col_of(p[split_dim])).collect();
+    let n = cols.len();
+
+    // Equal-count cuts, constrained to be strictly increasing (narrow
+    // data yields fewer shards). The common case walks a per-column
+    // histogram; degenerate geometries (far more columns than points)
+    // fall back to sorted per-point columns.
+    let mut cuts: Vec<u64> = Vec::with_capacity(num_shards - 1);
+    if ncols <= 4 * n as u64 + 1024 {
+        let mut counts = vec![0u32; ncols as usize];
+        for &c in &cols {
+            counts[c as usize] += 1;
+        }
+        let mut cum = 0usize;
+        let mut s = 1usize;
+        for (c, &k) in counts.iter().enumerate() {
+            if s >= num_shards || (c as u64) + 1 >= ncols {
+                break;
+            }
+            cum += k as usize;
+            // Cut after column c once the left side reaches its quantile
+            // target (only at populated columns, so no shard is empty).
+            if k > 0 && cum >= s * n / num_shards {
+                cuts.push(c as u64 + 1);
+                while s < num_shards && cum >= s * n / num_shards {
+                    s += 1;
+                }
+            }
+        }
+    } else {
+        let mut sorted = cols.clone();
+        sorted.sort_unstable();
+        for s in 1..num_shards {
+            let candidate = (sorted[s * n / num_shards] + 1)
+                .max(cuts.last().map_or(1, |&c| c + 1));
+            if candidate >= ncols {
+                break;
+            }
+            cuts.push(candidate);
+        }
+    }
+
+    // Owner of a point = index of the slab its column falls in.
+    let owner_of = |col: u64| -> usize { cuts.partition_point(|&c| c <= col) };
+    let nshards = cuts.len() + 1;
+
+    // Slab coordinate bounds (cell boundaries) and halo bands.
+    let halo = epsilon * (1.0 + HALO_SLACK);
+    let bound = |cut: u64| gmin + cut as f64 * epsilon;
+    let lo_of = |s: usize| if s == 0 { f64::NEG_INFINITY } else { bound(cuts[s - 1]) };
+    let hi_of = |s: usize| if s == nshards - 1 { f64::INFINITY } else { bound(cuts[s]) };
+
+    // One pass assigns each point to its owner and to every slab whose
+    // halo band contains it — a short walk over adjacent slabs (slabs
+    // narrower than ε make a point ghost to more than one neighbour).
+    let mut owned_ids: Vec<Vec<u32>> = vec![Vec::new(); nshards];
+    let mut ghost_ids: Vec<Vec<u32>> = vec![Vec::new(); nshards];
+    for (g, p) in data.iter().enumerate() {
+        let x = p[split_dim];
+        let o = owner_of(cols[g]);
+        owned_ids[o].push(g as u32);
+        let mut t = o;
+        while t > 0 && x <= hi_of(t - 1) + halo {
+            t -= 1;
+            ghost_ids[t].push(g as u32);
+        }
+        let mut t = o;
+        while t + 1 < nshards && x >= lo_of(t + 1) - halo {
+            t += 1;
+            ghost_ids[t].push(g as u32);
+        }
+    }
+
+    let mut shards = Vec::with_capacity(nshards);
+    for s in 0..nshards {
+        if owned_ids[s].is_empty() {
+            continue;
+        }
+        let mut local = Dataset::new(data.dim());
+        let mut global_ids = Vec::with_capacity(owned_ids[s].len() + ghost_ids[s].len());
+        for &id in owned_ids[s].iter().chain(&ghost_ids[s]) {
+            local.push(data.point(id as usize));
+            global_ids.push(id);
+        }
+        shards.push(Shard {
+            id: shards.len(),
+            lo: lo_of(s),
+            hi: hi_of(s),
+            data: local,
+            owned: owned_ids[s].len(),
+            global_ids,
+        });
+    }
+
+    Ok(Partition {
+        split_dim,
+        epsilon,
+        shards,
+        build_time: t0.elapsed(),
+    })
+}
+
+fn whole_shard(data: &Dataset) -> Shard {
+    Shard {
+        id: 0,
+        lo: f64::NEG_INFINITY,
+        hi: f64::INFINITY,
+        data: data.clone(),
+        owned: data.len(),
+        global_ids: (0..data.len() as u32).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_datasets::synthetic::{clustered, uniform};
+
+    #[test]
+    fn ownership_partitions_the_dataset() {
+        let data = uniform(3, 3000, 11);
+        let part = partition(&data, 5.0, 4).unwrap();
+        assert!(part.shards.len() >= 2, "uniform 3-D data should cut");
+        let mut owned: Vec<u32> = part
+            .shards
+            .iter()
+            .flat_map(|s| s.global_ids[..s.owned].iter().copied())
+            .collect();
+        owned.sort_unstable();
+        assert_eq!(owned, (0..3000u32).collect::<Vec<_>>());
+        assert_eq!(part.owned_points(), 3000);
+    }
+
+    #[test]
+    fn shard_data_matches_global_coordinates() {
+        let data = uniform(2, 800, 12);
+        let part = partition(&data, 4.0, 3).unwrap();
+        for s in &part.shards {
+            assert_eq!(s.data.len(), s.global_ids.len());
+            for (local, &g) in s.global_ids.iter().enumerate() {
+                assert_eq!(s.data.point(local), data.point(g as usize));
+            }
+        }
+    }
+
+    #[test]
+    fn halo_contains_every_near_boundary_foreign_point() {
+        // For every shard, every foreign point within ε of the owned slab
+        // (along the split dim) must appear as a ghost.
+        let data = uniform(2, 2000, 13);
+        let eps = 3.0;
+        let part = partition(&data, eps, 4).unwrap();
+        let j = part.split_dim;
+        for s in &part.shards {
+            let ghosts: std::collections::HashSet<u32> =
+                s.global_ids[s.owned..].iter().copied().collect();
+            let owned: std::collections::HashSet<u32> =
+                s.global_ids[..s.owned].iter().copied().collect();
+            for (g, p) in data.iter().enumerate() {
+                let x = p[j];
+                if !owned.contains(&(g as u32)) && x >= s.lo - eps && x <= s.hi + eps {
+                    assert!(
+                        ghosts.contains(&(g as u32)),
+                        "point {g} at {x} missing from halo of [{}, {})",
+                        s.lo,
+                        s.hi
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn owned_points_lie_inside_their_slab() {
+        let data = uniform(2, 1500, 14);
+        let part = partition(&data, 2.0, 5).unwrap();
+        let j = part.split_dim;
+        for s in &part.shards {
+            for local in 0..s.owned {
+                let x = s.data.point(local)[j];
+                assert!(x >= s.lo && x < s.hi, "{x} outside [{}, {})", s.lo, s.hi);
+            }
+        }
+    }
+
+    #[test]
+    fn cuts_are_grid_aligned() {
+        let data = uniform(2, 2000, 15);
+        let eps = 2.5;
+        let part = partition(&data, eps, 4).unwrap();
+        let j = part.split_dim;
+        let gmin = data.min_per_dim().unwrap()[j] - eps;
+        for s in &part.shards {
+            for b in [s.lo, s.hi] {
+                if b.is_finite() {
+                    let k = (b - gmin) / eps;
+                    assert!(
+                        (k - k.round()).abs() < 1e-9,
+                        "bound {b} is not a cell boundary (k = {k})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_has_no_ghosts() {
+        let data = uniform(2, 500, 16);
+        let part = partition(&data, 1.0, 1).unwrap();
+        assert_eq!(part.shards.len(), 1);
+        assert_eq!(part.shards[0].ghosts(), 0);
+        assert_eq!(part.shards[0].owned, 500);
+    }
+
+    #[test]
+    fn empty_dataset_yields_one_empty_shard() {
+        let part = partition(&Dataset::new(3), 1.0, 4).unwrap();
+        assert_eq!(part.shards.len(), 1);
+        assert_eq!(part.shards[0].data.len(), 0);
+        assert_eq!(part.ghost_points(), 0);
+    }
+
+    #[test]
+    fn narrow_data_degrades_to_fewer_shards() {
+        // All points inside one ε cell: no valid cut exists.
+        let mut d = Dataset::new(2);
+        for i in 0..100 {
+            d.push(&[5.0 + (i as f64) * 1e-4, 5.0 + (i as f64) * 1e-4]);
+        }
+        let part = partition(&d, 10.0, 8).unwrap();
+        assert_eq!(part.shards.len(), 1);
+    }
+
+    #[test]
+    fn equal_count_cuts_balance_owned_points() {
+        let data = uniform(2, 4000, 17);
+        let part = partition(&data, 1.0, 4).unwrap();
+        assert_eq!(part.shards.len(), 4);
+        for s in &part.shards {
+            assert!(
+                s.owned >= 500 && s.owned <= 2000,
+                "shard owns {} of 4000",
+                s.owned
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_data_still_partitions_exhaustively() {
+        let data = clustered(2, 3000, 3, 1.0, 0.05, 18);
+        let part = partition(&data, 0.5, 4).unwrap();
+        assert_eq!(part.owned_points(), 3000);
+        assert!(!part.shards.is_empty());
+    }
+
+    #[test]
+    fn invalid_epsilon_rejected() {
+        let data = uniform(2, 10, 19);
+        assert!(matches!(
+            partition(&data, 0.0, 2),
+            Err(GridBuildError::InvalidEpsilon(_))
+        ));
+        assert!(matches!(
+            partition(&data, f64::NAN, 2),
+            Err(GridBuildError::InvalidEpsilon(_))
+        ));
+    }
+}

@@ -1,0 +1,120 @@
+//! Cost-based shard→device assignment.
+//!
+//! Longest-processing-time (LPT) greedy: shards are placed heaviest-first
+//! onto the currently least-loaded device. LPT's makespan is within 4/3
+//! of optimal, which is ample here — prediction error dominates. The
+//! partitioner over-decomposes (more shards than devices) precisely so
+//! this stage has freedom to balance skewed costs.
+
+/// The result of scheduling shards onto a device pool.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Assignment {
+    /// Per-device shard queues (`queues[d]` lists shard indices, in
+    /// descending cost order).
+    pub queues: Vec<Vec<usize>>,
+    /// Per-device predicted load (sum of assigned costs).
+    pub predicted_load: Vec<u64>,
+}
+
+impl Assignment {
+    /// Device assigned to shard `s`.
+    pub fn device_of(&self, s: usize) -> Option<usize> {
+        self.queues.iter().position(|q| q.contains(&s))
+    }
+
+    /// Ratio of the heaviest to the mean device load (1.0 = perfectly
+    /// balanced). Empty loads count as balanced.
+    pub fn imbalance(&self) -> f64 {
+        let max = self.predicted_load.iter().copied().max().unwrap_or(0);
+        let sum: u64 = self.predicted_load.iter().sum();
+        if sum == 0 {
+            return 1.0;
+        }
+        max as f64 * self.predicted_load.len() as f64 / sum as f64
+    }
+}
+
+/// Assigns `costs.len()` shards to `devices` devices by LPT. Deterministic:
+/// ties break toward the lower shard index and the lower device index.
+///
+/// # Panics
+///
+/// Panics if `devices == 0`.
+pub fn lpt_schedule(costs: &[u64], devices: usize) -> Assignment {
+    assert!(devices > 0, "need at least one device");
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    order.sort_by_key(|&s| (std::cmp::Reverse(costs[s]), s));
+    let mut queues = vec![Vec::new(); devices];
+    let mut load = vec![0u64; devices];
+    for s in order {
+        let d = (0..devices).min_by_key(|&d| (load[d], d)).unwrap();
+        queues[d].push(s);
+        load[d] += costs[s];
+    }
+    Assignment {
+        queues,
+        predicted_load: load,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_shard_assigned_exactly_once() {
+        let a = lpt_schedule(&[5, 3, 8, 1, 9, 2], 3);
+        let mut all: Vec<usize> = a.queues.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(a.predicted_load.iter().sum::<u64>(), 28);
+    }
+
+    #[test]
+    fn skewed_costs_balance_better_than_count() {
+        // One giant shard and seven tiny ones on two devices: count-based
+        // round-robin would put 4 shards on each (loads 103 vs 4); LPT
+        // isolates the giant.
+        let costs = [100, 1, 1, 1, 1, 1, 1, 1];
+        let a = lpt_schedule(&costs, 2);
+        assert_eq!(a.predicted_load.iter().copied().max().unwrap(), 100);
+        assert_eq!(a.predicted_load.iter().copied().min().unwrap(), 7);
+        assert_eq!(a.device_of(0), Some(0));
+    }
+
+    #[test]
+    fn single_device_takes_everything() {
+        let a = lpt_schedule(&[4, 2, 6], 1);
+        assert_eq!(a.queues.len(), 1);
+        assert_eq!(a.queues[0], vec![2, 0, 1]); // descending cost order
+        assert_eq!(a.predicted_load, vec![12]);
+    }
+
+    #[test]
+    fn more_devices_than_shards_leaves_idle_devices() {
+        let a = lpt_schedule(&[7, 3], 4);
+        assert_eq!(a.queues.iter().filter(|q| q.is_empty()).count(), 2);
+        assert_eq!(a.imbalance(), 7.0 * 4.0 / 10.0);
+    }
+
+    #[test]
+    fn deterministic_under_ties() {
+        let a = lpt_schedule(&[5, 5, 5, 5], 2);
+        let b = lpt_schedule(&[5, 5, 5, 5], 2);
+        assert_eq!(a, b);
+        assert_eq!(a.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn empty_shard_list_is_fine() {
+        let a = lpt_schedule(&[], 2);
+        assert!(a.queues.iter().all(Vec::is_empty));
+        assert_eq!(a.imbalance(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn zero_devices_rejected() {
+        let _ = lpt_schedule(&[1], 0);
+    }
+}

@@ -20,6 +20,9 @@
 //! * **Host↔device transfer cost** — a PCIe bandwidth/latency model with
 //!   multi-stream overlap accounting ([`transfer`]), used by the batching
 //!   executor to model computation/communication overlap.
+//! * **Multi-device pools** — several devices with independent memory
+//!   pools plus per-device usage aggregation ([`pool`]), the substrate of
+//!   the sharded multi-device engine.
 //!
 //! Kernels run in two modes sharing one code path: a **fast mode** (no-op
 //! tracer, zero overhead after monomorphization) used for timing figures,
@@ -31,6 +34,7 @@ pub mod device;
 pub mod kernel;
 pub mod memory;
 pub mod occupancy;
+pub mod pool;
 pub mod profiler;
 pub mod transfer;
 pub mod work;
@@ -44,6 +48,7 @@ pub use kernel::{
 };
 pub use memory::{DeviceBuffer, MemoryPool, OutOfMemory};
 pub use occupancy::{occupancy, KernelResources, OccupancyResult};
+pub use pool::{DevicePool, DeviceTally, PoolProfiler};
 pub use profiler::{KernelMetrics, ProfiledLaunch};
 pub use transfer::{BatchCost, StreamTimeline, TimelineReport, TransferModel};
 pub use work::{launch_work_profiled, WorkProfile, WorkTracer};

@@ -1,0 +1,241 @@
+//! Multi-device pools and per-device usage aggregation.
+//!
+//! The paper's system runs on a single TITAN X; scaling *out* means a host
+//! driving several devices at once. [`DevicePool`] brings up `n` simulated
+//! devices (each with its own global-memory pool, as physical GPUs have),
+//! and [`PoolProfiler`] aggregates per-device usage — launches, modeled
+//! busy time, transfer bytes — the way a multi-GPU profiler attributes
+//! work to each card. The sharded self-join engine (`sj-shard`) uses both:
+//! the pool as its execution substrate, the profiler to compute the
+//! modeled multi-device response time (the busiest device bounds it).
+
+use crate::device::{Device, DeviceSpec};
+use parking_lot::Mutex;
+use std::time::Duration;
+
+/// A pool of simulated devices sharing one host.
+///
+/// Devices are homogeneous in the common case (the constructor clones one
+/// spec) but the pool accepts any device list, so heterogeneous setups can
+/// be modeled too.
+#[derive(Clone, Debug)]
+pub struct DevicePool {
+    devices: Vec<Device>,
+}
+
+impl DevicePool {
+    /// Brings up `count` devices, each with a fresh copy of `spec` (and
+    /// therefore its own global-memory pool).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0` — a pool must have at least one device.
+    pub fn homogeneous(spec: DeviceSpec, count: usize) -> Self {
+        assert!(count > 0, "device pool needs at least one device");
+        Self {
+            devices: (0..count).map(|_| Device::new(spec.clone())).collect(),
+        }
+    }
+
+    /// A pool of `count` simulated TITAN X (Pascal) devices — the paper's
+    /// evaluation GPU replicated.
+    pub fn titan_x(count: usize) -> Self {
+        Self::homogeneous(DeviceSpec::titan_x_pascal(), count)
+    }
+
+    /// Builds a pool from an explicit device list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices` is empty.
+    pub fn from_devices(devices: Vec<Device>) -> Self {
+        assert!(!devices.is_empty(), "device pool needs at least one device");
+        Self { devices }
+    }
+
+    /// Number of devices in the pool.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the pool is empty (never true for constructed pools).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// The device at index `i`.
+    pub fn device(&self, i: usize) -> &Device {
+        &self.devices[i]
+    }
+
+    /// All devices in index order.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Global memory currently allocated across all devices.
+    pub fn total_used_bytes(&self) -> usize {
+        self.devices.iter().map(Device::used_bytes).sum()
+    }
+
+    /// Global memory still free across all devices.
+    pub fn total_free_bytes(&self) -> usize {
+        self.devices.iter().map(Device::free_bytes).sum()
+    }
+}
+
+/// Aggregated usage of one device over a multi-kernel workload.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DeviceTally {
+    /// Work items (e.g. shards) attributed to this device.
+    pub items: usize,
+    /// Kernel launches attributed to this device.
+    pub launches: usize,
+    /// Host-measured wall time of those launches.
+    pub wall: Duration,
+    /// Modeled device-busy time (kernels + pipelined transfers).
+    pub busy: Duration,
+    /// Host→device bytes attributed to this device.
+    pub h2d_bytes: usize,
+    /// Device→host bytes attributed to this device.
+    pub d2h_bytes: usize,
+}
+
+impl DeviceTally {
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: &DeviceTally) {
+        self.items += other.items;
+        self.launches += other.launches;
+        self.wall += other.wall;
+        self.busy += other.busy;
+        self.h2d_bytes += other.h2d_bytes;
+        self.d2h_bytes += other.d2h_bytes;
+    }
+}
+
+/// Thread-safe per-device usage accumulator (the pool's "nvprof").
+///
+/// Executor threads record each completed work item against the device
+/// that ran it; the snapshot yields per-device totals plus the modeled
+/// response-time bound `max_d busy_d` — with devices running concurrently,
+/// the busiest device determines when the workload completes.
+#[derive(Debug)]
+pub struct PoolProfiler {
+    tallies: Mutex<Vec<DeviceTally>>,
+}
+
+impl PoolProfiler {
+    /// Creates a profiler for a pool of `device_count` devices.
+    pub fn new(device_count: usize) -> Self {
+        Self {
+            tallies: Mutex::new(vec![DeviceTally::default(); device_count]),
+        }
+    }
+
+    /// Records a completed work item against device `device`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range for the pool.
+    pub fn record(&self, device: usize, tally: &DeviceTally) {
+        self.tallies.lock()[device].merge(tally);
+    }
+
+    /// Per-device totals in device-index order.
+    pub fn snapshot(&self) -> Vec<DeviceTally> {
+        self.tallies.lock().clone()
+    }
+
+    /// Modeled completion time of the recorded workload: devices execute
+    /// their queues concurrently, so the busiest device bounds the total.
+    pub fn makespan(&self) -> Duration {
+        self.tallies
+            .lock()
+            .iter()
+            .map(|t| t.busy)
+            .max()
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Sum of modeled busy time across devices (what a single device would
+    /// have to execute serially — the numerator of the scaling speedup).
+    pub fn total_busy(&self) -> Duration {
+        self.tallies.lock().iter().map(|t| t.busy).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_devices_have_independent_memory() {
+        let pool = DevicePool::homogeneous(DeviceSpec::small_test_device(), 3);
+        assert_eq!(pool.len(), 3);
+        let _buf = pool.device(0).alloc_zeroed::<u64>(100).unwrap();
+        assert_eq!(pool.device(0).used_bytes(), 800);
+        assert_eq!(pool.device(1).used_bytes(), 0);
+        assert_eq!(pool.total_used_bytes(), 800);
+        assert!(pool.total_free_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_pool_rejected() {
+        let _ = DevicePool::titan_x(0);
+    }
+
+    #[test]
+    fn profiler_attributes_and_bounds() {
+        let prof = PoolProfiler::new(2);
+        prof.record(
+            0,
+            &DeviceTally {
+                items: 1,
+                launches: 3,
+                busy: Duration::from_millis(30),
+                ..DeviceTally::default()
+            },
+        );
+        prof.record(
+            1,
+            &DeviceTally {
+                items: 2,
+                launches: 5,
+                busy: Duration::from_millis(50),
+                ..DeviceTally::default()
+            },
+        );
+        prof.record(
+            0,
+            &DeviceTally {
+                items: 1,
+                busy: Duration::from_millis(10),
+                ..DeviceTally::default()
+            },
+        );
+        let snap = prof.snapshot();
+        assert_eq!(snap[0].items, 2);
+        assert_eq!(snap[0].launches, 3);
+        assert_eq!(snap[0].busy, Duration::from_millis(40));
+        assert_eq!(snap[1].items, 2);
+        assert_eq!(prof.makespan(), Duration::from_millis(50));
+        assert_eq!(prof.total_busy(), Duration::from_millis(90));
+    }
+
+    #[test]
+    fn tally_merge_sums_fields() {
+        let mut a = DeviceTally {
+            items: 1,
+            launches: 2,
+            wall: Duration::from_millis(5),
+            busy: Duration::from_millis(7),
+            h2d_bytes: 100,
+            d2h_bytes: 200,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.items, 2);
+        assert_eq!(a.h2d_bytes, 200);
+        assert_eq!(a.busy, Duration::from_millis(14));
+    }
+}

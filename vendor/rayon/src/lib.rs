@@ -142,10 +142,10 @@ mod tests {
         let v: Vec<u32> = (0..100u32)
             .into_par_iter()
             .with_min_len(3)
-            .flat_map_iter(|i| std::iter::repeat(i).take((i % 3) as usize))
+            .flat_map_iter(|i| std::iter::repeat_n(i, (i % 3) as usize))
             .collect();
         let expected: Vec<u32> = (0..100u32)
-            .flat_map(|i| std::iter::repeat(i).take((i % 3) as usize))
+            .flat_map(|i| std::iter::repeat_n(i, (i % 3) as usize))
             .collect();
         assert_eq!(v, expected);
     }
