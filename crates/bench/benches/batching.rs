@@ -3,8 +3,8 @@
 //! batches cost), and the stream-timeline scheduler itself.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use grid_join::batching::{estimate_result_size, run_batched, BatchingConfig};
-use grid_join::{DeviceGrid, GridIndex};
+use grid_join::batching::{estimate_result_size, run_batched, BatchingConfig, ExecOptions};
+use grid_join::{DeviceGrid, GridIndex, HotPath};
 use sim_gpu::{BatchCost, Device, DeviceSpec, LaunchConfig, StreamTimeline, TransferModel};
 use sj_datasets::synthetic::uniform;
 use std::hint::black_box;
@@ -33,9 +33,14 @@ fn bench_batch_counts(c: &mut Criterion) {
             min_batches: batches,
             ..BatchingConfig::default()
         };
+        let opts = ExecOptions {
+            unicomp: true,
+            cell_order: false,
+            hot_path: HotPath::PerThread,
+        };
         g.bench_with_input(BenchmarkId::from_parameter(batches), &cfg, |b, cfg| {
             b.iter(|| {
-                run_batched(&device, black_box(&dg), LaunchConfig::default(), true, false, cfg).unwrap()
+                run_batched(&device, black_box(&dg), LaunchConfig::default(), opts, cfg).unwrap()
             })
         });
     }

@@ -3,6 +3,7 @@
 //! kernel of the batching scheme.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grid_join::cell_major::{CellMajorPlan, CellMajorSelfJoinKernel};
 use grid_join::kernels::{CountKernel, SelfJoinKernel};
 use grid_join::{DeviceGrid, GridIndex, Pair};
 use sim_gpu::append::AppendBuffer;
@@ -43,6 +44,67 @@ fn bench_selfjoin_kernel(c: &mut Criterion) {
             );
         }
     }
+    g.finish();
+}
+
+fn bench_hot_paths(c: &mut Criterion) {
+    // Per-thread vs cell-major join kernel at matched work (UNICOMP on);
+    // the standing microbench behind the `kernel_hotpath` figure binary.
+    let mut g = c.benchmark_group("hot_path_2d_20k");
+    g.sample_size(10);
+    let data = uniform(2, 20_000, 11);
+    let grid = GridIndex::build(&data, 0.7).unwrap();
+    let device = Device::new(DeviceSpec::titan_x_pascal());
+    let dg = DeviceGrid::upload(&device, &data, &grid).unwrap();
+    g.bench_function("per_thread", |b| {
+        let mut results = AppendBuffer::<Pair>::new(device.pool(), 8_000_000).unwrap();
+        b.iter(|| {
+            results.clear();
+            let kernel = SelfJoinKernel {
+                grid: &dg,
+                results: black_box(&results),
+                query_offset: 0,
+                query_count: data.len(),
+                unicomp: true,
+                cell_order: false,
+            };
+            launch(&device, LaunchConfig::default(), data.len(), &kernel);
+            assert!(!results.overflowed());
+        });
+    });
+    g.bench_function("cell_major", |b| {
+        let (plan, _) = CellMajorPlan::build(&device, &dg, true, LaunchConfig::default()).unwrap();
+        let mut results = AppendBuffer::<Pair>::new(device.pool(), 8_000_000).unwrap();
+        b.iter(|| {
+            results.clear();
+            let kernel = CellMajorSelfJoinKernel {
+                grid: &dg,
+                plan: &plan,
+                results: black_box(&results),
+                slot_offset: 0,
+                slot_count: data.len(),
+            };
+            launch(&device, LaunchConfig::default(), data.len(), &kernel);
+            assert!(!results.overflowed());
+        });
+    });
+    g.bench_function("cell_major_with_plan_build", |b| {
+        let mut results = AppendBuffer::<Pair>::new(device.pool(), 8_000_000).unwrap();
+        b.iter(|| {
+            results.clear();
+            let (plan, _) =
+                CellMajorPlan::build(&device, &dg, true, LaunchConfig::default()).unwrap();
+            let kernel = CellMajorSelfJoinKernel {
+                grid: &dg,
+                plan: &plan,
+                results: black_box(&results),
+                slot_offset: 0,
+                slot_count: data.len(),
+            };
+            launch(&device, LaunchConfig::default(), data.len(), &kernel);
+            assert!(!results.overflowed());
+        });
+    });
     g.finish();
 }
 
@@ -114,6 +176,7 @@ fn bench_knn(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_selfjoin_kernel,
+    bench_hot_paths,
     bench_estimator,
     bench_cell_order,
     bench_knn

@@ -12,7 +12,7 @@
 //! recovers regularity.
 
 use grid_join::kernels::SelfJoinKernel;
-use grid_join::{DeviceGrid, GpuSelfJoin, GridIndex, Pair, SelfJoinConfig};
+use grid_join::{DeviceGrid, GpuSelfJoin, GridIndex, HotPath, Pair, SelfJoinConfig};
 use sim_gpu::append::AppendBuffer;
 use sim_gpu::work::launch_work_profiled;
 use sim_gpu::{launch_profiled, Device, DeviceSpec, LaunchConfig};
@@ -68,8 +68,11 @@ fn main() {
         // Response times.
         let gpu = GpuSelfJoin::default_device().unicomp(false).run(&data, eps).expect("gpu");
         let uni = GpuSelfJoin::default_device().unicomp(true).run(&data, eps).expect("uni");
+        // Query-ordering ablation targets the per-thread path explicitly
+        // (the default cell-major path is inherently cell-ordered).
         let ordered_cfg = SelfJoinConfig {
             cell_order_queries: true,
+            hot_path: HotPath::PerThread,
             ..SelfJoinConfig::default()
         };
         let ord = GpuSelfJoin::default_device()

@@ -23,19 +23,12 @@
 
 use grid_join::GpuSelfJoin;
 use sj_bench::cli::Args;
+use sj_bench::eps_for_selectivity;
 use sj_bench::table::{emit_table, fmt_secs, fmt_speedup};
-use sj_datasets::{sdss, stats, synthetic, Dataset};
+use sj_datasets::{sdss, synthetic, Dataset};
 use sj_shard::ShardedSelfJoin;
 
 const DEVICE_COUNTS: [usize; 4] = [1, 2, 4, 8];
-
-/// ε that lands a workload at roughly `target` average neighbours per
-/// point under its mean density (clustered data comes out denser — fine:
-/// that is the regime where cost-based scheduling matters).
-fn eps_for_selectivity(data: &Dataset, target: f64) -> f64 {
-    let ext = stats::extent(data).expect("non-empty workload");
-    (target / (std::f64::consts::PI * ext.density)).sqrt()
-}
 
 fn main() {
     let args = Args::parse();

@@ -9,11 +9,13 @@
 //! 2. **Exact-table validation**: the sharded multi-device engine must be
 //!    *pair-for-pair* identical to single-device GPU-SJ, the parallel
 //!    host join and the R-tree — and its deduplicating merge must remove
-//!    zero duplicates (the halo-ownership invariant).
+//!    zero duplicates (the halo-ownership invariant). The per-thread
+//!    kernel path (with and without UNICOMP) must likewise be
+//!    pair-for-pair identical to the default cell-major hot path.
 //!
 //! Exits non-zero on any disagreement, so CI can gate on this binary.
 
-use grid_join::{GpuSelfJoin, GridIndex};
+use grid_join::{GpuSelfJoin, GridIndex, HotPath};
 use rtree::rtree_self_join;
 use sj_bench::cli::Args;
 use sj_bench::runner::{run_algorithms, Algo};
@@ -56,6 +58,21 @@ fn main() {
             "{}: sharded merge removed duplicates — ownership violated",
             spec.name
         );
+        // Hot-path cross-check: `single` ran the default cell-major path;
+        // the per-thread path must be pair-for-pair identical in both
+        // traversal modes.
+        for unicomp in [true, false] {
+            let per_thread = GpuSelfJoin::default_device()
+                .unicomp(unicomp)
+                .hot_path(HotPath::PerThread)
+                .run(&data, eps)
+                .expect("per-thread GPU-SJ failed");
+            assert_eq!(
+                per_thread.table, single.table,
+                "{}: per-thread (unicomp={unicomp}) != cell-major hot path",
+                spec.name
+            );
+        }
         let grid = GridIndex::build(&data, eps).expect("grid build failed");
         let host = grid_join::host_self_join_parallel(&data, &grid);
         assert_eq!(host, single.table, "{}: host parallel != GPU-SJ", spec.name);
@@ -81,8 +98,9 @@ fn main() {
     );
     println!(
         "\nAll {} Table I workloads validated: counts agree across the five algorithms,\n\
-         and the sharded engine is pair-for-pair identical to GPU-SJ, the parallel host\n\
-         join and the R-tree (zero merge duplicates).",
+         the per-thread kernels (±UNICOMP) are pair-for-pair identical to the cell-major\n\
+         hot path, and the sharded engine is pair-for-pair identical to GPU-SJ, the\n\
+         parallel host join and the R-tree (zero merge duplicates).",
         rows.len()
     );
 }

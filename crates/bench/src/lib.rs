@@ -27,3 +27,13 @@ pub mod table;
 
 pub use cli::Args;
 pub use runner::{run_algorithms, Algo, Measurement};
+
+/// ε that lands a workload at roughly `target` average neighbours per
+/// point under its mean 2-D density (clustered data comes out denser —
+/// fine: that is the regime where cost-based scheduling matters). Shared
+/// by the `scaling_devices` and `kernel_hotpath` binaries so their
+/// "~24 neighbors/point" tiers stay comparable.
+pub fn eps_for_selectivity(data: &sj_datasets::Dataset, target: f64) -> f64 {
+    let ext = sj_datasets::stats::extent(data).expect("non-empty workload");
+    (target / (std::f64::consts::PI * ext.density)).sqrt()
+}

@@ -20,6 +20,7 @@
 //!    buffer when it happens, then drain to the host. Per-batch costs feed
 //!    the [`StreamTimeline`] overlap model.
 
+use crate::cell_major::{CellMajorPlan, CellMajorSelfJoinKernel, HotPath};
 use crate::device_grid::DeviceGrid;
 use crate::error::SelfJoinError;
 use crate::kernels::{CountKernel, SelfJoinKernel};
@@ -27,6 +28,19 @@ use crate::result::Pair;
 use sim_gpu::append::AppendBuffer;
 use sim_gpu::{launch, BatchCost, Device, LaunchConfig, StreamTimeline, TimelineReport};
 use std::time::Duration;
+
+/// Execution options of one batched join (which kernel variant runs and
+/// how queries are ordered).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExecOptions {
+    /// Apply the UNICOMP work-avoidance pattern.
+    pub unicomp: bool,
+    /// Per-thread path only: process queries in `A`-order (the cell-major
+    /// path is always cell-ordered by construction).
+    pub cell_order: bool,
+    /// Which hot path executes the join kernels.
+    pub hot_path: HotPath,
+}
 
 /// Tunables of the batching scheme.
 #[derive(Clone, Copy, Debug)]
@@ -86,6 +100,12 @@ pub struct BatchReport {
     pub estimate_time: Duration,
     /// Modeled device time of the estimation kernel.
     pub modeled_estimate_time: Duration,
+    /// Host wall time of the cell-major hoisting precompute (zero on the
+    /// per-thread path).
+    pub hoist_time: Duration,
+    /// Modeled device time of the hoisting kernels (zero on the
+    /// per-thread path); also scheduled into [`Self::timeline`].
+    pub modeled_hoist_time: Duration,
     /// Modeled pipelined timeline (kernel + transfers on `streams`).
     pub timeline: TimelineReport,
     /// Result-buffer capacity in pairs.
@@ -133,8 +153,7 @@ pub fn run_batched(
     device: &Device,
     grid: &DeviceGrid,
     launch_cfg: LaunchConfig,
-    unicomp: bool,
-    cell_order: bool,
+    opts: ExecOptions,
     cfg: &BatchingConfig,
 ) -> Result<(Vec<Pair>, BatchReport), SelfJoinError> {
     let n = grid.num_points;
@@ -142,6 +161,17 @@ pub fn run_batched(
     {
         Some(est) => (est, 0, Duration::ZERO, Duration::ZERO),
         None => estimate_result_size(device, grid, cfg)?,
+    };
+
+    // Cell-major path: hoist the per-cell neighbor searches once, before
+    // any batch runs (and before the free-memory budget is measured, so
+    // the plan's buffers are accounted for).
+    let (plan, plan_stats) = match opts.hot_path {
+        HotPath::CellMajor => {
+            let (plan, stats) = CellMajorPlan::build(device, grid, opts.unicomp, launch_cfg)?;
+            (Some(plan), stats)
+        }
+        HotPath::PerThread => (None, Default::default()),
     };
 
     // Buffer capacity: bounded by the free-memory budget, floored so tiny
@@ -172,21 +202,44 @@ pub fn run_batched(
         kernel: Duration::ZERO,
         d2h_bytes: 0,
     });
+    // The hoisting pass (when present) runs next: its kernels, drains and
+    // CSR upload are real pipeline work, never free.
+    if plan.is_some() {
+        costs.push(BatchCost {
+            h2d_bytes: plan_stats.h2d_bytes,
+            kernel: plan_stats.modeled,
+            d2h_bytes: plan_stats.d2h_bytes,
+        });
+    }
 
     let per_batch_queries = n.div_ceil(batches.max(1)).max(1);
     let mut offset = 0usize;
     while offset < n {
         let count = per_batch_queries.min(n - offset);
         loop {
-            let kernel = SelfJoinKernel {
-                grid,
-                results: &results,
-                query_offset: offset,
-                query_count: count,
-                unicomp,
-                cell_order,
+            let stats = match &plan {
+                Some(plan) => {
+                    let kernel = CellMajorSelfJoinKernel {
+                        grid,
+                        plan,
+                        results: &results,
+                        slot_offset: offset,
+                        slot_count: count,
+                    };
+                    launch(device, launch_cfg, count, &kernel)
+                }
+                None => {
+                    let kernel = SelfJoinKernel {
+                        grid,
+                        results: &results,
+                        query_offset: offset,
+                        query_count: count,
+                        unicomp: opts.unicomp,
+                        cell_order: opts.cell_order,
+                    };
+                    launch(device, launch_cfg, count, &kernel)
+                }
             };
-            let stats = launch(device, launch_cfg, count, &kernel);
             if results.overflowed() {
                 // The estimate undershot: grow the buffer and retry this
                 // batch (a real implementation re-splits; doubling is the
@@ -225,6 +278,8 @@ pub fn run_batched(
         modeled_kernel_time,
         estimate_time,
         modeled_estimate_time,
+        hoist_time: plan_stats.wall,
+        modeled_hoist_time: plan_stats.modeled,
         timeline,
         buffer_capacity: capacity,
     };
@@ -266,24 +321,41 @@ mod tests {
         assert!(est as f64 <= truth * 2.0, "est {est} truth {truth}");
     }
 
+    fn exec(unicomp: bool, hot_path: HotPath) -> ExecOptions {
+        ExecOptions {
+            unicomp,
+            cell_order: false,
+            hot_path,
+        }
+    }
+
     #[test]
     fn batched_join_matches_host_reference() {
         let dev = Device::new(DeviceSpec::titan_x_pascal());
         let (data, grid, dg) = setup(2, 3000, 2.5, 42, &dev);
-        for unicomp in [false, true] {
-            let (pairs, report) = run_batched(
-                &dev,
-                &dg,
-                LaunchConfig::default(),
-                unicomp,
-                false,
-                &BatchingConfig::default(),
-            )
-            .unwrap();
-            assert!(report.batches >= 3, "paper mandates ≥3 batches");
-            let got = NeighborTable::from_pairs(data.len(), &pairs);
-            assert_eq!(got, host_self_join(&data, &grid), "unicomp={unicomp}");
-            assert_eq!(report.actual_pairs as usize, got.total_pairs());
+        for hot_path in [HotPath::PerThread, HotPath::CellMajor] {
+            for unicomp in [false, true] {
+                let (pairs, report) = run_batched(
+                    &dev,
+                    &dg,
+                    LaunchConfig::default(),
+                    exec(unicomp, hot_path),
+                    &BatchingConfig::default(),
+                )
+                .unwrap();
+                assert!(report.batches >= 3, "paper mandates ≥3 batches");
+                let got = NeighborTable::from_pairs(data.len(), &pairs);
+                assert_eq!(
+                    got,
+                    host_self_join(&data, &grid),
+                    "unicomp={unicomp}, {hot_path:?}"
+                );
+                assert_eq!(report.actual_pairs as usize, got.total_pairs());
+                match hot_path {
+                    HotPath::CellMajor => assert!(report.modeled_hoist_time > Duration::ZERO),
+                    HotPath::PerThread => assert_eq!(report.modeled_hoist_time, Duration::ZERO),
+                }
+            }
         }
     }
 
@@ -297,15 +369,18 @@ mod tests {
             result_mem_fraction: 1e-7, // ≈ floor of 4096 pairs
             ..BatchingConfig::default()
         };
-        let (pairs, report) =
-            run_batched(&dev, &dg, LaunchConfig::default(), false, false, &cfg).unwrap();
-        assert!(
-            report.batches > 3,
-            "expected many batches, got {}",
-            report.batches
-        );
-        let got = NeighborTable::from_pairs(data.len(), &pairs);
-        assert_eq!(got, host_self_join(&data, &grid));
+        for hot_path in [HotPath::PerThread, HotPath::CellMajor] {
+            let (pairs, report) =
+                run_batched(&dev, &dg, LaunchConfig::default(), exec(false, hot_path), &cfg)
+                    .unwrap();
+            assert!(
+                report.batches > 3,
+                "expected many batches, got {}",
+                report.batches
+            );
+            let got = NeighborTable::from_pairs(data.len(), &pairs);
+            assert_eq!(got, host_self_join(&data, &grid), "{hot_path:?}");
+        }
     }
 
     #[test]
@@ -320,14 +395,17 @@ mod tests {
             safety_factor: 0.05, // deliberate massive underestimate
             ..BatchingConfig::default()
         };
-        let (pairs, report) =
-            run_batched(&dev, &dg, LaunchConfig::default(), false, false, &cfg).unwrap();
-        assert!(
-            report.overflow_retries > 0,
-            "test should have provoked a retry"
-        );
-        let got = NeighborTable::from_pairs(data.len(), &pairs);
-        assert_eq!(got, host_self_join(&data, &grid));
+        for hot_path in [HotPath::PerThread, HotPath::CellMajor] {
+            let (pairs, report) =
+                run_batched(&dev, &dg, LaunchConfig::default(), exec(false, hot_path), &cfg)
+                    .unwrap();
+            assert!(
+                report.overflow_retries > 0,
+                "test should have provoked a retry ({hot_path:?})"
+            );
+            let got = NeighborTable::from_pairs(data.len(), &pairs);
+            assert_eq!(got, host_self_join(&data, &grid), "{hot_path:?}");
+        }
     }
 
     #[test]
@@ -340,7 +418,8 @@ mod tests {
             ..BatchingConfig::default()
         };
         let (pairs, report) =
-            run_batched(&dev, &dg, LaunchConfig::default(), true, false, &cfg).unwrap();
+            run_batched(&dev, &dg, LaunchConfig::default(), exec(true, HotPath::CellMajor), &cfg)
+                .unwrap();
         assert_eq!(report.estimated_pairs, truth);
         assert_eq!(report.estimate_time, Duration::ZERO);
         assert_eq!(report.modeled_estimate_time, Duration::ZERO);
@@ -354,17 +433,18 @@ mod tests {
         let data = sj_datasets::Dataset::new(2);
         let grid = GridIndex::build(&data, 1.0).unwrap();
         let dg = DeviceGrid::upload(&dev, &data, &grid).unwrap();
-        let (pairs, report) = run_batched(
-            &dev,
-            &dg,
-            LaunchConfig::default(),
-            false,
-            false,
-            &BatchingConfig::default(),
-        )
-        .unwrap();
-        assert!(pairs.is_empty());
-        assert_eq!(report.actual_pairs, 0);
+        for hot_path in [HotPath::PerThread, HotPath::CellMajor] {
+            let (pairs, report) = run_batched(
+                &dev,
+                &dg,
+                LaunchConfig::default(),
+                exec(false, hot_path),
+                &BatchingConfig::default(),
+            )
+            .unwrap();
+            assert!(pairs.is_empty());
+            assert_eq!(report.actual_pairs, 0);
+        }
     }
 
     #[test]
@@ -375,8 +455,7 @@ mod tests {
             &dev,
             &dg,
             LaunchConfig::default(),
-            false,
-            false,
+            exec(false, HotPath::CellMajor),
             &BatchingConfig::default(),
         )
         .unwrap();
@@ -393,8 +472,7 @@ mod tests {
                 &dev,
                 &dg,
                 LaunchConfig::default(),
-                true,
-                false,
+                exec(true, HotPath::CellMajor),
                 &BatchingConfig::default(),
             )
             .unwrap();

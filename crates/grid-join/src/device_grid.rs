@@ -23,8 +23,13 @@ pub struct DeviceGrid {
     pub gmin: [f64; MAX_DIM],
     /// Cell counts `|g_j]` per dimension.
     pub cells_per_dim: [u64; MAX_DIM],
-    /// Flat row-major point coordinates (`D`).
+    /// Flat row-major point coordinates (`D`), indexed by original id.
     pub coords: DeviceBuffer<f64>,
+    /// Cell-major coordinate snapshot, indexed by `A`-slot: slot `s`'s
+    /// point (`A[s]`) has its coordinates at `[s * dim, (s + 1) * dim)`,
+    /// so a cell's points are one contiguous scan (see
+    /// [`GridIndex::reordered_coords`]).
+    pub reordered: DeviceBuffer<f64>,
     /// Point ids grouped by cell (`A`).
     pub a: DeviceBuffer<u32>,
     /// Sorted non-empty-cell linear ids (`B`).
@@ -64,6 +69,7 @@ impl DeviceGrid {
             gmin,
             cells_per_dim,
             coords: device.alloc_from_host(data.coords())?,
+            reordered: device.alloc_from_host(grid.reordered_coords())?,
             a: device.alloc_from_host(grid.a())?,
             b: device.alloc_from_host(grid.b())?,
             g: device.alloc_from_host(grid.g())?,
@@ -75,6 +81,7 @@ impl DeviceGrid {
     /// Bytes uploaded host→device (for the transfer-overlap model).
     pub fn h2d_bytes(&self) -> usize {
         self.coords.size_bytes()
+            + self.reordered.size_bytes()
             + self.a.size_bytes()
             + self.b.size_bytes()
             + self.g.size_bytes()
@@ -106,6 +113,7 @@ mod tests {
         assert_eq!(dg.a.as_slice(), grid.a());
         assert_eq!(dg.g.as_slice(), grid.g());
         assert_eq!(dg.coords.as_slice(), data.coords());
+        assert_eq!(dg.reordered.as_slice(), grid.reordered_coords());
         for j in 0..3 {
             let (lo, hi) = dg.mask_bounds(j);
             assert_eq!(&dg.m_values.as_slice()[lo..hi], grid.m(j));

@@ -44,6 +44,19 @@ impl CellRange {
 }
 
 /// The host-side ε-grid index over a dataset.
+///
+/// # The reordered-snapshot invariant (cell-major layout)
+///
+/// Besides the paper's four arrays, the index materializes a **cell-major
+/// coordinate snapshot**: `reordered_coords()` holds every point's
+/// coordinates permuted into `A`-order, so that *slot* `s` (a position in
+/// `A`) stores point `A[s]`'s coordinates at
+/// `reordered_coords()[s * dim .. (s + 1) * dim]`. A cell's points are
+/// therefore one contiguous `dim`-strided scan — no `data[A[s]]` gather —
+/// and `A` doubles as the **id remap**: kernels that traverse slots emit
+/// original point ids by reading `A[s]`. The snapshot is immutable after
+/// `build` and always consistent with `A`/`G` (the cell-major kernels and
+/// their exact-equality tests rely on this contract).
 #[derive(Clone, Debug)]
 pub struct GridIndex {
     dim: usize,
@@ -60,6 +73,9 @@ pub struct GridIndex {
     a: Vec<u32>,
     /// Per-dimension sorted non-empty cell coordinates (mask arrays).
     m: Vec<Vec<u32>>,
+    /// Cell-major coordinate snapshot: point `a[s]`'s coordinates live at
+    /// `reordered[s * dim .. (s + 1) * dim]` (see struct docs).
+    reordered: Vec<f64>,
 }
 
 impl GridIndex {
@@ -82,6 +98,7 @@ impl GridIndex {
                 g: Vec::new(),
                 a: Vec::new(),
                 m: vec![Vec::new(); dim],
+                reordered: Vec::new(),
             });
         }
         if data.len() > u32::MAX as usize {
@@ -128,6 +145,13 @@ impl GridIndex {
         // deterministic here).
         keyed.par_sort_unstable();
 
+        // Cell-major snapshot: coordinates permuted into A-order so each
+        // cell's points are contiguous (see struct docs).
+        let mut reordered = Vec::with_capacity(n * dim);
+        for &(_, pid) in &keyed {
+            reordered.extend_from_slice(data.point(pid as usize));
+        }
+
         // Group into the B/G/A arrays.
         let mut b = Vec::new();
         let mut g: Vec<CellRange> = Vec::new();
@@ -173,6 +197,7 @@ impl GridIndex {
             g,
             a,
             m,
+            reordered,
         })
     }
 
@@ -216,18 +241,29 @@ impl GridIndex {
         &self.m[j]
     }
 
+    /// The cell-major coordinate snapshot: slot `s` of `A` has its point's
+    /// coordinates at `[s * dim, (s + 1) * dim)`. See the struct docs for
+    /// the invariant and the id-remap contract (`A` maps slot → original
+    /// id).
+    pub fn reordered_coords(&self) -> &[f64] {
+        &self.reordered
+    }
+
     /// Number of non-empty cells `|G| = |B|`.
     pub fn non_empty_cells(&self) -> usize {
         self.b.len()
     }
 
-    /// Index size in bytes (B + G + A + M), the quantity the paper argues
-    /// stays `O(|D|)`.
+    /// Index size in bytes (B + G + A + M plus the cell-major coordinate
+    /// snapshot), the quantity the paper argues stays `O(|D|)` — the
+    /// snapshot adds `8 · dim` bytes per point but no dependence on the
+    /// virtual cell count.
     pub fn size_bytes(&self) -> usize {
         self.b.len() * 8
             + self.g.len() * 8
             + self.a.len() * 4
             + self.m.iter().map(|mj| mj.len() * 4).sum::<usize>()
+            + self.reordered.len() * 8
     }
 
     /// Computes the cell coordinates of a point.
@@ -417,6 +453,27 @@ mod tests {
         }
         let max_id = *g.b().last().unwrap();
         assert!(g.find_cell(max_id + 1_000_000).is_none());
+    }
+
+    #[test]
+    fn reordered_snapshot_matches_a_order() {
+        // The invariant the cell-major kernels rely on: slot s of A holds
+        // point a[s], and its coordinates are at reordered[s*dim..].
+        for dim in [2usize, 3, 6] {
+            let d = uniform(dim, 700, 77);
+            let g = GridIndex::build(&d, 12.0 * dim as f64).unwrap();
+            let r = g.reordered_coords();
+            assert_eq!(r.len(), d.len() * dim);
+            for (s, &pid) in g.a().iter().enumerate() {
+                assert_eq!(
+                    &r[s * dim..(s + 1) * dim],
+                    d.point(pid as usize),
+                    "slot {s} (dim {dim})"
+                );
+            }
+        }
+        let empty = GridIndex::build(&Dataset::new(3), 1.0).unwrap();
+        assert!(empty.reordered_coords().is_empty());
     }
 
     #[test]

@@ -24,15 +24,26 @@ pub fn host_self_join(data: &Dataset, grid: &GridIndex) -> NeighborTable {
 /// Parallel host self-join (rayon over query chunks).
 pub fn host_self_join_parallel(data: &Dataset, grid: &GridIndex) -> NeighborTable {
     let n = data.len();
-    let chunk = (n / (rayon::current_num_threads() * 8).max(1)).max(1024);
-    let pairs: Vec<Pair> = (0..n)
+    // ~8 chunks per thread for load balance. `div_ceil` keeps the chunk
+    // size ≥ 1 for any `n` (the old `n / threads*8` truncated to 0 for
+    // small inputs and leaned on an arbitrary 1024 floor that serialized
+    // them); the cap bounds per-chunk scratch growth on huge inputs.
+    let threads = rayon::current_num_threads().max(1);
+    let chunk = n.div_ceil(threads * 8).clamp(1, 1 << 16);
+    let num_chunks = n.div_ceil(chunk.max(1)).max(1);
+    let pairs: Vec<Pair> = (0..num_chunks)
         .into_par_iter()
-        .with_min_len(chunk)
-        .flat_map_iter(|q| {
+        .flat_map_iter(|ci| {
+            let lo = ci * chunk;
+            let hi = (lo + chunk).min(n);
+            // One scratch Vec per chunk, reused across its queries,
+            // instead of a fresh allocation per query.
             let mut out = Vec::new();
-            query_neighbors(data, grid, q, |cand| {
-                out.push(Pair::new(q as u32, cand));
-            });
+            for q in lo..hi {
+                query_neighbors(data, grid, q, |cand| {
+                    out.push(Pair::new(q as u32, cand));
+                });
+            }
             out.into_iter()
         })
         .collect();
@@ -126,6 +137,21 @@ mod tests {
             host_self_join_parallel(&data, &grid),
             host_self_join(&data, &grid)
         );
+    }
+
+    #[test]
+    fn parallel_handles_tiny_inputs() {
+        // Chunk sizing must not degenerate when n ≪ threads × 8.
+        for n in [0usize, 1, 3, 17] {
+            let data = uniform(2, n.max(1), 26);
+            let data = if n == 0 { Dataset::new(2) } else { data };
+            let grid = GridIndex::build(&data, 5.0).unwrap();
+            assert_eq!(
+                host_self_join_parallel(&data, &grid),
+                host_self_join(&data, &grid),
+                "n={n}"
+            );
+        }
     }
 
     #[test]

@@ -79,7 +79,7 @@ where
 /// using traced binary searches. Returns `None` when the mask eliminates
 /// the whole range.
 #[inline]
-fn traced_mask_range<T: Tracer>(
+pub(crate) fn traced_mask_range<T: Tracer>(
     ctx: &mut ThreadCtx<'_, T>,
     grid: &DeviceGrid,
     j: usize,
@@ -103,7 +103,7 @@ fn traced_mask_range<T: Tracer>(
 /// Binary-searches `B` for a linear cell id (traced). Returns the cell's
 /// position in `B`/`G` if present.
 #[inline]
-fn traced_find_cell<T: Tracer>(
+pub(crate) fn traced_find_cell<T: Tracer>(
     ctx: &mut ThreadCtx<'_, T>,
     grid: &DeviceGrid,
     linear_id: u64,

@@ -12,6 +12,9 @@
 //!   mask-filtered adjacent-cell searches ([`kernels`]),
 //! * the **UNICOMP** parity-based work-avoidance pattern that halves cell
 //!   visits and distance computations ([`unicomp`]),
+//! * the **cell-major hot path** — reordered point layout, per-cell
+//!   neighbor hoisting, batched result reservation ([`cell_major`]; the
+//!   default execution path),
 //! * a **result-set batching** pipeline that bounds device memory use and
 //!   overlaps transfers with compute ([`batching`]), and
 //! * a **brute-force** GPU baseline for the evaluation ([`brute_force`]).
@@ -29,6 +32,7 @@
 
 pub mod batching;
 pub mod brute_force;
+pub mod cell_major;
 pub mod device_grid;
 pub mod error;
 pub mod grid;
@@ -40,8 +44,9 @@ pub mod result;
 pub mod selfjoin;
 pub mod unicomp;
 
-pub use batching::{BatchReport, BatchingConfig};
+pub use batching::{BatchReport, BatchingConfig, ExecOptions};
 pub use brute_force::{gpu_brute_force, BruteForceResult};
+pub use cell_major::{CellMajorPlan, CellMajorSelfJoinKernel, HotPath};
 pub use device_grid::DeviceGrid;
 pub use error::{GridBuildError, SelfJoinError};
 pub use grid::{CellRange, GridIndex};

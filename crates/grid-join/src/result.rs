@@ -71,6 +71,61 @@ impl NeighborTable {
         Self { offsets, neighbors }
     }
 
+    /// Builds the table like [`Self::from_pairs`] while also removing
+    /// duplicate pairs, returning the duplicate count. Keys are dense
+    /// `u32` ids in `0..num_points`, so the grouping is a counting sort —
+    /// `O(n + num_points)` plus the per-neighbor-list `sort_unstable`
+    /// kept for determinism — instead of the `O(n log n)` full
+    /// `sort_unstable` + `dedup` a caller would otherwise run first (the
+    /// sharded engine's merge of multi-million-pair results).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pair references a point id `>= num_points`.
+    pub fn from_pairs_dedup(num_points: usize, pairs: &[Pair]) -> (Self, u64) {
+        let mut counts = vec![0usize; num_points + 1];
+        for p in pairs {
+            assert!(
+                (p.key as usize) < num_points && (p.value as usize) < num_points,
+                "pair ({}, {}) out of range {num_points}",
+                p.key,
+                p.value
+            );
+            counts[p.key as usize + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let mut cursor = counts.clone();
+        let mut neighbors = vec![0u32; pairs.len()];
+        for p in pairs {
+            let k = p.key as usize;
+            neighbors[cursor[k]] = p.value;
+            cursor[k] += 1;
+        }
+        // Sort + dedup each list in place, compacting the value array and
+        // rebuilding the offsets as we go.
+        let mut offsets = vec![0usize; num_points + 1];
+        let mut write = 0usize;
+        for k in 0..num_points {
+            let (lo, hi) = (counts[k], counts[k + 1]);
+            neighbors[lo..hi].sort_unstable();
+            let mut prev: Option<u32> = None;
+            for i in lo..hi {
+                let v = neighbors[i];
+                if prev != Some(v) {
+                    neighbors[write] = v;
+                    write += 1;
+                    prev = Some(v);
+                }
+            }
+            offsets[k + 1] = write;
+        }
+        let duplicates = (pairs.len() - write) as u64;
+        neighbors.truncate(write);
+        (Self { offsets, neighbors }, duplicates)
+    }
+
     /// Number of points the table covers.
     pub fn num_points(&self) -> usize {
         self.offsets.len() - 1
@@ -170,6 +225,34 @@ mod tests {
         assert_eq!(t.neighbors(2), &[0]);
         assert_eq!(t.total_pairs(), 4);
         assert!((t.avg_neighbors() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dedup_table_removes_duplicates_and_matches_sorted_merge() {
+        let mut pairs = sample_pairs();
+        pairs.push(Pair::new(0, 2)); // duplicate
+        pairs.push(Pair::new(2, 0)); // duplicate
+        pairs.push(Pair::new(0, 2)); // triplicate
+        let (t, dups) = NeighborTable::from_pairs_dedup(3, &pairs);
+        assert_eq!(dups, 3);
+        assert_eq!(t, NeighborTable::from_pairs(3, &sample_pairs()));
+        // Reference construction: full sort + dedup, then from_pairs.
+        let mut sorted = pairs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(t, NeighborTable::from_pairs(3, &sorted));
+        // No duplicates → zero removed, identical to from_pairs.
+        let (clean, zero) = NeighborTable::from_pairs_dedup(3, &sample_pairs());
+        assert_eq!(zero, 0);
+        assert_eq!(clean, NeighborTable::from_pairs(3, &sample_pairs()));
+        let (empty, d) = NeighborTable::from_pairs_dedup(4, &[]);
+        assert_eq!((empty.num_points(), d), (4, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dedup_table_rejects_out_of_range() {
+        let _ = NeighborTable::from_pairs_dedup(2, &[Pair::new(0, 5)]);
     }
 
     #[test]

@@ -22,7 +22,8 @@
 //! result size → batched kernel execution (UNICOMP on by default, as in
 //! the paper's best configuration) → sort pairs → neighbour table.
 
-use crate::batching::{run_batched, BatchReport, BatchingConfig};
+use crate::batching::{run_batched, BatchReport, BatchingConfig, ExecOptions};
+use crate::cell_major::HotPath;
 use crate::device_grid::DeviceGrid;
 use crate::error::SelfJoinError;
 use crate::grid::GridIndex;
@@ -38,10 +39,17 @@ use std::time::{Duration, Instant};
 pub struct SelfJoinConfig {
     /// Apply the UNICOMP work-avoidance optimization (§V-B). Default on.
     pub unicomp: bool,
-    /// Process queries in grid-cell order (an extension beyond the paper:
-    /// consecutive threads handle same-cell points, improving L1 locality
-    /// and warp regularity on skewed data; results are unchanged).
+    /// Per-thread path only: process queries in grid-cell order (an
+    /// extension beyond the paper: consecutive threads handle same-cell
+    /// points, improving L1 locality and warp regularity on skewed data;
+    /// results are unchanged). The cell-major path is inherently
+    /// cell-ordered.
     pub cell_order_queries: bool,
+    /// Which join hot path runs (see [`crate::cell_major`]). Default
+    /// [`HotPath::CellMajor`]: reordered point layout, per-cell neighbor
+    /// hoisting and batched result reservation — pair-for-pair identical
+    /// to [`HotPath::PerThread`], measurably faster.
+    pub hot_path: HotPath,
     /// Kernel launch geometry (default 256 threads/block as in §VI-B).
     pub launch: LaunchConfig,
     /// Batching-scheme tunables (§V-A).
@@ -53,6 +61,7 @@ impl Default for SelfJoinConfig {
         Self {
             unicomp: true,
             cell_order_queries: false,
+            hot_path: HotPath::CellMajor,
             launch: LaunchConfig::default(),
             batching: BatchingConfig::default(),
         }
@@ -142,6 +151,12 @@ impl GpuSelfJoin {
     /// Enables or disables UNICOMP.
     pub fn unicomp(mut self, on: bool) -> Self {
         self.config.unicomp = on;
+        self
+    }
+
+    /// Selects the join hot path (default [`HotPath::CellMajor`]).
+    pub fn hot_path(mut self, path: HotPath) -> Self {
+        self.config.hot_path = path;
         self
     }
 
@@ -250,8 +265,11 @@ impl GpuSelfJoin {
             &self.device,
             &dg,
             self.config.launch,
-            self.config.unicomp,
-            self.config.cell_order_queries,
+            ExecOptions {
+                unicomp: self.config.unicomp,
+                cell_order: self.config.cell_order_queries,
+                hot_path: self.config.hot_path,
+            },
             &self.config.batching,
         )?;
         let device_pipeline = t1.elapsed();
@@ -296,6 +314,27 @@ mod tests {
         assert!(out.report.batching.batches >= 3);
         assert!(out.report.non_empty_cells > 0);
         assert!(out.report.occupancy.occupancy > 0.0);
+    }
+
+    #[test]
+    fn hot_paths_agree_end_to_end() {
+        let data = clustered(3, 1500, 5, 1.2, 0.1, 60);
+        let eps = 1.6;
+        for unicomp in [false, true] {
+            let cm = GpuSelfJoin::default_device()
+                .unicomp(unicomp)
+                .hot_path(HotPath::CellMajor)
+                .run(&data, eps)
+                .unwrap();
+            let pt = GpuSelfJoin::default_device()
+                .unicomp(unicomp)
+                .hot_path(HotPath::PerThread)
+                .run(&data, eps)
+                .unwrap();
+            assert_eq!(cm.table, pt.table, "unicomp={unicomp}");
+            assert!(cm.report.batching.modeled_hoist_time > Duration::ZERO);
+            assert_eq!(pt.report.batching.modeled_hoist_time, Duration::ZERO);
+        }
     }
 
     #[test]

@@ -24,7 +24,8 @@ use crate::cost::{estimate_shard_cost, ShardCost};
 use crate::partition::{partition, Partition};
 use crate::schedule::{lpt_schedule, Assignment};
 use grid_join::{
-    remap_pairs, GpuSelfJoin, GridIndex, NeighborTable, Pair, SelfJoinConfig, SelfJoinError,
+    remap_pairs, GpuSelfJoin, GridIndex, HotPath, NeighborTable, Pair, SelfJoinConfig,
+    SelfJoinError,
 };
 use parking_lot::Mutex;
 use rayon::prelude::*;
@@ -164,6 +165,20 @@ impl ShardedSelfJoin {
         self
     }
 
+    /// Overrides the per-shard join configuration (hot path, UNICOMP,
+    /// launch geometry, batching tunables).
+    pub fn with_join_config(mut self, join: SelfJoinConfig) -> Self {
+        self.config.join = join;
+        self
+    }
+
+    /// Selects the join hot path every shard runs (default
+    /// [`HotPath::CellMajor`]).
+    pub fn with_hot_path(mut self, path: HotPath) -> Self {
+        self.config.join.hot_path = path;
+        self
+    }
+
     /// The device pool.
     pub fn pool(&self) -> &DevicePool {
         &self.pool
@@ -286,16 +301,14 @@ impl ShardedSelfJoin {
         }
         let execute_time = t2.elapsed();
 
-        // Deduplicating merge: canonical sort, drop duplicates (exclusive
-        // ownership predicts zero — the count is a cheap invariant check),
-        // build the global table.
+        // Deduplicating merge: counting sort over the dense key space
+        // (O(|R|) instead of a full O(|R| log |R|) pair sort on
+        // multi-million-pair results), dropping duplicates per neighbor
+        // list (exclusive ownership predicts zero — the count is a cheap
+        // invariant check) while building the global table.
         let t3 = Instant::now();
-        let mut pairs = merged.into_inner();
-        pairs.par_sort_unstable();
-        let before = pairs.len();
-        pairs.dedup();
-        let duplicates_merged = (before - pairs.len()) as u64;
-        let table = NeighborTable::from_pairs(data.len(), &pairs);
+        let pairs = merged.into_inner();
+        let (table, duplicates_merged) = NeighborTable::from_pairs_dedup(data.len(), &pairs);
         let merge_time = t3.elapsed();
 
         let devices = profiler.snapshot();
@@ -395,6 +408,23 @@ mod tests {
             out.report.shards.len(),
             out.report.devices.iter().map(|t| t.items).sum::<usize>()
         );
+    }
+
+    #[test]
+    fn hot_paths_agree_through_sharding() {
+        let data = clustered(2, 2200, 3, 1.0, 0.1, 40);
+        let eps = 1.1;
+        let cm = ShardedSelfJoin::titan_x(3)
+            .with_hot_path(HotPath::CellMajor)
+            .run(&data, eps)
+            .unwrap();
+        let pt = ShardedSelfJoin::titan_x(3)
+            .with_hot_path(HotPath::PerThread)
+            .run(&data, eps)
+            .unwrap();
+        assert_eq!(cm.table, pt.table);
+        assert_eq!(cm.report.duplicates_merged, 0);
+        assert_eq!(pt.report.duplicates_merged, 0);
     }
 
     #[test]

@@ -22,6 +22,34 @@ pub struct AppendBuffer<T: Copy> {
     cursor: AtomicUsize,
 }
 
+/// A contiguous slot range claimed from an [`AppendBuffer`] with a single
+/// atomic (`AppendBuffer::reserve`). Slots are written individually via
+/// [`AppendBuffer::write_reserved`]; the owner must write every in-bounds
+/// slot of the range before the launch ends, or the unwritten slots keep
+/// their zeroed contents and still count toward [`AppendBuffer::len`].
+#[derive(Clone, Copy, Debug)]
+pub struct Reservation {
+    start: usize,
+    len: usize,
+}
+
+impl Reservation {
+    /// Number of slots claimed (including any past capacity).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the reservation claimed zero slots.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// First claimed slot index (may lie past capacity on overflow).
+    pub fn start(&self) -> usize {
+        self.start
+    }
+}
+
 // SAFETY: concurrent `push` calls receive distinct indices from the atomic
 // cursor, so no two threads write the same slot; reads happen only through
 // `&mut self` or after the launch completes (external synchronization by
@@ -58,6 +86,39 @@ impl<T: Copy> AppendBuffer<T> {
             // SAFETY: `i` is unique to this call and in bounds.
             unsafe { self.ptr.add(i).write(value) };
             Some(self.buf.addr_of(i))
+        } else {
+            None
+        }
+    }
+
+    /// Claims `n` consecutive slots with **one** atomic cursor bump — the
+    /// batched-reservation fast path: a kernel thread stages results in a
+    /// small local buffer and flushes them with a single atomic instead of
+    /// one atomic per element. Slots past capacity are reported through
+    /// [`Self::write_reserved`] returning `None` (and via
+    /// [`Self::overflowed`]), exactly like per-element `push` overflow.
+    #[inline]
+    pub fn reserve(&self, n: usize) -> Reservation {
+        let start = self.cursor.fetch_add(n, Ordering::Relaxed);
+        Reservation { start, len: n }
+    }
+
+    /// Writes slot `i` of a reservation, returning the slot's virtual
+    /// address on success or `None` when the slot lies past capacity (the
+    /// value is discarded, as a bounds-checked CUDA kernel would do).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= r.len()`.
+    #[inline]
+    pub fn write_reserved(&self, r: &Reservation, i: usize, value: T) -> Option<u64> {
+        assert!(i < r.len, "reservation slot {i} out of range {}", r.len);
+        let idx = r.start + i;
+        if idx < self.buf.len() {
+            // SAFETY: `idx` is in bounds and belongs exclusively to this
+            // reservation (the cursor hands out disjoint ranges).
+            unsafe { self.ptr.add(idx).write(value) };
+            Some(self.buf.addr_of(idx))
         } else {
             None
         }
@@ -183,6 +244,67 @@ mod tests {
     fn oom_propagates() {
         let p = MemoryPool::new(100);
         assert!(AppendBuffer::<u64>::new(&p, 1000).is_err());
+    }
+
+    #[test]
+    fn reservation_batches_writes_with_one_cursor_bump() {
+        let p = pool();
+        let mut b = AppendBuffer::<u32>::new(&p, 16).unwrap();
+        let r = b.reserve(4);
+        assert_eq!(r.len(), 4);
+        for i in 0..4u32 {
+            assert!(b.write_reserved(&r, i as usize, 10 + i).is_some());
+        }
+        // Mixed with per-element pushes: disjoint slots.
+        b.push(99);
+        assert_eq!(b.attempted(), 5);
+        let mut v = b.drain_to_host();
+        v.sort_unstable();
+        assert_eq!(v, vec![10, 11, 12, 13, 99]);
+    }
+
+    #[test]
+    fn concurrent_reservations_are_disjoint() {
+        let p = pool();
+        let mut b = AppendBuffer::<u64>::new(&p, 40_000).unwrap();
+        (0..10_000u64).into_par_iter().for_each(|i| {
+            let r = b.reserve(4);
+            for k in 0..4 {
+                b.write_reserved(&r, k, i * 4 + k as u64);
+            }
+        });
+        assert_eq!(b.len(), 40_000);
+        assert!(!b.overflowed());
+        let mut v = b.drain_to_host();
+        v.sort_unstable();
+        assert_eq!(v, (0..40_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reservation_overflow_is_partial_and_detected() {
+        let p = pool();
+        let b = AppendBuffer::<u32>::new(&p, 6).unwrap();
+        let r1 = b.reserve(4);
+        let r2 = b.reserve(4); // straddles capacity: slots 6, 7 discarded
+        for i in 0..4 {
+            assert!(b.write_reserved(&r1, i, i as u32).is_some());
+        }
+        let written: Vec<bool> = (0..4)
+            .map(|i| b.write_reserved(&r2, i, 100 + i as u32).is_some())
+            .collect();
+        assert_eq!(written, vec![true, true, false, false]);
+        assert!(b.overflowed());
+        assert_eq!(b.len(), 6);
+        assert_eq!(b.attempted(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reservation_slot_bounds_checked() {
+        let p = pool();
+        let b = AppendBuffer::<u32>::new(&p, 8).unwrap();
+        let r = b.reserve(2);
+        let _ = b.write_reserved(&r, 2, 0);
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod profiler;
 pub mod transfer;
 pub mod work;
 
-pub use append::AppendBuffer;
+pub use append::{AppendBuffer, Reservation};
 pub use cache::{CacheConfig, CacheSim, CacheStats};
 pub use device::{Device, DeviceSpec};
 pub use kernel::{

@@ -40,14 +40,15 @@ pub use sj_shard as shard;
 pub use superego as baseline_superego;
 
 pub use grid_join::{
-    GpuSelfJoin, GridIndex, NeighborTable, Pair, SelfJoinConfig, SelfJoinError, SelfJoinOutput,
+    GpuSelfJoin, GridIndex, HotPath, NeighborTable, Pair, SelfJoinConfig, SelfJoinError,
+    SelfJoinOutput,
 };
 pub use sim_gpu::{Device, DevicePool, DeviceSpec};
 pub use sj_shard::{ShardedConfig, ShardedOutput, ShardedSelfJoin};
 
 /// Convenience re-exports for examples and quick starts.
 pub mod prelude {
-    pub use grid_join::{gpu_brute_force, host_self_join, GpuSelfJoin, GridIndex, NeighborTable, Pair, SelfJoinConfig};
+    pub use grid_join::{gpu_brute_force, host_self_join, GpuSelfJoin, GridIndex, HotPath, NeighborTable, Pair, SelfJoinConfig};
     pub use rtree::rtree_self_join;
     pub use sim_gpu::{Device, DevicePool, DeviceSpec};
     pub use sj_datasets::synthetic::{clustered, lattice, uniform};

@@ -13,8 +13,11 @@ use gpu_self_join::prelude::*;
 fn cell_order_does_not_change_results() {
     let data = clustered(3, 2000, 5, 1.5, 0.1, 41);
     for unicomp in [false, true] {
+        // The flag only exists on the per-thread path (the cell-major
+        // default is inherently cell-ordered), so pin that path.
         let mut cfg = SelfJoinConfig {
             unicomp,
+            hot_path: HotPath::PerThread,
             ..SelfJoinConfig::default()
         };
         cfg.cell_order_queries = false;
