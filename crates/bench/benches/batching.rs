@@ -17,7 +17,7 @@ fn bench_estimation(c: &mut Criterion) {
     let dg = DeviceGrid::upload(&device, &data, &grid).unwrap();
     let cfg = BatchingConfig::default();
     c.bench_function("estimate_result_size_40k", |b| {
-        b.iter(|| estimate_result_size(&device, black_box(&dg), &cfg).unwrap())
+        b.iter(|| estimate_result_size(&device, black_box(&dg), &cfg, None).unwrap())
     });
 }
 
@@ -37,6 +37,7 @@ fn bench_batch_counts(c: &mut Criterion) {
             unicomp: true,
             cell_order: false,
             hot_path: HotPath::PerThread,
+            ..ExecOptions::default()
         };
         g.bench_with_input(BenchmarkId::from_parameter(batches), &cfg, |b, cfg| {
             b.iter(|| {
@@ -62,5 +63,10 @@ fn bench_timeline(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_estimation, bench_batch_counts, bench_timeline);
+criterion_group!(
+    benches,
+    bench_estimation,
+    bench_batch_counts,
+    bench_timeline
+);
 criterion_main!(benches);

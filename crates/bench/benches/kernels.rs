@@ -25,12 +25,12 @@ fn bench_selfjoin_kernel(c: &mut Criterion) {
                 BenchmarkId::new(format!("{dim}d"), label),
                 &unicomp,
                 |b, &uni| {
-                    let mut results =
-                        AppendBuffer::<Pair>::new(device.pool(), 8_000_000).unwrap();
+                    let mut results = AppendBuffer::<Pair>::new(device.pool(), 8_000_000).unwrap();
                     b.iter(|| {
                         results.clear();
                         let kernel = SelfJoinKernel {
                             grid: &dg,
+                            eps_sq: dg.epsilon * dg.epsilon,
                             results: black_box(&results),
                             query_offset: 0,
                             query_count: data.len(),
@@ -62,6 +62,7 @@ fn bench_hot_paths(c: &mut Criterion) {
             results.clear();
             let kernel = SelfJoinKernel {
                 grid: &dg,
+                eps_sq: dg.epsilon * dg.epsilon,
                 results: black_box(&results),
                 query_offset: 0,
                 query_count: data.len(),
@@ -79,6 +80,7 @@ fn bench_hot_paths(c: &mut Criterion) {
             results.clear();
             let kernel = CellMajorSelfJoinKernel {
                 grid: &dg,
+                eps_sq: dg.epsilon * dg.epsilon,
                 plan: &plan,
                 results: black_box(&results),
                 slot_offset: 0,
@@ -96,6 +98,7 @@ fn bench_hot_paths(c: &mut Criterion) {
                 CellMajorPlan::build(&device, &dg, true, LaunchConfig::default()).unwrap();
             let kernel = CellMajorSelfJoinKernel {
                 grid: &dg,
+                eps_sq: dg.epsilon * dg.epsilon,
                 plan: &plan,
                 results: black_box(&results),
                 slot_offset: 0,
@@ -120,6 +123,7 @@ fn bench_estimator(c: &mut Criterion) {
             let counts = AppendBuffer::<u32>::new(device.pool(), ids.len()).unwrap();
             let kernel = CountKernel {
                 grid: &dg,
+                eps_sq: dg.epsilon * dg.epsilon,
                 sample_ids: &sample,
                 counts: &counts,
             };
@@ -145,6 +149,7 @@ fn bench_cell_order(c: &mut Criterion) {
                 results.clear();
                 let kernel = SelfJoinKernel {
                     grid: &dg,
+                    eps_sq: dg.epsilon * dg.epsilon,
                     results: black_box(&results),
                     query_offset: 0,
                     query_count: data.len(),

@@ -54,6 +54,7 @@ fn main() {
         let results = AppendBuffer::<Pair>::new(device.pool(), 64_000_000).expect("buffer");
         let kernel = SelfJoinKernel {
             grid: &dg,
+            eps_sq: dg.epsilon * dg.epsilon,
             results: &results,
             query_offset: 0,
             query_count: data.len(),
@@ -66,8 +67,14 @@ fn main() {
         drop(dg);
 
         // Response times.
-        let gpu = GpuSelfJoin::default_device().unicomp(false).run(&data, eps).expect("gpu");
-        let uni = GpuSelfJoin::default_device().unicomp(true).run(&data, eps).expect("uni");
+        let gpu = GpuSelfJoin::default_device()
+            .unicomp(false)
+            .run(&data, eps)
+            .expect("gpu");
+        let uni = GpuSelfJoin::default_device()
+            .unicomp(true)
+            .run(&data, eps)
+            .expect("uni");
         // Query-ordering ablation targets the per-thread path explicitly
         // (the default cell-major path is inherently cell-ordered).
         let ordered_cfg = SelfJoinConfig {

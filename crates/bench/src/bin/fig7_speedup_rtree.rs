@@ -38,7 +38,10 @@ fn main() {
     emit_table(
         &args,
         "fig7_speedup_rtree",
-        &format!("Figure 7: speedup of GPU-SJ (unicomp) over CPU-RTREE (scale {})", args.scale),
+        &format!(
+            "Figure 7: speedup of GPU-SJ (unicomp) over CPU-RTREE (scale {})",
+            args.scale
+        ),
         &["dataset", "eps", "speedup"],
         &rows,
     );
@@ -57,5 +60,7 @@ fn main() {
         "\nAverage speedup over CPU-RTREE across all datasets: {} (paper: 26.9x on a TITAN X vs 1 CPU core)",
         fmt_speedup(mean(&all_speedups))
     );
-    println!("Expected shape: speedup grows with dimensionality; smallest on the small 2-D workloads.");
+    println!(
+        "Expected shape: speedup grows with dimensionality; smallest on the small 2-D workloads."
+    );
 }

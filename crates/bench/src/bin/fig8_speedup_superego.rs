@@ -42,7 +42,10 @@ fn main() {
     emit_table(
         &args,
         "fig8_speedup_superego",
-        &format!("Figure 8: speedup of GPU-SJ (unicomp) over SuperEGO (scale {})", args.scale),
+        &format!(
+            "Figure 8: speedup of GPU-SJ (unicomp) over SuperEGO (scale {})",
+            args.scale
+        ),
         &["dataset", "eps", "speedup"],
         &rows,
     );
@@ -66,5 +69,7 @@ fn main() {
         "Measurements where SuperEGO wins (speedup < 1): {losses} of {} (paper: 6)",
         all.len()
     );
-    println!("Expected shape: SuperEGO fares worst on uniform synthetic data (no reordering benefit).");
+    println!(
+        "Expected shape: SuperEGO fares worst on uniform synthetic data (no reordering benefit)."
+    );
 }

@@ -48,13 +48,26 @@ fn main() {
 
     let real: Vec<&DatasetSpec> = catalog.real_world().collect();
     panel(
-        &format!("Figure 9a: UNICOMP ratio, real-world (scale {})", args.scale),
+        &format!(
+            "Figure 9a: UNICOMP ratio, real-world (scale {})",
+            args.scale
+        ),
         &real,
         &args,
         &mut cache,
     );
     let syn2m: Vec<&DatasetSpec> = catalog.synthetic_tier("2M").collect();
-    panel("Figure 9b: UNICOMP ratio, Syn- 2M tier", &syn2m, &args, &mut cache);
+    panel(
+        "Figure 9b: UNICOMP ratio, Syn- 2M tier",
+        &syn2m,
+        &args,
+        &mut cache,
+    );
     let syn10m: Vec<&DatasetSpec> = catalog.synthetic_tier("10M").collect();
-    panel("Figure 9c: UNICOMP ratio, Syn- 10M tier", &syn10m, &args, &mut cache);
+    panel(
+        "Figure 9c: UNICOMP ratio, Syn- 10M tier",
+        &syn10m,
+        &args,
+        &mut cache,
+    );
 }

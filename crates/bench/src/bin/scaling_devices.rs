@@ -104,7 +104,14 @@ fn main() {
             &args,
             "scaling_devices",
             &format!("Device scaling: {name} (|D| = {n}, eps = {eps:.3}, best of {trials} trials)"),
-            &["engine", "shards", "ghosts", "modeled time", "speedup vs x1", "pairs"],
+            &[
+                "engine",
+                "shards",
+                "ghosts",
+                "modeled time",
+                "speedup vs x1",
+                "pairs",
+            ],
             &rows,
         );
     }

@@ -23,7 +23,10 @@ fn main() {
                 format!("{}", spec.paper_count),
                 format!("{}", spec.dim),
                 format!("{}", spec.scaled_count(args.scale)),
-                format!("{:.3}..{:.3}", spec.paper_epsilons[0], spec.paper_epsilons[4]),
+                format!(
+                    "{:.3}..{:.3}",
+                    spec.paper_epsilons[0], spec.paper_epsilons[4]
+                ),
                 format!(
                     "{:.3}..{:.3}",
                     spec.scaled_epsilons(args.scale)[0],

@@ -25,10 +25,22 @@ struct ProfilePoint {
 }
 
 const POINTS: [ProfilePoint; 4] = [
-    ProfilePoint { dataset: "SW2DA", paper_eps: 0.3 },
-    ProfilePoint { dataset: "SDSS2DA", paper_eps: 0.3 },
-    ProfilePoint { dataset: "Syn5D2M", paper_eps: 8.0 },
-    ProfilePoint { dataset: "Syn6D2M", paper_eps: 8.0 },
+    ProfilePoint {
+        dataset: "SW2DA",
+        paper_eps: 0.3,
+    },
+    ProfilePoint {
+        dataset: "SDSS2DA",
+        paper_eps: 0.3,
+    },
+    ProfilePoint {
+        dataset: "Syn5D2M",
+        paper_eps: 8.0,
+    },
+    ProfilePoint {
+        dataset: "Syn6D2M",
+        paper_eps: 8.0,
+    },
 ];
 
 fn main() {
@@ -56,13 +68,12 @@ fn main() {
         let mut metrics = Vec::new();
         for unicomp in [false, true] {
             // A generous result buffer: profiling uses a single launch.
-            let results = AppendBuffer::<Pair>::new(
-                device.pool(),
-                (data.len() * 4096).max(1 << 22),
-            )
-            .expect("result buffer");
+            let results =
+                AppendBuffer::<Pair>::new(device.pool(), (data.len() * 4096).max(1 << 22))
+                    .expect("result buffer");
             let kernel = SelfJoinKernel {
                 grid: &dg,
+                eps_sq: dg.epsilon * dg.epsilon,
                 results: &results,
                 query_offset: 0,
                 query_count: data.len(),
@@ -79,20 +90,29 @@ fn main() {
         rows.push(vec![
             spec.name.to_string(),
             format!("{}", pt.paper_eps),
-            format!("{:.2}", base.wall.as_secs_f64() / uni.wall.as_secs_f64().max(1e-12)),
+            format!(
+                "{:.2}",
+                base.wall.as_secs_f64() / uni.wall.as_secs_f64().max(1e-12)
+            ),
             format!("{:.1}%", base.occupancy * 100.0),
             format!("{:.2}", base.unified_cache_gbs),
             format!("{:.1}%", uni.occupancy * 100.0),
             format!("{:.2}", uni.unified_cache_gbs),
             format!("{:.2}", uni.occupancy / base.occupancy),
-            format!("{:.2}", uni.unified_cache_gbs / base.unified_cache_gbs.max(1e-12)),
+            format!(
+                "{:.2}",
+                uni.unified_cache_gbs / base.unified_cache_gbs.max(1e-12)
+            ),
             format!("{:.3}/{:.3}", base.hit_rate(), uni.hit_rate()),
         ]);
     }
     emit_table(
         &args,
         "table2_kernel_metrics",
-        &format!("Table II: kernel metrics without/with UNICOMP (scale {})", args.scale),
+        &format!(
+            "Table II: kernel metrics without/with UNICOMP (scale {})",
+            args.scale
+        ),
         &[
             "Dataset",
             "eps",

@@ -93,7 +93,14 @@ fn main() {
         &args,
         "validate",
         "Cross-validation: brute / R-tree / Super-EGO / GPU / GPU+unicomp / sharded / host",
-        &["case", "|D|", "eps", "directed pairs", "sharded run", "status"],
+        &[
+            "case",
+            "|D|",
+            "eps",
+            "directed pairs",
+            "sharded run",
+            "status",
+        ],
         &rows,
     );
     println!(

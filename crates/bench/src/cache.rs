@@ -78,7 +78,11 @@ impl SweepCache {
             let _ = fs::create_dir_all(parent);
         }
         let fresh = !self.path.exists();
-        if let Ok(mut f) = fs::OpenOptions::new().create(true).append(true).open(&self.path) {
+        if let Ok(mut f) = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)
+        {
             if fresh {
                 let _ = writeln!(f, "dataset,epsilon,algo,seconds,pairs");
             }

@@ -45,14 +45,18 @@ impl Args {
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--scale" => {
-                    let v = it.next().unwrap_or_else(|| usage("missing value for --scale"));
+                    let v = it
+                        .next()
+                        .unwrap_or_else(|| usage("missing value for --scale"));
                     out.scale = v.parse().unwrap_or_else(|_| usage("bad --scale value"));
                     if !(out.scale > 0.0 && out.scale <= 1.0) {
                         usage("--scale must be in (0, 1]");
                     }
                 }
                 "--trials" => {
-                    let v = it.next().unwrap_or_else(|| usage("missing value for --trials"));
+                    let v = it
+                        .next()
+                        .unwrap_or_else(|| usage("missing value for --trials"));
                     out.trials = v.parse().unwrap_or_else(|_| usage("bad --trials value"));
                     if out.trials == 0 {
                         usage("--trials must be positive");

@@ -161,14 +161,26 @@ mod tests {
         };
         let mut cache = SweepCache::open(0.0, false); // in-memory only
         let spec = tiny_spec();
-        let pts = sweep_dataset(&spec, &args, &mut cache, &INDEXED, BrutePolicy::FirstEpsOnly);
+        let pts = sweep_dataset(
+            &spec,
+            &args,
+            &mut cache,
+            &INDEXED,
+            BrutePolicy::FirstEpsOnly,
+        );
         assert_eq!(pts.len(), 5);
         assert_eq!(pts[0].results.len(), 5, "first point includes brute");
         assert_eq!(pts[1].results.len(), 4);
         let filled = cache.len();
         assert_eq!(filled, 4 * 5 + 1);
         // Second run touches nothing new.
-        let again = sweep_dataset(&spec, &args, &mut cache, &INDEXED, BrutePolicy::FirstEpsOnly);
+        let again = sweep_dataset(
+            &spec,
+            &args,
+            &mut cache,
+            &INDEXED,
+            BrutePolicy::FirstEpsOnly,
+        );
         assert_eq!(cache.len(), filled);
         assert_eq!(
             seconds_of(&pts[2], Algo::Gpu),

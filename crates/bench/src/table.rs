@@ -69,7 +69,11 @@ pub fn write_json_table(
         "  {{\"figure\": {}, \"title\": {}, \"header\": [{}], \"rows\": [",
         json_string(figure),
         json_string(title),
-        header.iter().map(|h| json_string(h)).collect::<Vec<_>>().join(", ")
+        header
+            .iter()
+            .map(|h| json_string(h))
+            .collect::<Vec<_>>()
+            .join(", ")
     ));
     for (i, row) in rows.iter().enumerate() {
         if i > 0 {
@@ -77,7 +81,10 @@ pub fn write_json_table(
         }
         table.push_str(&format!(
             "[{}]",
-            row.iter().map(|c| json_cell(c)).collect::<Vec<_>>().join(", ")
+            row.iter()
+                .map(|c| json_cell(c))
+                .collect::<Vec<_>>()
+                .join(", ")
         ));
     }
     table.push_str("]}");
@@ -193,8 +200,8 @@ mod tests {
     #[test]
     fn json_export_accumulates_tables_in_one_valid_file() {
         let figure = "test_json_export_scratch";
-        let p1 = write_json_table(figure, "t1", &["a", "b"], &[vec!["1".into(), "x".into()]])
-            .unwrap();
+        let p1 =
+            write_json_table(figure, "t1", &["a", "b"], &[vec!["1".into(), "x".into()]]).unwrap();
         let p2 = write_json_table(figure, "t2", &["c"], &[vec!["2.5".into()]]).unwrap();
         assert_eq!(p1, p2);
         let text = std::fs::read_to_string(&p1).unwrap();

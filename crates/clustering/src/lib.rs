@@ -64,22 +64,18 @@ impl Clustering {
     /// clusters across valid DBSCAN runs, so this comparison is what
     /// tests should use between our own (deterministic) runs.
     pub fn equivalent(&self, other: &Clustering) -> bool {
-        if self.labels.len() != other.labels.len()
-            || self.num_clusters != other.num_clusters
-        {
+        if self.labels.len() != other.labels.len() || self.num_clusters != other.num_clusters {
             return false;
         }
         let mut map: Vec<Option<u32>> = vec![None; self.num_clusters as usize];
         for (a, b) in self.labels.iter().zip(&other.labels) {
             match (a, b) {
                 (Label::Noise, Label::Noise) => {}
-                (Label::Cluster(x), Label::Cluster(y)) => {
-                    match map[*x as usize] {
-                        None => map[*x as usize] = Some(*y),
-                        Some(m) if m == *y => {}
-                        _ => return false,
-                    }
-                }
+                (Label::Cluster(x), Label::Cluster(y)) => match map[*x as usize] {
+                    None => map[*x as usize] = Some(*y),
+                    Some(m) if m == *y => {}
+                    _ => return false,
+                },
                 _ => return false,
             }
         }
@@ -134,7 +130,13 @@ pub fn dbscan(table: &NeighborTable, min_pts: usize) -> Clustering {
     Clustering {
         labels: labels
             .into_iter()
-            .map(|l| if l == NOISE { Label::Noise } else { Label::Cluster(l) })
+            .map(|l| {
+                if l == NOISE {
+                    Label::Noise
+                } else {
+                    Label::Cluster(l)
+                }
+            })
             .collect(),
         num_clusters: clusters,
     }

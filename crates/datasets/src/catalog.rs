@@ -54,7 +54,8 @@ impl DatasetSpec {
 
     /// The ε sweep after selectivity-preserving rescaling (see module docs).
     pub fn scaled_epsilons(&self, scale: f64) -> [f64; 5] {
-        let effective = self.scaled_count(self.validate_scale(scale)) as f64 / self.paper_count as f64;
+        let effective =
+            self.scaled_count(self.validate_scale(scale)) as f64 / self.paper_count as f64;
         let stretch = effective.powf(-1.0 / self.dim as f64);
         self.paper_epsilons.map(|e| e * stretch)
     }

@@ -147,7 +147,11 @@ impl Dataset {
         for (idx, c) in self.coords.iter_mut().enumerate() {
             let j = idx % dim;
             let span = maxs[j] - mins[j];
-            *c = if span > 0.0 { (*c - mins[j]) / span } else { 0.5 };
+            *c = if span > 0.0 {
+                (*c - mins[j]) / span
+            } else {
+                0.5
+            };
         }
         factors
     }

@@ -30,18 +30,16 @@ pub const LAT_RANGE: (f64, f64) = (-90.0, 90.0);
 
 /// Dense receiver-cluster hotspots: (lat center, lon center, lat σ, lon σ, weight).
 const HOTSPOTS: &[(f64, f64, f64, f64, f64)] = &[
-    (40.0, -100.0, 8.0, 14.0, 0.28), // North America
-    (48.0, 10.0, 6.0, 12.0, 0.22),   // Europe
-    (35.0, 135.0, 7.0, 10.0, 0.16),  // East Asia
-    (-25.0, 135.0, 9.0, 12.0, 0.06), // Australia
+    (40.0, -100.0, 8.0, 14.0, 0.28),  // North America
+    (48.0, 10.0, 6.0, 12.0, 0.22),    // Europe
+    (35.0, 135.0, 7.0, 10.0, 0.16),   // East Asia
+    (-25.0, 135.0, 9.0, 12.0, 0.06),  // Australia
     (-15.0, -55.0, 10.0, 10.0, 0.08), // South America
 ];
 /// Probability mass of the mid-latitude band component.
 const BAND_WEIGHT: f64 = 0.15;
 /// Remaining mass is globally diffuse background.
-const BACKGROUND_WEIGHT: f64 = 1.0
-    - BAND_WEIGHT
-    - (0.28 + 0.22 + 0.16 + 0.06 + 0.08);
+const BACKGROUND_WEIGHT: f64 = 1.0 - BAND_WEIGHT - (0.28 + 0.22 + 0.16 + 0.06 + 0.08);
 
 /// Generates the 2-D SW surrogate: `(latitude, longitude)` pairs.
 pub fn sw2d(count: usize, seed: u64) -> Dataset {
@@ -75,7 +73,12 @@ pub fn sw3d(count: usize, seed: u64) -> Dataset {
 }
 
 fn sample_position<R: Rng>(rng: &mut R) -> (f64, f64) {
-    const { assert!(BACKGROUND_WEIGHT > 0.0, "mixture weights must leave background mass") };
+    const {
+        assert!(
+            BACKGROUND_WEIGHT > 0.0,
+            "mixture weights must leave background mass"
+        )
+    };
     let mut r = rng.gen_range(0.0..1.0);
     for &(lat_c, lon_c, lat_s, lon_s, w) in HOTSPOTS {
         if r < w {
@@ -189,7 +192,10 @@ mod tests {
         let hotspot_mass: f64 = HOTSPOTS.iter().map(|h| h.4).sum();
         let total = hotspot_mass + BAND_WEIGHT + BACKGROUND_WEIGHT;
         assert!((total - 1.0).abs() < 1e-12, "total mixture mass {total}");
-        assert!(hotspot_mass < 1.0 - BAND_WEIGHT, "hotspots must leave background mass");
+        assert!(
+            hotspot_mass < 1.0 - BAND_WEIGHT,
+            "hotspots must leave background mass"
+        );
     }
 
     #[test]

@@ -64,7 +64,10 @@ pub fn clustered(
 ) -> Dataset {
     assert!(dim > 0, "dimension must be positive");
     assert!(clusters > 0, "need at least one cluster");
-    assert!((0.0..=1.0).contains(&background), "background must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&background),
+        "background must be in [0,1]"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let centers: Vec<Vec<f64>> = (0..clusters)
         .map(|_| (0..dim).map(|_| rng.gen_range(0.0..100.0)).collect())
@@ -128,8 +131,16 @@ mod tests {
         let mins = d.min_per_dim().unwrap();
         let maxs = d.max_per_dim().unwrap();
         for j in 0..2 {
-            assert!(mins[j] < 1.0, "min in dim {j} unexpectedly high: {}", mins[j]);
-            assert!(maxs[j] > 99.0, "max in dim {j} unexpectedly low: {}", maxs[j]);
+            assert!(
+                mins[j] < 1.0,
+                "min in dim {j} unexpectedly high: {}",
+                mins[j]
+            );
+            assert!(
+                maxs[j] > 99.0,
+                "max in dim {j} unexpectedly low: {}",
+                maxs[j]
+            );
         }
     }
 

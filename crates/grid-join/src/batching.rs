@@ -20,7 +20,7 @@
 //!    buffer when it happens, then drain to the host. Per-batch costs feed
 //!    the [`StreamTimeline`] overlap model.
 
-use crate::cell_major::{CellMajorPlan, CellMajorSelfJoinKernel, HotPath};
+use crate::cell_major::{CellMajorPlan, CellMajorSelfJoinKernel, HotPath, PlanBuildStats};
 use crate::device_grid::DeviceGrid;
 use crate::error::SelfJoinError;
 use crate::kernels::{CountKernel, SelfJoinKernel};
@@ -29,8 +29,8 @@ use sim_gpu::append::AppendBuffer;
 use sim_gpu::{launch, BatchCost, Device, LaunchConfig, StreamTimeline, TimelineReport};
 use std::time::Duration;
 
-/// Execution options of one batched join (which kernel variant runs and
-/// how queries are ordered).
+/// Execution options of one batched join (which kernel variant runs, how
+/// queries are ordered, and how the run relates to resident device state).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ExecOptions {
     /// Apply the UNICOMP work-avoidance pattern.
@@ -40,6 +40,16 @@ pub struct ExecOptions {
     pub cell_order: bool,
     /// Which hot path executes the join kernels.
     pub hot_path: HotPath,
+    /// Distance threshold ε′ for this execution when it differs from the
+    /// grid's cell width (resident-index reuse; callers guarantee
+    /// ε′ ≤ ε_built — the plan executor validates). `None` uses the
+    /// grid's ε.
+    pub query_epsilon: Option<f64>,
+    /// The snapshot (and any hoisted plan passed in) was resident on the
+    /// device before this call: the modeled timeline omits the leading
+    /// upload batch — the session that owns the residency accounts for the
+    /// one-time upload instead.
+    pub resident: bool,
 }
 
 /// Tunables of the batching scheme.
@@ -112,18 +122,52 @@ pub struct BatchReport {
     pub buffer_capacity: usize,
 }
 
+impl BatchReport {
+    /// An all-zero report for executions that never touch the device (the
+    /// plan executor's host backend); only the produced pair count is
+    /// meaningful.
+    pub fn host(actual_pairs: u64) -> Self {
+        let zero_timeline = TimelineReport {
+            total: Duration::ZERO,
+            serial_total: Duration::ZERO,
+            compute_busy: Duration::ZERO,
+            h2d_busy: Duration::ZERO,
+            d2h_busy: Duration::ZERO,
+        };
+        Self {
+            batches: 0,
+            estimated_pairs: actual_pairs,
+            actual_pairs,
+            overflow_retries: 0,
+            kernel_time: Duration::ZERO,
+            modeled_kernel_time: Duration::ZERO,
+            estimate_time: Duration::ZERO,
+            modeled_estimate_time: Duration::ZERO,
+            hoist_time: Duration::ZERO,
+            modeled_hoist_time: Duration::ZERO,
+            timeline: zero_timeline,
+            buffer_capacity: 0,
+        }
+    }
+}
+
 /// Estimates the total number of directed result pairs by sampling.
+///
+/// `query_epsilon` overrides the distance threshold (resident-index reuse
+/// with ε′ ≤ ε_built); `None` estimates at the grid's own ε.
 ///
 /// Returns `(estimate_after_safety, sample_size, host_wall, modeled_wall)`.
 pub fn estimate_result_size(
     device: &Device,
     grid: &DeviceGrid,
     cfg: &BatchingConfig,
+    query_epsilon: Option<f64>,
 ) -> Result<(u64, usize, Duration, Duration), SelfJoinError> {
     let n = grid.num_points;
     if n == 0 {
         return Ok((0, 0, Duration::ZERO, Duration::ZERO));
     }
+    let eps = query_epsilon.unwrap_or(grid.epsilon);
     let sample = ((n as f64 * cfg.sample_fraction) as usize)
         .max(cfg.min_sample)
         .min(n);
@@ -136,6 +180,7 @@ pub fn estimate_result_size(
     let counts = AppendBuffer::<u32>::new(device.pool(), ids.len())?;
     let kernel = CountKernel {
         grid,
+        eps_sq: eps * eps,
         sample_ids: &sample_ids,
         counts: &counts,
     };
@@ -156,30 +201,68 @@ pub fn run_batched(
     opts: ExecOptions,
     cfg: &BatchingConfig,
 ) -> Result<(Vec<Pair>, BatchReport), SelfJoinError> {
+    run_batched_on(device, grid, launch_cfg, opts, cfg, None)
+}
+
+/// [`run_batched`] against optionally pre-hoisted device state: a resident
+/// session passes the [`CellMajorPlan`] it cached with the snapshot so the
+/// hoisting pass runs once per index build, not once per query. The
+/// prebuilt plan must target `grid` and match `opts.unicomp`; its build
+/// cost is charged by whoever built it, so the report's hoist fields stay
+/// zero here.
+pub fn run_batched_on(
+    device: &Device,
+    grid: &DeviceGrid,
+    launch_cfg: LaunchConfig,
+    opts: ExecOptions,
+    cfg: &BatchingConfig,
+    prebuilt: Option<&CellMajorPlan>,
+) -> Result<(Vec<Pair>, BatchReport), SelfJoinError> {
     let n = grid.num_points;
+    let eps = opts.query_epsilon.unwrap_or(grid.epsilon);
+    if eps > grid.epsilon {
+        // The one-cell adjacent shell only covers radii up to the cell
+        // width; a silent under-count would be far worse than an error.
+        return Err(SelfJoinError::EpsilonExceedsIndex {
+            query: eps,
+            built: grid.epsilon,
+        });
+    }
+    let eps_sq = eps * eps;
     let (estimated, _sample, estimate_time, modeled_estimate_time) = match cfg.precomputed_estimate
     {
         Some(est) => (est, 0, Duration::ZERO, Duration::ZERO),
-        None => estimate_result_size(device, grid, cfg)?,
+        None => estimate_result_size(device, grid, cfg, opts.query_epsilon)?,
     };
 
     // Cell-major path: hoist the per-cell neighbor searches once, before
     // any batch runs (and before the free-memory budget is measured, so
-    // the plan's buffers are accounted for).
-    let (plan, plan_stats) = match opts.hot_path {
-        HotPath::CellMajor => {
+    // the plan's buffers are accounted for) — unless the caller already
+    // holds a resident hoisted plan for this grid.
+    let (built_plan, plan_stats) = match (opts.hot_path, prebuilt) {
+        (HotPath::CellMajor, Some(p)) => {
+            assert_eq!(
+                p.unicomp, opts.unicomp,
+                "prebuilt cell-major plan does not match the UNICOMP setting"
+            );
+            (None, PlanBuildStats::default())
+        }
+        (HotPath::CellMajor, None) => {
             let (plan, stats) = CellMajorPlan::build(device, grid, opts.unicomp, launch_cfg)?;
             (Some(plan), stats)
         }
-        HotPath::PerThread => (None, Default::default()),
+        (HotPath::PerThread, _) => (None, Default::default()),
+    };
+    let plan = match opts.hot_path {
+        HotPath::CellMajor => built_plan.as_ref().or(prebuilt),
+        HotPath::PerThread => None,
     };
 
     // Buffer capacity: bounded by the free-memory budget, floored so tiny
     // datasets still get a useful buffer.
     let pair_size = std::mem::size_of::<Pair>();
-    let budget_pairs = ((device.free_bytes() as f64 * cfg.result_mem_fraction) as usize
-        / pair_size)
-        .max(4096);
+    let budget_pairs =
+        ((device.free_bytes() as f64 * cfg.result_mem_fraction) as usize / pair_size).max(4096);
     let batches = cfg
         .min_batches
         .max((estimated as usize).div_ceil(budget_pairs))
@@ -196,15 +279,20 @@ pub fn run_batched(
     let mut costs: Vec<BatchCost> = Vec::with_capacity(batches + 1);
 
     // The grid + data upload precedes the pipeline; model it as a leading
-    // H2D-only batch.
-    costs.push(BatchCost {
-        h2d_bytes: grid.h2d_bytes(),
-        kernel: Duration::ZERO,
-        d2h_bytes: 0,
-    });
-    // The hoisting pass (when present) runs next: its kernels, drains and
-    // CSR upload are real pipeline work, never free.
-    if plan.is_some() {
+    // H2D-only batch — unless the snapshot was already resident, in which
+    // case its one-time upload was charged when residency was established.
+    if !opts.resident {
+        costs.push(BatchCost {
+            h2d_bytes: grid.h2d_bytes(),
+            kernel: Duration::ZERO,
+            d2h_bytes: 0,
+        });
+    }
+    // The hoisting pass (when it ran in this call) comes next: its
+    // kernels, drains and CSR upload are real pipeline work, never free.
+    // A prebuilt resident plan contributes nothing here for the same
+    // reason the upload doesn't.
+    if built_plan.is_some() {
         costs.push(BatchCost {
             h2d_bytes: plan_stats.h2d_bytes,
             kernel: plan_stats.modeled,
@@ -217,10 +305,11 @@ pub fn run_batched(
     while offset < n {
         let count = per_batch_queries.min(n - offset);
         loop {
-            let stats = match &plan {
+            let stats = match plan {
                 Some(plan) => {
                     let kernel = CellMajorSelfJoinKernel {
                         grid,
+                        eps_sq,
                         plan,
                         results: &results,
                         slot_offset: offset,
@@ -231,6 +320,7 @@ pub fn run_batched(
                 None => {
                     let kernel = SelfJoinKernel {
                         grid,
+                        eps_sq,
                         results: &results,
                         query_offset: offset,
                         query_count: count,
@@ -313,7 +403,7 @@ mod tests {
         let dev = Device::new(DeviceSpec::titan_x_pascal());
         let (data, grid, dg) = setup(2, 5000, 3.0, 41, &dev);
         let cfg = BatchingConfig::default();
-        let (est, sample, _, _) = estimate_result_size(&dev, &dg, &cfg).unwrap();
+        let (est, sample, _, _) = estimate_result_size(&dev, &dg, &cfg, None).unwrap();
         let truth = host_self_join(&data, &grid).total_pairs() as f64;
         assert!(sample >= 900, "sample {sample}");
         // Estimate carries a 1.25 safety factor; require truth ≤ est ≤ 2×truth.
@@ -326,6 +416,7 @@ mod tests {
             unicomp,
             cell_order: false,
             hot_path,
+            ..ExecOptions::default()
         }
     }
 
@@ -370,9 +461,14 @@ mod tests {
             ..BatchingConfig::default()
         };
         for hot_path in [HotPath::PerThread, HotPath::CellMajor] {
-            let (pairs, report) =
-                run_batched(&dev, &dg, LaunchConfig::default(), exec(false, hot_path), &cfg)
-                    .unwrap();
+            let (pairs, report) = run_batched(
+                &dev,
+                &dg,
+                LaunchConfig::default(),
+                exec(false, hot_path),
+                &cfg,
+            )
+            .unwrap();
             assert!(
                 report.batches > 3,
                 "expected many batches, got {}",
@@ -396,9 +492,14 @@ mod tests {
             ..BatchingConfig::default()
         };
         for hot_path in [HotPath::PerThread, HotPath::CellMajor] {
-            let (pairs, report) =
-                run_batched(&dev, &dg, LaunchConfig::default(), exec(false, hot_path), &cfg)
-                    .unwrap();
+            let (pairs, report) = run_batched(
+                &dev,
+                &dg,
+                LaunchConfig::default(),
+                exec(false, hot_path),
+                &cfg,
+            )
+            .unwrap();
             assert!(
                 report.overflow_retries > 0,
                 "test should have provoked a retry ({hot_path:?})"
@@ -417,9 +518,14 @@ mod tests {
             precomputed_estimate: Some(truth),
             ..BatchingConfig::default()
         };
-        let (pairs, report) =
-            run_batched(&dev, &dg, LaunchConfig::default(), exec(true, HotPath::CellMajor), &cfg)
-                .unwrap();
+        let (pairs, report) = run_batched(
+            &dev,
+            &dg,
+            LaunchConfig::default(),
+            exec(true, HotPath::CellMajor),
+            &cfg,
+        )
+        .unwrap();
         assert_eq!(report.estimated_pairs, truth);
         assert_eq!(report.estimate_time, Duration::ZERO);
         assert_eq!(report.modeled_estimate_time, Duration::ZERO);

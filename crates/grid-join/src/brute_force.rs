@@ -104,8 +104,8 @@ pub fn gpu_brute_force(
 mod tests {
     use super::*;
     use sim_gpu::DeviceSpec;
-    use sj_datasets::synthetic::{lattice, uniform};
     use sj_datasets::euclidean_sq;
+    use sj_datasets::synthetic::{lattice, uniform};
 
     fn brute_count(data: &Dataset, eps: f64) -> u64 {
         let eps_sq = eps * eps;

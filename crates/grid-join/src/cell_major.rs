@@ -359,6 +359,12 @@ impl CellMajorPlan {
 pub struct CellMajorSelfJoinKernel<'a> {
     /// Device-resident grid and data (must carry the reordered snapshot).
     pub grid: &'a DeviceGrid,
+    /// Squared distance threshold ε′² (see
+    /// [`crate::kernels::SelfJoinKernel::eps_sq`]): usually the grid's own
+    /// ε², smaller under resident-index reuse. The hoisted neighbor table
+    /// is ε′-independent — it enumerates adjacent *cells*, which cover any
+    /// radius up to the cell width — so one plan serves every in-band ε′.
+    pub eps_sq: f64,
     /// Hoisted per-cell neighbor table (must match `unicomp`).
     pub plan: &'a CellMajorPlan,
     /// Result pair sink.
@@ -388,7 +394,7 @@ impl Kernel for CellMajorSelfJoinKernel<'_> {
         let slot = self.slot_offset + ctx.global_id;
         let grid = self.grid;
         let dim = grid.dim;
-        let eps_sq = grid.epsilon * grid.epsilon;
+        let eps_sq = self.eps_sq;
 
         // Home cell and query point: the slot→cell read replaces the
         // per-thread cell computation + mask clip + own-cell search.
@@ -480,6 +486,7 @@ mod tests {
             AppendBuffer::<Pair>::new(dev.pool(), data.len() * data.len() + 64).unwrap();
         let kernel = CellMajorSelfJoinKernel {
             grid: &dg,
+            eps_sq: eps * eps,
             plan: &plan,
             results: &results,
             slot_offset: 0,
@@ -498,6 +505,7 @@ mod tests {
             AppendBuffer::<Pair>::new(dev.pool(), data.len() * data.len() + 64).unwrap();
         let kernel = crate::kernels::SelfJoinKernel {
             grid: &dg,
+            eps_sq: eps * eps,
             results: &results,
             query_offset: 0,
             query_count: data.len(),
@@ -558,6 +566,7 @@ mod tests {
             let mut results = AppendBuffer::<Pair>::new(dev.pool(), 500 * 500).unwrap();
             let kernel = CellMajorSelfJoinKernel {
                 grid: &dg,
+                eps_sq: eps * eps,
                 plan: &plan,
                 results: &results,
                 slot_offset: off,
@@ -625,6 +634,7 @@ mod tests {
         let results = AppendBuffer::<Pair>::new(dev.pool(), 10).unwrap();
         let kernel = CellMajorSelfJoinKernel {
             grid: &dg,
+            eps_sq: 20.0 * 20.0,
             plan: &plan,
             results: &results,
             slot_offset: 0,

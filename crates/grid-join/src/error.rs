@@ -61,6 +61,16 @@ pub enum SelfJoinError {
     /// A device allocation failed even after batching subdivided the work
     /// as far as it could.
     Device(OutOfMemory),
+    /// A plan asked an existing index to serve a query radius larger than
+    /// the built grid's cell width — the one-cell adjacent search would
+    /// miss neighbours. The index must be rebuilt at the larger ε
+    /// (sessions do this automatically when ε leaves the validity band).
+    EpsilonExceedsIndex {
+        /// The requested query radius ε′.
+        query: f64,
+        /// The cell width ε the index was built with.
+        built: f64,
+    },
 }
 
 impl fmt::Display for SelfJoinError {
@@ -68,6 +78,10 @@ impl fmt::Display for SelfJoinError {
         match self {
             Self::Grid(e) => write!(f, "grid construction failed: {e}"),
             Self::Device(e) => write!(f, "device allocation failed: {e}"),
+            Self::EpsilonExceedsIndex { query, built } => write!(
+                f,
+                "query epsilon {query} exceeds the index cell width {built}; rebuild the index"
+            ),
         }
     }
 }
@@ -92,7 +106,9 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(GridBuildError::InvalidEpsilon(0.0).to_string().contains("epsilon"));
+        assert!(GridBuildError::InvalidEpsilon(0.0)
+            .to_string()
+            .contains("epsilon"));
         assert!(GridBuildError::TooManyDimensions { dim: 9, max: 8 }
             .to_string()
             .contains('9'));

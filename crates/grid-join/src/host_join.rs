@@ -6,9 +6,18 @@
 //! the GPU kernels (two implementations agreeing on random inputs is the
 //! repo's strongest correctness signal) and providing the "multi-core CPU"
 //! comparison point used by some ablation benches.
+//!
+//! Both entry points are thin [`crate::plan::JoinPlan`] builders over the
+//! shared executor ([`crate::plan::execute`] with a host backend), and all
+//! three scan paths — sequential, parallel and the single-point
+//! [`query_neighbors`] — funnel through one adjacent-cell scan,
+//! [`query_neighbors_within`]. The `_within` form takes an explicit query
+//! radius ε′ ≤ ε_built so a resident session's host fallback can serve
+//! in-band queries without rebuilding the grid.
 
 use crate::grid::GridIndex;
 use crate::linearize::{linearize, MAX_DIM};
+use crate::plan::{execute, Backend, JoinPlan};
 use crate::result::{NeighborTable, Pair};
 use crate::unicomp::{adjacent_ranges, for_each_full};
 use rayon::prelude::*;
@@ -17,12 +26,31 @@ use sj_datasets::{euclidean_sq, Dataset};
 /// Sequential host self-join over the grid index. Returns the directed,
 /// self-excluded neighbour table.
 pub fn host_self_join(data: &Dataset, grid: &GridIndex) -> NeighborTable {
-    let pairs = host_pairs_for_range(data, grid, 0, data.len());
-    NeighborTable::from_pairs(data.len(), &pairs)
+    let out = execute(
+        &JoinPlan::on_grid(data, grid),
+        Backend::Host { parallel: false },
+    )
+    .expect("host execution of a prebuilt grid cannot fail");
+    NeighborTable::from_pairs(data.len(), &out.pairs)
 }
 
 /// Parallel host self-join (rayon over query chunks).
 pub fn host_self_join_parallel(data: &Dataset, grid: &GridIndex) -> NeighborTable {
+    let out = execute(
+        &JoinPlan::on_grid(data, grid),
+        Backend::Host { parallel: true },
+    )
+    .expect("host execution of a prebuilt grid cannot fail");
+    NeighborTable::from_pairs(data.len(), &out.pairs)
+}
+
+/// Parallel directed-pair scan at an explicit query radius — the plan
+/// executor's `Host { parallel: true }` backend.
+pub(crate) fn host_pairs_parallel(
+    data: &Dataset,
+    grid: &GridIndex,
+    query_epsilon: f64,
+) -> Vec<Pair> {
     let n = data.len();
     // ~8 chunks per thread for load balance. `div_ceil` keeps the chunk
     // size ≥ 1 for any `n` (the old `n / threads*8` truncated to 0 for
@@ -31,7 +59,7 @@ pub fn host_self_join_parallel(data: &Dataset, grid: &GridIndex) -> NeighborTabl
     let threads = rayon::current_num_threads().max(1);
     let chunk = n.div_ceil(threads * 8).clamp(1, 1 << 16);
     let num_chunks = n.div_ceil(chunk.max(1)).max(1);
-    let pairs: Vec<Pair> = (0..num_chunks)
+    (0..num_chunks)
         .into_par_iter()
         .flat_map_iter(|ci| {
             let lo = ci * chunk;
@@ -40,37 +68,77 @@ pub fn host_self_join_parallel(data: &Dataset, grid: &GridIndex) -> NeighborTabl
             // instead of a fresh allocation per query.
             let mut out = Vec::new();
             for q in lo..hi {
-                query_neighbors(data, grid, q, |cand| {
+                query_neighbors_within(data, grid, q, query_epsilon, |cand| {
                     out.push(Pair::new(q as u32, cand));
                 });
             }
             out.into_iter()
         })
-        .collect();
-    NeighborTable::from_pairs(n, &pairs)
+        .collect()
 }
 
-/// Directed pairs for queries in `[offset, offset + count)`.
+/// Directed pairs for queries in `[offset, offset + count)` at the grid's
+/// own ε.
 pub fn host_pairs_for_range(
     data: &Dataset,
     grid: &GridIndex,
     offset: usize,
     count: usize,
 ) -> Vec<Pair> {
+    host_pairs_for_range_within(data, grid, grid.epsilon(), offset, count)
+}
+
+/// [`host_pairs_for_range`] at an explicit query radius `query_epsilon`
+/// (≤ the grid's cell width; see [`query_neighbors_within`]).
+pub fn host_pairs_for_range_within(
+    data: &Dataset,
+    grid: &GridIndex,
+    query_epsilon: f64,
+    offset: usize,
+    count: usize,
+) -> Vec<Pair> {
     let mut pairs = Vec::new();
     for q in offset..offset + count {
-        query_neighbors(data, grid, q, |cand| {
+        query_neighbors_within(data, grid, q, query_epsilon, |cand| {
             pairs.push(Pair::new(q as u32, cand));
         });
     }
     pairs
 }
 
-/// Runs one ε-range query through the grid, invoking `emit` for every
-/// neighbour of point `q` (self excluded).
-pub fn query_neighbors<F: FnMut(u32)>(data: &Dataset, grid: &GridIndex, q: usize, mut emit: F) {
+/// Runs one ε-range query through the grid at the grid's own ε, invoking
+/// `emit` for every neighbour of point `q` (self excluded).
+pub fn query_neighbors<F: FnMut(u32)>(data: &Dataset, grid: &GridIndex, q: usize, emit: F) {
+    query_neighbors_within(data, grid, q, grid.epsilon(), emit)
+}
+
+/// The one adjacent-cell neighbour scan every host path uses: runs a
+/// range query for point `q` at radius `query_epsilon`, invoking `emit`
+/// for every neighbour (self excluded).
+///
+/// `query_epsilon` must not exceed the grid's cell width — the one-cell
+/// adjacent shell covers any radius up to ε_built, which is what lets a
+/// resident index serve smaller-ε queries without a rebuild.
+///
+/// # Panics
+///
+/// Panics if `query_epsilon` exceeds the grid's cell width (the scan
+/// would silently miss neighbours; a release-mode under-count is worse
+/// than a panic).
+pub fn query_neighbors_within<F: FnMut(u32)>(
+    data: &Dataset,
+    grid: &GridIndex,
+    q: usize,
+    query_epsilon: f64,
+    mut emit: F,
+) {
+    assert!(
+        query_epsilon <= grid.epsilon(),
+        "query epsilon {query_epsilon} exceeds the grid cell width {}",
+        grid.epsilon()
+    );
     let dim = grid.dim();
-    let eps_sq = grid.epsilon() * grid.epsilon();
+    let eps_sq = query_epsilon * query_epsilon;
     let p = data.point(q);
     let mut cell = [0u32; MAX_DIM];
     grid.cell_of(p, &mut cell[..dim]);
@@ -87,9 +155,7 @@ pub fn query_neighbors<F: FnMut(u32)>(data: &Dataset, grid: &GridIndex, q: usize
         let lin = linearize(coords, grid.cells_per_dim());
         if let Some(h) = grid.find_cell(lin) {
             for &cand in grid.cell_points(h) {
-                if cand as usize != q
-                    && euclidean_sq(p, data.point(cand as usize)) <= eps_sq
-                {
+                if cand as usize != q && euclidean_sq(p, data.point(cand as usize)) <= eps_sq {
                     emit(cand);
                 }
             }
@@ -151,6 +217,22 @@ mod tests {
                 host_self_join(&data, &grid),
                 "n={n}"
             );
+        }
+    }
+
+    #[test]
+    fn shrunk_query_epsilon_matches_fresh_grid() {
+        // The reuse property the session layer relies on, at host level:
+        // scanning a coarse grid with ε′ < ε_built equals a fresh build at
+        // ε′ exactly.
+        let data = uniform(2, 500, 27);
+        let built = 5.0;
+        let grid = GridIndex::build(&data, built).unwrap();
+        for frac in [0.3, 0.5, 0.8, 1.0] {
+            let eps_q = built * frac;
+            let pairs = host_pairs_for_range_within(&data, &grid, eps_q, 0, data.len());
+            let got = NeighborTable::from_pairs(data.len(), &pairs);
+            assert_eq!(got, brute(&data, eps_q), "frac={frac}");
         }
     }
 

@@ -202,6 +202,11 @@ fn push_pair<T: Tracer>(
 pub struct SelfJoinKernel<'a> {
     /// Device-resident grid and data.
     pub grid: &'a DeviceGrid,
+    /// Squared distance threshold ε′². Usually the grid's own ε²; a
+    /// *smaller* value when a resident index built at a larger ε serves
+    /// this query (session reuse) — the grid's adjacent-cell shell covers
+    /// any radius up to its cell width, so only the threshold changes.
+    pub eps_sq: f64,
     /// Result pair sink.
     pub results: &'a AppendBuffer<Pair>,
     /// First query slot handled by this launch.
@@ -240,7 +245,7 @@ impl Kernel for SelfJoinKernel<'_> {
         let qid = q as u32;
         let grid = self.grid;
         let dim = grid.dim;
-        let eps_sq = grid.epsilon * grid.epsilon;
+        let eps_sq = self.eps_sq;
 
         // Load the query point and compute its cell (registers).
         let p = load_point(ctx, grid, q);
@@ -272,29 +277,56 @@ impl Kernel for SelfJoinKernel<'_> {
             for_each_full(dim, &filtered[..dim], |coords| {
                 let lin = linearize(coords, &grid.cells_per_dim[..dim]);
                 if let Some(h) = traced_find_cell(ctx, grid, lin) {
-                    scan_cell(ctx, grid, h, &p[..dim], eps_sq, None, Some(qid), &mut |ctx, cand| {
-                        push_pair(ctx, self.results, qid, cand);
-                    });
+                    scan_cell(
+                        ctx,
+                        grid,
+                        h,
+                        &p[..dim],
+                        eps_sq,
+                        None,
+                        Some(qid),
+                        &mut |ctx, cand| {
+                            push_pair(ctx, self.results, qid, cand);
+                        },
+                    );
                 }
             });
         } else {
             // UNICOMP: own cell via the id-ordering rule …
             let own_lin = linearize(&cell[..dim], &grid.cells_per_dim[..dim]);
-            let own = traced_find_cell(ctx, grid, own_lin)
-                .expect("query point's cell must exist in B");
-            scan_cell(ctx, grid, own, &p[..dim], eps_sq, Some(qid), None, &mut |ctx, cand| {
-                push_pair(ctx, self.results, qid, cand);
-                push_pair(ctx, self.results, cand, qid);
-            });
+            let own =
+                traced_find_cell(ctx, grid, own_lin).expect("query point's cell must exist in B");
+            scan_cell(
+                ctx,
+                grid,
+                own,
+                &p[..dim],
+                eps_sq,
+                Some(qid),
+                None,
+                &mut |ctx, cand| {
+                    push_pair(ctx, self.results, qid, cand);
+                    push_pair(ctx, self.results, cand, qid);
+                },
+            );
             // … and the parity-selected half of the neighbour cells,
             // reporting both directions for every hit.
             for_each_unicomp(dim, &cell[..dim], &filtered[..dim], |coords| {
                 let lin = linearize(coords, &grid.cells_per_dim[..dim]);
                 if let Some(h) = traced_find_cell(ctx, grid, lin) {
-                    scan_cell(ctx, grid, h, &p[..dim], eps_sq, None, None, &mut |ctx, cand| {
-                        push_pair(ctx, self.results, qid, cand);
-                        push_pair(ctx, self.results, cand, qid);
-                    });
+                    scan_cell(
+                        ctx,
+                        grid,
+                        h,
+                        &p[..dim],
+                        eps_sq,
+                        None,
+                        None,
+                        &mut |ctx, cand| {
+                            push_pair(ctx, self.results, qid, cand);
+                            push_pair(ctx, self.results, cand, qid);
+                        },
+                    );
                 }
             });
         }
@@ -309,6 +341,8 @@ impl Kernel for SelfJoinKernel<'_> {
 pub struct CountKernel<'a> {
     /// Device-resident grid and data.
     pub grid: &'a DeviceGrid,
+    /// Squared distance threshold ε′² (see [`SelfJoinKernel::eps_sq`]).
+    pub eps_sq: f64,
     /// Sampled query point ids.
     pub sample_ids: &'a DeviceBuffer<u32>,
     /// Per-sample neighbour counts (append order is irrelevant; only the
@@ -332,7 +366,7 @@ impl Kernel for CountKernel<'_> {
         let q = qid as usize;
         let grid = self.grid;
         let dim = grid.dim;
-        let eps_sq = grid.epsilon * grid.epsilon;
+        let eps_sq = self.eps_sq;
 
         let p = load_point(ctx, grid, q);
         let mut cell = [0u32; MAX_DIM];
@@ -356,9 +390,18 @@ impl Kernel for CountKernel<'_> {
         for_each_full(dim, &filtered[..dim], |coords| {
             let lin = linearize(coords, &grid.cells_per_dim[..dim]);
             if let Some(h) = traced_find_cell(ctx, grid, lin) {
-                scan_cell(ctx, grid, h, &p[..dim], eps_sq, None, Some(qid), &mut |_, _| {
-                    count += 1;
-                });
+                scan_cell(
+                    ctx,
+                    grid,
+                    h,
+                    &p[..dim],
+                    eps_sq,
+                    None,
+                    Some(qid),
+                    &mut |_, _| {
+                        count += 1;
+                    },
+                );
             }
         });
         self.counts.push(count);
@@ -395,6 +438,7 @@ mod tests {
             AppendBuffer::<Pair>::new(dev.pool(), data.len() * data.len() + 16).unwrap();
         let kernel = SelfJoinKernel {
             grid: &dg,
+            eps_sq: eps * eps,
             results: &results,
             query_offset: 0,
             query_count: data.len(),
@@ -486,6 +530,7 @@ mod tests {
             let mut results = AppendBuffer::<Pair>::new(dev.pool(), 500 * 500).unwrap();
             let kernel = SelfJoinKernel {
                 grid: &dg,
+                eps_sq: eps * eps,
                 results: &results,
                 query_offset: off,
                 query_count: cnt,
@@ -511,6 +556,7 @@ mod tests {
         let mut counts = AppendBuffer::<u32>::new(dev.pool(), 300).unwrap();
         let kernel = CountKernel {
             grid: &dg,
+            eps_sq: eps * eps,
             sample_ids: &sample,
             counts: &counts,
         };
@@ -538,6 +584,7 @@ mod tests {
         let results = AppendBuffer::<Pair>::new(dev.pool(), 10).unwrap();
         let kernel = SelfJoinKernel {
             grid: &dg,
+            eps_sq: 20.0 * 20.0,
             results: &results,
             query_offset: 0,
             query_count: 300,

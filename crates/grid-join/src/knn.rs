@@ -159,7 +159,16 @@ fn for_each_ring_cell<F: FnMut(&[u32])>(
     mut visit: F,
 ) {
     let mut coords = [0u32; MAX_DIM];
-    ring_rec(dim, center, cells_per_dim, ring, 0, false, &mut coords, &mut visit);
+    ring_rec(
+        dim,
+        center,
+        cells_per_dim,
+        ring,
+        0,
+        false,
+        &mut coords,
+        &mut visit,
+    );
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -251,36 +260,42 @@ impl Kernel for KnnKernel<'_> {
                     break;
                 }
             }
-            for_each_ring_cell(dim, &cell[..dim], &grid.cells_per_dim[..dim], ring, |coords| {
-                let lin = linearize(coords, &grid.cells_per_dim[..dim]);
-                // Binary-search B (untraced here would hide work; trace it).
-                let n = grid.b.len();
-                let (mut lo, mut hi) = (0usize, n);
-                while lo < hi {
-                    let mid = lo + (hi - lo) / 2;
-                    if ctx.read(&grid.b, mid) < lin {
-                        lo = mid + 1;
-                    } else {
-                        hi = mid;
-                    }
-                }
-                if lo < n && ctx.read(&grid.b, lo) == lin {
-                    let range = ctx.read(&grid.g, lo);
-                    for ai in range.begin..range.end {
-                        let cand = ctx.read(&grid.a, ai as usize);
-                        if cand as usize == q {
-                            continue;
+            for_each_ring_cell(
+                dim,
+                &cell[..dim],
+                &grid.cells_per_dim[..dim],
+                ring,
+                |coords| {
+                    let lin = linearize(coords, &grid.cells_per_dim[..dim]);
+                    // Binary-search B (untraced here would hide work; trace it).
+                    let n = grid.b.len();
+                    let (mut lo, mut hi) = (0usize, n);
+                    while lo < hi {
+                        let mid = lo + (hi - lo) / 2;
+                        if ctx.read(&grid.b, mid) < lin {
+                            lo = mid + 1;
+                        } else {
+                            hi = mid;
                         }
-                        let cp = ctx.read_range(&grid.coords, cand as usize * dim, dim);
-                        let mut acc = 0.0;
-                        for d in 0..dim {
-                            let diff = p[d] - cp[d];
-                            acc += diff * diff;
-                        }
-                        best.push(acc, cand);
                     }
-                }
-            });
+                    if lo < n && ctx.read(&grid.b, lo) == lin {
+                        let range = ctx.read(&grid.g, lo);
+                        for ai in range.begin..range.end {
+                            let cand = ctx.read(&grid.a, ai as usize);
+                            if cand as usize == q {
+                                continue;
+                            }
+                            let cp = ctx.read_range(&grid.coords, cand as usize * dim, dim);
+                            let mut acc = 0.0;
+                            for d in 0..dim {
+                                let diff = p[d] - cp[d];
+                                acc += diff * diff;
+                            }
+                            best.push(acc, cand);
+                        }
+                    }
+                },
+            );
         }
         for (dist_sq, id) in best.into_sorted() {
             ctx.trace_atomic(self.results.cursor_addr(), 8);
@@ -299,6 +314,10 @@ impl Kernel for KnnKernel<'_> {
 /// provided `epsilon` (a tuning knob: smaller cells mean more rings but
 /// fewer scans per ring). Returns hits grouped per query, each sorted by
 /// distance.
+///
+/// Builds and uploads a fresh index per call; a resident
+/// [`crate::SelfJoinSession`] instead routes kNN through [`gpu_knn_on`]
+/// against its cached snapshot.
 pub fn gpu_knn(
     device: &Device,
     data: &Dataset,
@@ -307,15 +326,28 @@ pub fn gpu_knn(
 ) -> Result<Vec<Vec<KnnHit>>, crate::error::SelfJoinError> {
     let grid = GridIndex::build(data, epsilon)?;
     let dg = DeviceGrid::upload(device, data, &grid)?;
-    let mut results = AppendBuffer::<KnnHit>::new(device.pool(), data.len() * k)?;
+    gpu_knn_on(device, &dg, k)
+}
+
+/// [`gpu_knn`] against an already-resident device snapshot: the ring
+/// search runs at the snapshot's cell width, so any grid over the dataset
+/// serves (cell width only trades rings against per-ring scan size —
+/// results are exact either way).
+pub fn gpu_knn_on(
+    device: &Device,
+    dg: &DeviceGrid,
+    k: usize,
+) -> Result<Vec<Vec<KnnHit>>, crate::error::SelfJoinError> {
+    let n = dg.num_points;
+    let mut results = AppendBuffer::<KnnHit>::new(device.pool(), n * k)?;
     let kernel = KnnKernel {
-        grid: &dg,
+        grid: dg,
         k,
         results: &results,
     };
-    launch(device, LaunchConfig::default(), data.len(), &kernel);
+    launch(device, LaunchConfig::default(), n, &kernel);
     debug_assert!(!results.overflowed());
-    let mut grouped: Vec<Vec<KnnHit>> = vec![Vec::new(); data.len()];
+    let mut grouped: Vec<Vec<KnnHit>> = vec![Vec::new(); n];
     for hit in results.drain_to_host() {
         grouped[hit.query as usize].push(hit);
     }

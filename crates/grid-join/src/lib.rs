@@ -40,8 +40,10 @@ pub mod host_join;
 pub mod kernels;
 pub mod knn;
 pub mod linearize;
+pub mod plan;
 pub mod result;
 pub mod selfjoin;
+pub mod session;
 pub mod unicomp;
 
 pub use batching::{BatchReport, BatchingConfig, ExecOptions};
@@ -50,9 +52,11 @@ pub use cell_major::{CellMajorPlan, CellMajorSelfJoinKernel, HotPath};
 pub use device_grid::DeviceGrid;
 pub use error::{GridBuildError, SelfJoinError};
 pub use grid::{CellRange, GridIndex};
-pub use host_join::{host_self_join, host_self_join_parallel};
-pub use knn::{gpu_knn, host_knn, KnnHit};
+pub use host_join::{host_self_join, host_self_join_parallel, query_neighbors_within};
+pub use knn::{gpu_knn, gpu_knn_on, host_knn, KnnHit};
+pub use plan::{Backend, EstimateStage, IndexStage, JoinPlan, JoinReport, PlanOutput, PostStage};
 pub use result::{remap_pairs, retain_owned_pairs, NeighborTable, Pair};
-pub use selfjoin::{
-    GpuSelfJoin, JoinReport, ScopedJoinOutput, SelfJoinConfig, SelfJoinOutput,
+pub use selfjoin::{GpuSelfJoin, ScopedJoinOutput, SelfJoinConfig, SelfJoinOutput};
+pub use session::{
+    SelfJoinSession, SessionConfig, SessionKnnOutput, SessionQueryOutput, SessionStats,
 };

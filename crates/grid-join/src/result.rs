@@ -154,7 +154,11 @@ impl NeighborTable {
     pub fn is_symmetric(&self) -> bool {
         for p in 0..self.num_points() {
             for &q in self.neighbors(p) {
-                if self.neighbors(q as usize).binary_search(&(p as u32)).is_err() {
+                if self
+                    .neighbors(q as usize)
+                    .binary_search(&(p as u32))
+                    .is_err()
+                {
                     return false;
                 }
             }
@@ -164,8 +168,7 @@ impl NeighborTable {
 
     /// Checks that no point lists itself.
     pub fn is_irreflexive(&self) -> bool {
-        (0..self.num_points())
-            .all(|p| self.neighbors(p).binary_search(&(p as u32)).is_err())
+        (0..self.num_points()).all(|p| self.neighbors(p).binary_search(&(p as u32)).is_err())
     }
 }
 

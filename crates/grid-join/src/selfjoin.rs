@@ -22,17 +22,16 @@
 //! result size → batched kernel execution (UNICOMP on by default, as in
 //! the paper's best configuration) → sort pairs → neighbour table.
 
-use crate::batching::{run_batched, BatchReport, BatchingConfig, ExecOptions};
+use crate::batching::{BatchingConfig, ExecOptions};
 use crate::cell_major::HotPath;
-use crate::device_grid::DeviceGrid;
 use crate::error::SelfJoinError;
 use crate::grid::GridIndex;
-use crate::kernels::kernel_registers;
-use crate::result::{retain_owned_pairs, NeighborTable, Pair};
-use sim_gpu::occupancy::KernelResources;
-use sim_gpu::{occupancy, Device, DeviceSpec, LaunchConfig, OccupancyResult};
+use crate::plan::{execute, Backend, EstimateStage, IndexStage, JoinPlan, PostStage};
+use crate::result::{NeighborTable, Pair};
+use sim_gpu::{Device, DeviceSpec, LaunchConfig};
 use sj_datasets::Dataset;
-use std::time::{Duration, Instant};
+
+pub use crate::plan::JoinReport;
 
 /// Configuration of a GPU self-join run.
 #[derive(Clone, Copy, Debug)]
@@ -56,6 +55,21 @@ pub struct SelfJoinConfig {
     pub batching: BatchingConfig,
 }
 
+impl SelfJoinConfig {
+    /// The kernel-level execution options this configuration describes —
+    /// the one place the mapping lives; every plan builder (GPU operator,
+    /// shard subplans, sessions) routes through it so the entry points
+    /// cannot drift.
+    pub fn exec_options(&self) -> ExecOptions {
+        ExecOptions {
+            unicomp: self.unicomp,
+            cell_order: self.cell_order_queries,
+            hot_path: self.hot_path,
+            ..ExecOptions::default()
+        }
+    }
+}
+
 impl Default for SelfJoinConfig {
     fn default() -> Self {
         Self {
@@ -66,31 +80,6 @@ impl Default for SelfJoinConfig {
             batching: BatchingConfig::default(),
         }
     }
-}
-
-/// Timing/shape report of one self-join run.
-#[derive(Clone, Debug)]
-pub struct JoinReport {
-    /// Host-side grid construction time.
-    pub grid_build: Duration,
-    /// Wall time of the device pipeline (estimate + kernels + drains).
-    pub device_pipeline: Duration,
-    /// End-to-end wall time (grid build + upload + pipeline + table build).
-    pub total: Duration,
-    /// Modeled response time on the simulated device: host grid build +
-    /// modeled estimation kernel + the pipelined (3-stream) timeline of
-    /// uploads, modeled kernels and result downloads. This is the number
-    /// the evaluation harness reports for GPU-SJ (see `DeviceSpec::
-    /// throughput_vs_host_core` for the model constant).
-    pub modeled_total: Duration,
-    /// Non-empty cell count `|B|`.
-    pub non_empty_cells: usize,
-    /// Host-side index footprint in bytes.
-    pub index_bytes: usize,
-    /// Theoretical occupancy of the join kernel used.
-    pub occupancy: OccupancyResult,
-    /// Batching execution details.
-    pub batching: BatchReport,
 }
 
 /// Output of a self-join: the neighbour table plus the execution report.
@@ -170,16 +159,29 @@ impl GpuSelfJoin {
         &self.config
     }
 
+    /// The [`JoinPlan`] this operator's configuration describes for
+    /// `data` with the given index stage — `run*` entry points are thin
+    /// wrappers that refine this plan and hand it to the shared executor.
+    pub fn plan<'a>(&self, data: &'a Dataset, index: IndexStage<'a>) -> JoinPlan<'a> {
+        JoinPlan {
+            data,
+            index,
+            estimate: EstimateStage::Sample,
+            exec: self.config.exec_options(),
+            launch: self.config.launch,
+            batching: self.config.batching,
+            post: PostStage::default(),
+        }
+    }
+
     /// Runs the self-join: all ordered pairs `(p, q)`, `p ≠ q`, with
     /// `dist(p, q) ≤ epsilon`.
     pub fn run(&self, data: &Dataset, epsilon: f64) -> Result<SelfJoinOutput, SelfJoinError> {
-        let t0 = Instant::now();
-        let grid = GridIndex::build(data, epsilon)?;
-        let grid_build = t0.elapsed();
-        let (pairs, report) = self.pipeline(data, &grid, t0, grid_build)?;
+        let plan = self.plan(data, IndexStage::Build { epsilon });
+        let out = execute(&plan, Backend::Device(&self.device))?;
         Ok(SelfJoinOutput {
-            table: NeighborTable::from_pairs(data.len(), &pairs),
-            report,
+            table: NeighborTable::from_pairs(data.len(), &out.pairs),
+            report: out.report,
         })
     }
 
@@ -194,11 +196,11 @@ impl GpuSelfJoin {
         data: &Dataset,
         grid: &GridIndex,
     ) -> Result<SelfJoinOutput, SelfJoinError> {
-        let t0 = Instant::now();
-        let (pairs, report) = self.pipeline(data, grid, t0, Duration::ZERO)?;
+        let plan = self.plan(data, IndexStage::Prebuilt(grid));
+        let out = execute(&plan, Backend::Device(&self.device))?;
         Ok(SelfJoinOutput {
-            table: NeighborTable::from_pairs(data.len(), &pairs),
-            report,
+            table: NeighborTable::from_pairs(data.len(), &out.pairs),
+            report: out.report,
         })
     }
 
@@ -224,6 +226,10 @@ impl GpuSelfJoin {
 
     /// [`Self::run_scoped`] against a prebuilt index (see
     /// [`Self::run_on_grid`] for the grid precondition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `owned > data.len()`.
     pub fn run_scoped_on_grid(
         &self,
         data: &Dataset,
@@ -235,65 +241,14 @@ impl GpuSelfJoin {
             "owned prefix {owned} exceeds dataset size {}",
             data.len()
         );
-        let t0 = Instant::now();
-        let (mut pairs, mut report) = self.pipeline(data, grid, t0, Duration::ZERO)?;
-        let dropped_ghost_pairs = retain_owned_pairs(&mut pairs, owned as u32);
-        report.total = t0.elapsed();
+        let plan = self.plan(data, IndexStage::Prebuilt(grid)).scoped(owned);
+        let out = execute(&plan, Backend::Device(&self.device))?;
         Ok(ScopedJoinOutput {
-            pairs,
+            pairs: out.pairs,
             owned,
-            dropped_ghost_pairs,
-            report,
+            dropped_ghost_pairs: out.dropped_ghost_pairs,
+            report: out.report,
         })
-    }
-
-    /// Upload + batched kernels + report assembly, shared by every entry
-    /// point. `t0`/`grid_build` let callers fold an in-call index build
-    /// into the report.
-    fn pipeline(
-        &self,
-        data: &Dataset,
-        grid: &GridIndex,
-        t0: Instant,
-        grid_build: Duration,
-    ) -> Result<(Vec<Pair>, JoinReport), SelfJoinError> {
-        debug_assert_eq!(grid.a().len(), data.len(), "grid/data mismatch");
-        let dg = DeviceGrid::upload(&self.device, data, grid)?;
-
-        let t1 = Instant::now();
-        let (pairs, batching) = run_batched(
-            &self.device,
-            &dg,
-            self.config.launch,
-            ExecOptions {
-                unicomp: self.config.unicomp,
-                cell_order: self.config.cell_order_queries,
-                hot_path: self.config.hot_path,
-            },
-            &self.config.batching,
-        )?;
-        let device_pipeline = t1.elapsed();
-
-        let occupancy = occupancy(
-            self.device.spec(),
-            KernelResources {
-                registers_per_thread: kernel_registers(grid.dim().max(1), self.config.unicomp),
-                shared_mem_per_block: 0,
-            },
-            self.config.launch.block_threads,
-        );
-        let modeled_total = grid_build + batching.modeled_estimate_time + batching.timeline.total;
-        let report = JoinReport {
-            grid_build,
-            device_pipeline,
-            total: t0.elapsed(),
-            modeled_total,
-            non_empty_cells: grid.non_empty_cells(),
-            index_bytes: grid.size_bytes(),
-            occupancy,
-            batching,
-        };
-        Ok((pairs, report))
     }
 }
 
@@ -302,6 +257,7 @@ mod tests {
     use super::*;
     use crate::host_join::host_self_join;
     use sj_datasets::synthetic::{clustered, uniform};
+    use std::time::Duration;
 
     #[test]
     fn end_to_end_matches_host_join() {
@@ -340,8 +296,14 @@ mod tests {
     #[test]
     fn unicomp_and_full_agree() {
         let data = clustered(2, 1500, 4, 1.0, 0.1, 52);
-        let with = GpuSelfJoin::default_device().unicomp(true).run(&data, 1.5).unwrap();
-        let without = GpuSelfJoin::default_device().unicomp(false).run(&data, 1.5).unwrap();
+        let with = GpuSelfJoin::default_device()
+            .unicomp(true)
+            .run(&data, 1.5)
+            .unwrap();
+        let without = GpuSelfJoin::default_device()
+            .unicomp(false)
+            .run(&data, 1.5)
+            .unwrap();
         assert_eq!(with.table, without.table);
     }
 
@@ -364,8 +326,14 @@ mod tests {
     #[test]
     fn occupancy_reflects_unicomp_register_pressure() {
         let data = uniform(5, 1200, 55);
-        let base = GpuSelfJoin::default_device().unicomp(false).run(&data, 25.0).unwrap();
-        let uni = GpuSelfJoin::default_device().unicomp(true).run(&data, 25.0).unwrap();
+        let base = GpuSelfJoin::default_device()
+            .unicomp(false)
+            .run(&data, 25.0)
+            .unwrap();
+        let uni = GpuSelfJoin::default_device()
+            .unicomp(true)
+            .run(&data, 25.0)
+            .unwrap();
         assert_eq!(base.report.occupancy.occupancy, 0.625);
         assert_eq!(uni.report.occupancy.occupancy, 0.5);
     }

@@ -100,8 +100,7 @@ mod tests {
             }
             (hi[0] - lo[0]) * (hi[1] - lo[1])
         };
-        let avg_area: f64 =
-            groups.iter().map(|g| group_span(g)).sum::<f64>() / groups.len() as f64;
+        let avg_area: f64 = groups.iter().map(|g| group_span(g)).sum::<f64>() / groups.len() as f64;
         // 4000 points in 100×100 at 16/leaf → ~250 leaves → ~40 units²
         // each if perfectly tiled; allow generous slack.
         assert!(avg_area < 400.0, "average leaf area {avg_area:.1}");

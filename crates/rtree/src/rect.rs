@@ -19,7 +19,11 @@ impl Rect {
         let mut hi = [0.0; MAX_DIM];
         lo[..p.len()].copy_from_slice(p);
         hi[..p.len()].copy_from_slice(p);
-        Self { lo, hi, dim: p.len() }
+        Self {
+            lo,
+            hi,
+            dim: p.len(),
+        }
     }
 
     /// A rectangle from explicit bounds.
@@ -38,7 +42,11 @@ impl Rect {
         let mut h = [0.0; MAX_DIM];
         l[..lo.len()].copy_from_slice(lo);
         h[..hi.len()].copy_from_slice(hi);
-        Self { lo: l, hi: h, dim: lo.len() }
+        Self {
+            lo: l,
+            hi: h,
+            dim: lo.len(),
+        }
     }
 
     /// The query window `[center − r, center + r]` in every dimension.
@@ -50,7 +58,11 @@ impl Rect {
             lo[j] = c - r;
             hi[j] = c + r;
         }
-        Self { lo, hi, dim: center.len() }
+        Self {
+            lo,
+            hi,
+            dim: center.len(),
+        }
     }
 
     /// Dimensionality.

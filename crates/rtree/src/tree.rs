@@ -61,9 +61,15 @@ impl RTree {
     /// Panics if `max_entries < 4` or `dim` is unsupported.
     pub fn with_capacity(dim: usize, max_entries: usize) -> Self {
         assert!(max_entries >= 4, "fanout too small");
-        assert!((1..=crate::rect::MAX_DIM).contains(&dim), "bad dimensionality");
+        assert!(
+            (1..=crate::rect::MAX_DIM).contains(&dim),
+            "bad dimensionality"
+        );
         Self {
-            nodes: vec![Node { entries: Vec::new(), leaf: true }],
+            nodes: vec![Node {
+                entries: Vec::new(),
+                leaf: true,
+            }],
             root: 0,
             dim,
             max_entries,
@@ -106,8 +112,14 @@ impl RTree {
             let new_root = self.nodes.len();
             self.nodes.push(Node {
                 entries: vec![
-                    Entry { rect: r1, child: Child::Node(n1) },
-                    Entry { rect: r2, child: Child::Node(n2) },
+                    Entry {
+                        rect: r1,
+                        child: Child::Node(n1),
+                    },
+                    Entry {
+                        rect: r2,
+                        child: Child::Node(n2),
+                    },
                 ],
                 leaf: false,
             });
@@ -126,7 +138,10 @@ impl RTree {
         id: u32,
     ) -> Option<(Rect, usize, Rect, usize)> {
         if self.nodes[node].leaf {
-            self.nodes[node].entries.push(Entry { rect, child: Child::Point(id) });
+            self.nodes[node].entries.push(Entry {
+                rect,
+                child: Child::Point(id),
+            });
             if self.nodes[node].entries.len() > self.max_entries {
                 return Some(self.split(node));
             }
@@ -155,8 +170,14 @@ impl RTree {
         self.nodes[node].entries[best].rect = grown;
         if let Some((r1, n1, r2, n2)) = split {
             // Replace the split child's entry and add its sibling.
-            self.nodes[node].entries[best] = Entry { rect: r1, child: Child::Node(n1) };
-            self.nodes[node].entries.push(Entry { rect: r2, child: Child::Node(n2) });
+            self.nodes[node].entries[best] = Entry {
+                rect: r1,
+                child: Child::Node(n1),
+            };
+            self.nodes[node].entries.push(Entry {
+                rect: r2,
+                child: Child::Node(n2),
+            });
             if self.nodes[node].entries.len() > self.max_entries {
                 return Some(self.split(node));
             }
@@ -281,7 +302,10 @@ impl RTree {
                     })
                     .collect();
                 let idx = tree.nodes.len();
-                tree.nodes.push(Node { entries, leaf: true });
+                tree.nodes.push(Node {
+                    entries,
+                    leaf: true,
+                });
                 (tree.nodes[idx].mbr(), idx)
             })
             .collect();
@@ -297,7 +321,10 @@ impl RTree {
                     })
                     .collect();
                 let idx = tree.nodes.len();
-                tree.nodes.push(Node { entries, leaf: false });
+                tree.nodes.push(Node {
+                    entries,
+                    leaf: false,
+                });
                 next.push((tree.nodes[idx].mbr(), idx));
             }
             level = next;

@@ -53,7 +53,7 @@ pub fn estimate_shard_cost(
 ) -> Result<ShardCost, SelfJoinError> {
     let dg = DeviceGrid::upload(device, &shard.data, grid)?;
     let (predicted_pairs, _sample, estimate_wall, estimate_modeled) =
-        estimate_result_size(device, &dg, cfg)?;
+        estimate_result_size(device, &dg, cfg, None)?;
     Ok(ShardCost {
         shard: shard.id,
         points: shard.data.len(),
@@ -105,8 +105,14 @@ mod tests {
         let cost = estimate_shard_cost(&dev, shard, &grid, &BatchingConfig::default()).unwrap();
         let truth = grid_join::host_self_join(&shard.data, &grid).total_pairs() as f64;
         // The estimator carries a 1.25 safety factor.
-        assert!(cost.predicted_pairs as f64 >= truth * 0.8, "under: {cost:?} truth {truth}");
-        assert!(cost.predicted_pairs as f64 <= truth * 2.5, "over: {cost:?} truth {truth}");
+        assert!(
+            cost.predicted_pairs as f64 >= truth * 0.8,
+            "under: {cost:?} truth {truth}"
+        );
+        assert!(
+            cost.predicted_pairs as f64 <= truth * 2.5,
+            "over: {cost:?} truth {truth}"
+        );
         assert!(cost.cost() >= cost.predicted_pairs);
     }
 }

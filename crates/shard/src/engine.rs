@@ -1,8 +1,14 @@
 //! The sharded multi-device self-join engine.
 //!
-//! Pipeline: partition → per-shard index build → on-device cost
-//! estimation → LPT scheduling → one executor task per device (rayon)
-//! running its shard queue through [`GpuSelfJoin`] → streaming,
+//! The engine is a **plan rewrite** over the shared join-plan IR
+//! ([`grid_join::JoinPlan`]): the partition pass turns one logical join
+//! into per-shard *subplans* — prebuilt shard index, precomputed cost
+//! estimate, scoped + remapped post stage — and the rest of the pipeline
+//! is scheduling and merging:
+//!
+//! partition → per-shard index build → on-device cost estimation → LPT
+//! scheduling → one executor task per device (rayon) running its queue of
+//! subplans through [`grid_join::plan::execute`] → streaming,
 //! deduplicating merge into the global [`NeighborTable`].
 //!
 //! ## Timing model
@@ -23,10 +29,8 @@
 use crate::cost::{estimate_shard_cost, ShardCost};
 use crate::partition::{partition, Partition};
 use crate::schedule::{lpt_schedule, Assignment};
-use grid_join::{
-    remap_pairs, GpuSelfJoin, GridIndex, HotPath, NeighborTable, Pair, SelfJoinConfig,
-    SelfJoinError,
-};
+use grid_join::plan::{execute, Backend, JoinPlan};
+use grid_join::{GridIndex, HotPath, NeighborTable, Pair, SelfJoinConfig, SelfJoinError};
 use parking_lot::Mutex;
 use rayon::prelude::*;
 use sim_gpu::{DevicePool, DeviceTally, PoolProfiler};
@@ -216,8 +220,12 @@ impl ShardedSelfJoin {
             let grid = GridIndex::build(&shard.data, part.epsilon)?;
             let grid_build = tg.elapsed();
             index_build_time += grid_build;
-            let est =
-                estimate_shard_cost(self.pool.device(i % ndev), shard, &grid, &self.config.join.batching)?;
+            let est = estimate_shard_cost(
+                self.pool.device(i % ndev),
+                shard,
+                &grid,
+                &self.config.join.batching,
+            )?;
             // The shard's host index build is attributed to the device
             // stream that consumes it: builds feeding different devices
             // overlap (the host is multi-core), builds feeding the same
@@ -257,25 +265,30 @@ impl ShardedSelfJoin {
             .map(|d| -> Result<(), SelfJoinError> {
                 for &s in &assignment.queues[d] {
                     let shard = &part.shards[s];
-                    let mut join_cfg = self.config.join;
-                    join_cfg.batching.precomputed_estimate = Some(costs[s].predicted_pairs);
-                    let join = GpuSelfJoin::new(self.pool.device(d).clone()).with_config(join_cfg);
-                    let scoped = {
+                    // The shard's subplan: the rewrite of the logical join
+                    // restricted to this shard. Index and estimate were
+                    // produced by the partition/estimation passes; the
+                    // post stage applies the halo-ownership contract and
+                    // lifts local ids back to global ones.
+                    let subplan = self
+                        .subplan(&shard.data, &grids[s], costs[s].predicted_pairs)
+                        .scoped(shard.owned)
+                        .remapped(&shard.global_ids);
+                    let out = {
                         let _kernels = substrate.lock();
-                        join.run_scoped_on_grid(&shard.data, &grids[s], shard.owned)?
+                        execute(&subplan, Backend::Device(self.pool.device(d)))?
                     };
-                    let mut pairs = scoped.pairs;
-                    remap_pairs(&mut pairs, &shard.global_ids);
+                    let mut pairs = out.pairs;
                     profiler.record(
                         d,
                         &DeviceTally {
                             items: 1,
-                            launches: scoped.report.batching.batches,
-                            wall: scoped.report.device_pipeline,
-                            busy: scoped.report.modeled_total,
-                            h2d_bytes: scoped.report.index_bytes
+                            launches: out.report.batching.batches,
+                            wall: out.report.device_pipeline,
+                            busy: out.report.modeled_total,
+                            h2d_bytes: out.report.index_bytes
                                 + shard.data.len() * shard.data.dim() * 8,
-                            d2h_bytes: scoped.report.batching.actual_pairs as usize
+                            d2h_bytes: out.report.batching.actual_pairs as usize
                                 * std::mem::size_of::<Pair>(),
                         },
                     );
@@ -286,10 +299,10 @@ impl ShardedSelfJoin {
                         ghosts: shard.ghosts(),
                         predicted_cost: costs[s].cost(),
                         actual_pairs: pairs.len() as u64,
-                        dropped_ghost_pairs: scoped.dropped_ghost_pairs,
-                        batches: scoped.report.batching.batches,
-                        modeled: scoped.report.modeled_total,
-                        wall: scoped.report.total,
+                        dropped_ghost_pairs: out.dropped_ghost_pairs,
+                        batches: out.report.batching.batches,
+                        modeled: out.report.modeled_total,
+                        wall: out.report.total,
                     });
                     merged.lock().append(&mut pairs);
                 }
@@ -318,11 +331,7 @@ impl ShardedSelfJoin {
         // stream. Host-side table construction is excluded there and the
         // host-side merge is excluded here (reported as `merge_time`).
         let modeled_total = part.build_time + profiler.makespan();
-        let shards = shard_reports
-            .into_inner()
-            .into_iter()
-            .flatten()
-            .collect();
+        let shards = shard_reports.into_inner().into_iter().flatten().collect();
         Ok(ShardedOutput {
             table,
             report: ShardedReport {
@@ -343,6 +352,25 @@ impl ShardedSelfJoin {
         })
     }
 
+    /// The per-shard subplan of the rewrite: the configured join over the
+    /// shard's prebuilt index with its scheduler-provided result estimate.
+    /// `run` further scopes it to the shard's owned prefix and remaps ids
+    /// to the global space.
+    fn subplan<'a>(
+        &self,
+        shard_data: &'a Dataset,
+        grid: &'a GridIndex,
+        predicted_pairs: u64,
+    ) -> JoinPlan<'a> {
+        JoinPlan {
+            exec: self.config.join.exec_options(),
+            launch: self.config.join.launch,
+            batching: self.config.join.batching,
+            ..JoinPlan::on_grid(shard_data, grid)
+        }
+        .estimated(predicted_pairs)
+    }
+
     /// Partitions without executing — exposed for inspection and tests.
     pub fn plan(&self, data: &Dataset, epsilon: f64) -> Result<Partition, SelfJoinError> {
         let num_shards = self
@@ -357,7 +385,7 @@ impl ShardedSelfJoin {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use grid_join::host_self_join;
+    use grid_join::{host_self_join, GpuSelfJoin};
     use sj_datasets::synthetic::{clustered, uniform};
 
     #[test]

@@ -63,8 +63,6 @@ pub mod partition;
 pub mod schedule;
 
 pub use cost::{estimate_shard_cost, ShardCost};
-pub use engine::{
-    ShardRunReport, ShardedConfig, ShardedOutput, ShardedReport, ShardedSelfJoin,
-};
+pub use engine::{ShardRunReport, ShardedConfig, ShardedOutput, ShardedReport, ShardedSelfJoin};
 pub use partition::{partition, Partition, Shard};
 pub use schedule::{lpt_schedule, Assignment};

@@ -156,8 +156,7 @@ pub fn partition(
         let mut sorted = cols.clone();
         sorted.sort_unstable();
         for s in 1..num_shards {
-            let candidate = (sorted[s * n / num_shards] + 1)
-                .max(cuts.last().map_or(1, |&c| c + 1));
+            let candidate = (sorted[s * n / num_shards] + 1).max(cuts.last().map_or(1, |&c| c + 1));
             if candidate >= ncols {
                 break;
             }
@@ -172,8 +171,20 @@ pub fn partition(
     // Slab coordinate bounds (cell boundaries) and halo bands.
     let halo = epsilon * (1.0 + HALO_SLACK);
     let bound = |cut: u64| gmin + cut as f64 * epsilon;
-    let lo_of = |s: usize| if s == 0 { f64::NEG_INFINITY } else { bound(cuts[s - 1]) };
-    let hi_of = |s: usize| if s == nshards - 1 { f64::INFINITY } else { bound(cuts[s]) };
+    let lo_of = |s: usize| {
+        if s == 0 {
+            f64::NEG_INFINITY
+        } else {
+            bound(cuts[s - 1])
+        }
+    };
+    let hi_of = |s: usize| {
+        if s == nshards - 1 {
+            f64::INFINITY
+        } else {
+            bound(cuts[s])
+        }
+    };
 
     // One pass assigns each point to its owner and to every slab whose
     // halo band contains it — a short walk over adjacent slabs (slabs

@@ -100,10 +100,19 @@ impl CacheSim {
     /// Panics if the line size is not a power of two or the geometry is
     /// degenerate.
     pub fn new(config: CacheConfig) -> Self {
-        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
-        assert!(config.associativity >= 1, "associativity must be at least 1");
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(
+            config.associativity >= 1,
+            "associativity must be at least 1"
+        );
         let sets = config.num_sets();
-        assert!(sets >= 1, "capacity too small for line size × associativity");
+        assert!(
+            sets >= 1,
+            "capacity too small for line size × associativity"
+        );
         Self {
             config,
             sets: vec![(EMPTY, 0); sets * config.associativity],

@@ -148,7 +148,10 @@ impl Device {
     /// Allocates a zero-initialized buffer of `len` elements in global
     /// memory. Fails with [`OutOfMemory`] if capacity would be exceeded —
     /// exactly the constraint that motivates the paper's batching scheme.
-    pub fn alloc_zeroed<T: Copy + Default>(&self, len: usize) -> Result<DeviceBuffer<T>, OutOfMemory> {
+    pub fn alloc_zeroed<T: Copy + Default>(
+        &self,
+        len: usize,
+    ) -> Result<DeviceBuffer<T>, OutOfMemory> {
         DeviceBuffer::zeroed(&self.pool, len)
     }
 

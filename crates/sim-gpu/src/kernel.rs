@@ -368,13 +368,19 @@ mod tests {
             &dev,
             LaunchConfig::default(),
             300,
-            &DoubleKernel { input: &input, output: &fast },
+            &DoubleKernel {
+                input: &input,
+                output: &fast,
+            },
         );
         let (_stats, cache) = launch_profiled(
             &dev,
             LaunchConfig::default(),
             300,
-            &DoubleKernel { input: &input, output: &prof },
+            &DoubleKernel {
+                input: &input,
+                output: &prof,
+            },
         );
         for (a, b) in fast.iter().zip(&prof) {
             assert_eq!(a.load(Ordering::Relaxed), b.load(Ordering::Relaxed));
@@ -450,11 +456,6 @@ mod tests {
                 assert!(ctx.thread_in_block < 64);
             }
         }
-        launch(
-            &dev,
-            LaunchConfig { block_threads: 64 },
-            1000,
-            &CheckKernel,
-        );
+        launch(&dev, LaunchConfig { block_threads: 64 }, 1000, &CheckKernel);
     }
 }

@@ -48,7 +48,7 @@ pub use kernel::{
 };
 pub use memory::{DeviceBuffer, MemoryPool, OutOfMemory};
 pub use occupancy::{occupancy, KernelResources, OccupancyResult};
-pub use pool::{DevicePool, DeviceTally, PoolProfiler};
+pub use pool::{DeviceLease, DevicePool, DeviceTally, PoolProfiler};
 pub use profiler::{KernelMetrics, ProfiledLaunch};
 pub use transfer::{BatchCost, StreamTimeline, TimelineReport, TransferModel};
 pub use work::{launch_work_profiled, WorkProfile, WorkTracer};

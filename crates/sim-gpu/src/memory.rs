@@ -207,7 +207,13 @@ mod tests {
         let a = DeviceBuffer::<u8>::zeroed(&pool, 600).unwrap();
         assert_eq!(pool.used(), 600);
         let err = DeviceBuffer::<u8>::zeroed(&pool, 500).unwrap_err();
-        assert_eq!(err, OutOfMemory { requested: 500, available: 400 });
+        assert_eq!(
+            err,
+            OutOfMemory {
+                requested: 500,
+                available: 400
+            }
+        );
         drop(a);
         assert_eq!(pool.used(), 0);
         let _b = DeviceBuffer::<u8>::zeroed(&pool, 1000).unwrap();

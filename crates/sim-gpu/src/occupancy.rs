@@ -55,8 +55,8 @@ pub fn occupancy(spec: &DeviceSpec, res: KernelResources, block_threads: usize) 
 
     // Register limit: registers are allocated per warp with a granularity.
     let regs_per_warp = res.registers_per_thread * spec.warp_size;
-    let regs_per_warp = regs_per_warp.div_ceil(spec.register_alloc_granularity)
-        * spec.register_alloc_granularity;
+    let regs_per_warp =
+        regs_per_warp.div_ceil(spec.register_alloc_granularity) * spec.register_alloc_granularity;
     let regs_per_block = regs_per_warp * warps_per_block;
     let reg_limit = spec
         .registers_per_sm

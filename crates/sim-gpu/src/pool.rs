@@ -11,6 +11,7 @@
 
 use crate::device::{Device, DeviceSpec};
 use parking_lot::Mutex;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A pool of simulated devices sharing one host.
@@ -18,9 +19,61 @@ use std::time::Duration;
 /// Devices are homogeneous in the common case (the constructor clones one
 /// spec) but the pool accepts any device list, so heterogeneous setups can
 /// be modeled too.
+///
+/// Besides indexed access ([`Self::device`]), the pool hands out
+/// [`DeviceLease`]s: lightweight claims that steer concurrent clients
+/// (sessions, query streams) toward the least-loaded device. Clones of a
+/// pool share the lease ledger, so every clone sees the same load picture.
 #[derive(Clone, Debug)]
 pub struct DevicePool {
     devices: Vec<Device>,
+    /// Lease ledger, shared across clones.
+    leases: Arc<Mutex<LeaseLedger>>,
+}
+
+/// Shared lease state: per-device active counts plus a rotation cursor
+/// that breaks ties round-robin, so a *serial* stream of short-lived
+/// leases still spreads across devices (a serving frontend dispatching
+/// query after query) instead of pinning device 0 forever.
+#[derive(Debug)]
+struct LeaseLedger {
+    counts: Vec<usize>,
+    cursor: usize,
+}
+
+/// A claim on one pool device, released on drop.
+///
+/// Leases are advisory load-balancing state, not mutual exclusion: the
+/// simulated substrate timeshares the host freely, and several leases may
+/// target the same device once every device carries load. What a lease
+/// guarantees is that [`DevicePool::lease`] spreads concurrent holders
+/// across devices (fewest active leases first), so resident sessions
+/// sharing a pool interleave instead of piling onto device 0.
+#[derive(Debug)]
+pub struct DeviceLease {
+    device: Device,
+    index: usize,
+    leases: Arc<Mutex<LeaseLedger>>,
+}
+
+impl DeviceLease {
+    /// The leased device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The leased device's index within the pool.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+}
+
+impl Drop for DeviceLease {
+    fn drop(&mut self) {
+        let mut ledger = self.leases.lock();
+        debug_assert!(ledger.counts[self.index] > 0, "lease count underflow");
+        ledger.counts[self.index] -= 1;
+    }
 }
 
 impl DevicePool {
@@ -33,6 +86,10 @@ impl DevicePool {
     pub fn homogeneous(spec: DeviceSpec, count: usize) -> Self {
         assert!(count > 0, "device pool needs at least one device");
         Self {
+            leases: Arc::new(Mutex::new(LeaseLedger {
+                counts: vec![0; count],
+                cursor: 0,
+            })),
             devices: (0..count).map(|_| Device::new(spec.clone())).collect(),
         }
     }
@@ -50,7 +107,39 @@ impl DevicePool {
     /// Panics if `devices` is empty.
     pub fn from_devices(devices: Vec<Device>) -> Self {
         assert!(!devices.is_empty(), "device pool needs at least one device");
-        Self { devices }
+        Self {
+            leases: Arc::new(Mutex::new(LeaseLedger {
+                counts: vec![0; devices.len()],
+                cursor: 0,
+            })),
+            devices,
+        }
+    }
+
+    /// Leases the least-loaded device (fewest active leases; ties break
+    /// round-robin from a rotating cursor, so serial short-lived leases
+    /// spread across devices too). Never blocks — the lease is a
+    /// load-balancing claim, not a lock (see [`DeviceLease`]).
+    pub fn lease(&self) -> DeviceLease {
+        let mut ledger = self.leases.lock();
+        let n = ledger.counts.len();
+        let min = *ledger.counts.iter().min().expect("pool is never empty");
+        let index = (0..n)
+            .map(|o| (ledger.cursor + o) % n)
+            .find(|&i| ledger.counts[i] == min)
+            .expect("some device holds the minimum");
+        ledger.counts[index] += 1;
+        ledger.cursor = (index + 1) % n;
+        DeviceLease {
+            device: self.devices[index].clone(),
+            index,
+            leases: Arc::clone(&self.leases),
+        }
+    }
+
+    /// Active lease count per device, in device-index order.
+    pub fn active_leases(&self) -> Vec<usize> {
+        self.leases.lock().counts.clone()
     }
 
     /// Number of devices in the pool.
@@ -183,6 +272,51 @@ mod tests {
     #[should_panic(expected = "at least one device")]
     fn empty_pool_rejected() {
         let _ = DevicePool::titan_x(0);
+    }
+
+    #[test]
+    fn leases_spread_across_devices_and_release_on_drop() {
+        let pool = DevicePool::homogeneous(DeviceSpec::small_test_device(), 3);
+        let a = pool.lease();
+        let b = pool.lease();
+        let c = pool.lease();
+        // Three concurrent leases land on three distinct devices.
+        let mut picked = vec![a.index(), b.index(), c.index()];
+        picked.sort_unstable();
+        assert_eq!(picked, vec![0, 1, 2]);
+        assert_eq!(pool.active_leases(), vec![1, 1, 1]);
+        // A fourth lease doubles up on the least-loaded (lowest index).
+        let d = pool.lease();
+        assert_eq!(d.index(), 0);
+        drop(b);
+        assert_eq!(pool.active_leases(), vec![2, 0, 1]);
+        // Released capacity is reused before doubling further.
+        let e = pool.lease();
+        assert_eq!(e.index(), 1);
+        drop((a, c, d, e));
+        assert_eq!(pool.active_leases(), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn pool_clones_share_the_lease_ledger() {
+        let pool = DevicePool::homogeneous(DeviceSpec::small_test_device(), 2);
+        let clone = pool.clone();
+        let _a = pool.lease();
+        // The clone sees the original's lease and avoids device 0.
+        let b = clone.lease();
+        assert_eq!(b.index(), 1);
+        assert_eq!(pool.active_leases(), vec![1, 1]);
+    }
+
+    #[test]
+    fn lease_device_shares_the_pool_device_memory() {
+        let pool = DevicePool::homogeneous(DeviceSpec::small_test_device(), 1);
+        let lease = pool.lease();
+        let buf = lease.device().alloc_zeroed::<u64>(10).unwrap();
+        // The lease hands out the same simulated device, not a copy.
+        assert_eq!(pool.device(0).used_bytes(), 80);
+        drop(buf);
+        assert_eq!(pool.device(0).used_bytes(), 0);
     }
 
     #[test]

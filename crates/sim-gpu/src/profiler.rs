@@ -71,9 +71,9 @@ impl ProfiledLaunch {
 mod tests {
     use super::*;
     use crate::device::DeviceSpec;
+    use crate::kernel::{ThreadCtx, Tracer};
     use crate::memory::DeviceBuffer;
     use crate::occupancy::KernelResources;
-    use crate::kernel::{ThreadCtx, Tracer};
 
     struct SumKernel<'a> {
         data: &'a DeviceBuffer<f64>,
@@ -99,8 +99,15 @@ mod tests {
     fn profiled_launch_reports_consistent_metrics() {
         let dev = Device::new(DeviceSpec::small_test_device());
         let data = dev.alloc_from_host(&vec![1.0f64; 10_000]).unwrap();
-        let (stats, metrics) =
-            ProfiledLaunch::run(&dev, LaunchConfig::default(), 10_000, &SumKernel { data: &data, regs: 32 });
+        let (stats, metrics) = ProfiledLaunch::run(
+            &dev,
+            LaunchConfig::default(),
+            10_000,
+            &SumKernel {
+                data: &data,
+                regs: 32,
+            },
+        );
         assert_eq!(stats.threads, 10_000);
         assert_eq!(metrics.occupancy, 1.0);
         assert_eq!(metrics.cache.bytes_requested, 80_000);
@@ -112,10 +119,24 @@ mod tests {
     fn higher_register_usage_lowers_reported_occupancy() {
         let dev = Device::new(DeviceSpec::small_test_device());
         let data = dev.alloc_from_host(&vec![1.0f64; 1000]).unwrap();
-        let (_, light) =
-            ProfiledLaunch::run(&dev, LaunchConfig::default(), 1000, &SumKernel { data: &data, regs: 32 });
-        let (_, heavy) =
-            ProfiledLaunch::run(&dev, LaunchConfig::default(), 1000, &SumKernel { data: &data, regs: 64 });
+        let (_, light) = ProfiledLaunch::run(
+            &dev,
+            LaunchConfig::default(),
+            1000,
+            &SumKernel {
+                data: &data,
+                regs: 32,
+            },
+        );
+        let (_, heavy) = ProfiledLaunch::run(
+            &dev,
+            LaunchConfig::default(),
+            1000,
+            &SumKernel {
+                data: &data,
+                regs: 64,
+            },
+        );
         assert!(heavy.occupancy < light.occupancy);
         assert_eq!(heavy.occupancy_limiter, "registers");
     }

@@ -38,7 +38,8 @@ impl TransferModel {
 
     /// Modeled duration of a transfer of `bytes`.
     pub fn time(&self, bytes: usize) -> Duration {
-        let secs = self.latency_us * 1e-6 + bytes as f64 / (self.gib_per_s * 1024.0 * 1024.0 * 1024.0);
+        let secs =
+            self.latency_us * 1e-6 + bytes as f64 / (self.gib_per_s * 1024.0 * 1024.0 * 1024.0);
         Duration::from_secs_f64(secs)
     }
 }
@@ -198,7 +199,10 @@ mod tests {
         // Kernels dominate (2s each, 12s total); transfers (1s each side)
         // should hide almost entirely behind neighbouring kernels.
         let total = r.total.as_secs_f64();
-        assert!(total < 15.0, "pipelined total {total} too close to serial 24");
+        assert!(
+            total < 15.0,
+            "pipelined total {total} too close to serial 24"
+        );
         assert!(total >= 12.0, "cannot beat pure compute time");
         assert!(r.overlap_efficiency() > 0.7, "{}", r.overlap_efficiency());
     }

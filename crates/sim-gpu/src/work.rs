@@ -188,12 +188,19 @@ mod tests {
     fn per_thread_counts_are_exact() {
         let dev = Device::new(DeviceSpec::small_test_device());
         let buf = dev.alloc_from_host(&[0.0f64; 8]).unwrap();
-        let (_stats, profile) =
-            launch_work_profiled(&dev, LaunchConfig { block_threads: 64 }, 200, &SkewKernel(&buf));
+        let (_stats, profile) = launch_work_profiled(
+            &dev,
+            LaunchConfig { block_threads: 64 },
+            200,
+            &SkewKernel(&buf),
+        );
         for (i, &o) in profile.ops.iter().enumerate() {
             assert_eq!(o, (i % 4 + 1) as u64, "thread {i}");
         }
-        assert_eq!(profile.total_ops(), (0..200).map(|i| (i % 4 + 1) as u64).sum());
+        assert_eq!(
+            profile.total_ops(),
+            (0..200).map(|i| (i % 4 + 1) as u64).sum()
+        );
         assert_eq!(profile.total_bytes(), profile.total_ops() * 8);
     }
 
@@ -202,8 +209,12 @@ mod tests {
         let dev = Device::new(DeviceSpec::small_test_device());
         let buf = dev.alloc_from_host(&[0.0f64; 8]).unwrap();
         // Full warps of the repeating 1,2,3,4 pattern: max 4, mean 2.5.
-        let (_s, profile) =
-            launch_work_profiled(&dev, LaunchConfig { block_threads: 64 }, 64, &SkewKernel(&buf));
+        let (_s, profile) = launch_work_profiled(
+            &dev,
+            LaunchConfig { block_threads: 64 },
+            64,
+            &SkewKernel(&buf),
+        );
         let imb = profile.mean_warp_imbalance();
         assert!((imb - 4.0 / 2.5).abs() < 1e-9, "imbalance {imb}");
         let eff = profile.simd_efficiency();
@@ -236,7 +247,8 @@ mod tests {
     fn empty_launch_profile() {
         let dev = Device::new(DeviceSpec::small_test_device());
         let buf = dev.alloc_from_host(&[0.0f64; 1]).unwrap();
-        let (_s, profile) = launch_work_profiled(&dev, LaunchConfig::default(), 0, &SkewKernel(&buf));
+        let (_s, profile) =
+            launch_work_profiled(&dev, LaunchConfig::default(), 0, &SkewKernel(&buf));
         assert_eq!(profile.total_ops(), 0);
         assert_eq!(profile.mean_warp_imbalance(), 1.0);
     }

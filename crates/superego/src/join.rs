@@ -299,22 +299,10 @@ fn ego_cross(
     // Split the longer sequence and recurse on the surviving halves.
     let (halves, fixed_box, fixed_lo, fixed_hi, split_a) = if a_len >= b_len {
         let mid = a_lo + a_len / 2;
-        (
-            [(a_lo, mid), (mid, a_hi)],
-            b_box,
-            b_lo,
-            b_hi,
-            true,
-        )
+        ([(a_lo, mid), (mid, a_hi)], b_box, b_lo, b_hi, true)
     } else {
         let mid = b_lo + b_len / 2;
-        (
-            [(b_lo, mid), (mid, b_hi)],
-            a_box,
-            a_lo,
-            a_hi,
-            false,
-        )
+        ([(b_lo, mid), (mid, b_hi)], a_box, a_lo, a_hi, false)
     };
     let mut tasks: Vec<(usize, usize, BBox)> = Vec::with_capacity(2);
     for &(h_lo, h_hi) in &halves {

@@ -63,7 +63,11 @@ pub fn failure_probabilities(data: &Dataset, epsilon: f64) -> Vec<f64> {
 pub fn pruning_power_order(data: &Dataset, epsilon: f64) -> Vec<usize> {
     let probs = failure_probabilities(data, epsilon);
     let mut order: Vec<usize> = (0..data.dim()).collect();
-    order.sort_by(|&a, &b| probs[b].partial_cmp(&probs[a]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        probs[b]
+            .partial_cmp(&probs[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     order
 }
 

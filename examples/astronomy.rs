@@ -11,8 +11,8 @@
 //! cargo run --release --example astronomy
 //! ```
 
-use gpu_self_join::prelude::*;
 use gpu_self_join::datasets::sdss;
+use gpu_self_join::prelude::*;
 use std::time::Instant;
 
 fn main() {
@@ -20,10 +20,7 @@ fn main() {
     let galaxies = sdss::sdss2d(80_000, 2026);
     let eps = 0.05; // degrees — close-pair scale
 
-    println!(
-        "{} galaxies, close-pair separation {eps}°",
-        galaxies.len()
-    );
+    println!("{} galaxies, close-pair separation {eps}°", galaxies.len());
 
     // GPU-SJ with UNICOMP.
     let join = GpuSelfJoin::default_device();
@@ -62,5 +59,8 @@ fn main() {
     // (the surrogate models cluster cores), and isolated field galaxies
     // should exist.
     assert!(ranked[0].0 as f64 > 10.0 * out.table.avg_neighbors().max(0.1));
-    assert!(ranked.last().unwrap().0 == 0, "field galaxies should be isolated");
+    assert!(
+        ranked.last().unwrap().0 == 0,
+        "field galaxies should be isolated"
+    );
 }

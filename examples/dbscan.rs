@@ -58,7 +58,9 @@ fn main() {
         top5 as f64 > 0.7 * data.len() as f64,
         "expected >=70% of points in the top clusters, got {top5}"
     );
-    assert!(clustering.labels().iter().all(|&l| l == Label::Noise
-        || matches!(l, Label::Cluster(_))));
+    assert!(clustering
+        .labels()
+        .iter()
+        .all(|&l| l == Label::Noise || matches!(l, Label::Cluster(_))));
     println!("ok: clustering structure recovered");
 }

@@ -19,7 +19,10 @@ fn main() {
     let device = Device::new(DeviceSpec::titan_x_pascal());
 
     println!("{} points, k = {k}", data.len());
-    println!("{:>10} {:>12} {:>14}", "cell eps", "host wall", "result hash");
+    println!(
+        "{:>10} {:>12} {:>14}",
+        "cell eps", "host wall", "result hash"
+    );
     let mut reference: Option<u64> = None;
     for cell_eps in [0.5, 1.0, 2.0, 4.0] {
         let t = Instant::now();
@@ -45,17 +48,14 @@ fn main() {
     // Show one neighborhood.
     let grouped = gpu_knn(&device, &data, 1.0, k).unwrap();
     let q = 4242;
-    println!("\n{k} nearest neighbours of point {q} at {:?}:", data.point(q));
+    println!(
+        "\n{k} nearest neighbours of point {q} at {:?}:",
+        data.point(q)
+    );
     for hit in &grouped[q] {
-        println!(
-            "  #{:<6} dist {:.4}",
-            hit.neighbor,
-            hit.dist_sq.sqrt()
-        );
+        println!("  #{:<6} dist {:.4}", hit.neighbor, hit.dist_sq.sqrt());
     }
     // Distances are sorted ascending by construction.
-    assert!(grouped[q]
-        .windows(2)
-        .all(|w| w[0].dist_sq <= w[1].dist_sq));
+    assert!(grouped[q].windows(2).all(|w| w[0].dist_sq <= w[1].dist_sq));
     println!("ok");
 }

@@ -14,8 +14,8 @@
 //! ```
 
 use gpu_self_join::datasets::sw;
-use gpu_self_join::prelude::*;
 use gpu_self_join::join::SelfJoinConfig;
+use gpu_self_join::prelude::*;
 
 fn main() {
     // 60k measurement positions (lat, lon, TEC).

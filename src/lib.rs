@@ -22,7 +22,10 @@
 //!
 //! ## Crate map
 //!
-//! * [`join`] (`grid-join`) — the paper's contribution: [`GpuSelfJoin`].
+//! * [`join`] (`grid-join`) — the paper's contribution: [`GpuSelfJoin`],
+//!   plus the join-plan IR every path executes through
+//!   ([`join::plan`]) and the dataset-resident query session layer
+//!   ([`SelfJoinSession`]).
 //! * [`gpu`] (`sim-gpu`) — the simulated device substrate.
 //! * [`shard`] (`sj-shard`) — the sharded multi-device engine:
 //!   [`ShardedSelfJoin`].
@@ -32,23 +35,26 @@
 //! * [`clustering`] (`sj-clustering`) — DBSCAN over the neighbour table.
 
 pub use grid_join as join;
-pub use sj_clustering as clustering;
 pub use rtree as baseline_rtree;
 pub use sim_gpu as gpu;
+pub use sj_clustering as clustering;
 pub use sj_datasets as datasets;
 pub use sj_shard as shard;
 pub use superego as baseline_superego;
 
 pub use grid_join::{
-    GpuSelfJoin, GridIndex, HotPath, NeighborTable, Pair, SelfJoinConfig, SelfJoinError,
-    SelfJoinOutput,
+    Backend, GpuSelfJoin, GridIndex, HotPath, JoinPlan, NeighborTable, Pair, SelfJoinConfig,
+    SelfJoinError, SelfJoinOutput, SelfJoinSession, SessionConfig, SessionStats,
 };
-pub use sim_gpu::{Device, DevicePool, DeviceSpec};
+pub use sim_gpu::{Device, DeviceLease, DevicePool, DeviceSpec};
 pub use sj_shard::{ShardedConfig, ShardedOutput, ShardedSelfJoin};
 
 /// Convenience re-exports for examples and quick starts.
 pub mod prelude {
-    pub use grid_join::{gpu_brute_force, host_self_join, GpuSelfJoin, GridIndex, HotPath, NeighborTable, Pair, SelfJoinConfig};
+    pub use grid_join::{
+        gpu_brute_force, host_self_join, GpuSelfJoin, GridIndex, HotPath, NeighborTable, Pair,
+        SelfJoinConfig, SelfJoinSession, SessionConfig,
+    };
     pub use rtree::rtree_self_join;
     pub use sim_gpu::{Device, DevicePool, DeviceSpec};
     pub use sj_datasets::synthetic::{clustered, lattice, uniform};

@@ -70,8 +70,14 @@ fn estimation_overshoot_is_bounded() {
     let out = GpuSelfJoin::default_device().run(&data, 2.5).unwrap();
     let est = out.report.batching.estimated_pairs as f64;
     let actual = out.report.batching.actual_pairs.max(1) as f64;
-    assert!(est >= 0.8 * actual, "estimate {est} far below actual {actual}");
-    assert!(est <= 3.0 * actual, "estimate {est} far above actual {actual}");
+    assert!(
+        est >= 0.8 * actual,
+        "estimate {est} far below actual {actual}"
+    );
+    assert!(
+        est <= 3.0 * actual,
+        "estimate {est} far above actual {actual}"
+    );
 }
 
 #[test]
@@ -98,6 +104,12 @@ fn overlap_model_reports_sane_timeline() {
     let data = uniform(2, 3000, 28);
     let out = GpuSelfJoin::default_device().run(&data, 3.0).unwrap();
     let tl = &out.report.batching.timeline;
-    assert!(tl.total <= tl.serial_total, "pipelining can't be slower than serial");
-    assert!(tl.total >= tl.compute_busy, "makespan below pure compute is impossible");
+    assert!(
+        tl.total <= tl.serial_total,
+        "pipelining can't be slower than serial"
+    );
+    assert!(
+        tl.total >= tl.compute_busy,
+        "makespan below pure compute is impossible"
+    );
 }

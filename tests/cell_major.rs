@@ -10,13 +10,11 @@ use proptest::prelude::*;
 /// Random dataset across the kernels' full dimensional range, with ε
 /// scaled so higher dimensions keep a non-trivial neighbor count.
 fn dataset_strategy() -> impl Strategy<Value = (Dataset, f64)> {
-    (2usize..=6, 20usize..160, 1u64..10_000, 0.03f64..0.25).prop_map(
-        |(dim, n, seed, eps_frac)| {
-            let data = uniform(dim, n, seed);
-            let eps = (100.0 * eps_frac * dim as f64 / 2.0).max(2.0);
-            (data, eps)
-        },
-    )
+    (2usize..=6, 20usize..160, 1u64..10_000, 0.03f64..0.25).prop_map(|(dim, n, seed, eps_frac)| {
+        let data = uniform(dim, n, seed);
+        let eps = (100.0 * eps_frac * dim as f64 / 2.0).max(2.0);
+        (data, eps)
+    })
 }
 
 proptest! {

@@ -5,8 +5,8 @@
 //! baseline, and Super-EGO — must produce the *identical* neighbour table
 //! on the same input, across dimensionalities and data distributions.
 
-use gpu_self_join::prelude::*;
 use gpu_self_join::datasets::{sdss, sw};
+use gpu_self_join::prelude::*;
 
 fn all_agree(data: &Dataset, eps: f64) {
     let grid = GridIndex::build(data, eps).unwrap();

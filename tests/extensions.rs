@@ -21,9 +21,15 @@ fn cell_order_does_not_change_results() {
             ..SelfJoinConfig::default()
         };
         cfg.cell_order_queries = false;
-        let plain = GpuSelfJoin::default_device().with_config(cfg).run(&data, 2.0).unwrap();
+        let plain = GpuSelfJoin::default_device()
+            .with_config(cfg)
+            .run(&data, 2.0)
+            .unwrap();
         cfg.cell_order_queries = true;
-        let ordered = GpuSelfJoin::default_device().with_config(cfg).run(&data, 2.0).unwrap();
+        let ordered = GpuSelfJoin::default_device()
+            .with_config(cfg)
+            .run(&data, 2.0)
+            .unwrap();
         assert_eq!(plain.table, ordered.table, "unicomp={unicomp}");
     }
 }
@@ -43,6 +49,7 @@ fn cell_order_improves_cache_hit_rate_on_skewed_data() {
         let results = AppendBuffer::<Pair>::new(device.pool(), 4_000_000).unwrap();
         let kernel = SelfJoinKernel {
             grid: &dg,
+            eps_sq: dg.epsilon * dg.epsilon,
             results: &results,
             query_offset: 0,
             query_count: data.len(),
@@ -74,6 +81,7 @@ fn cell_order_lowers_warp_imbalance_on_skewed_data() {
         let results = AppendBuffer::<Pair>::new(device.pool(), 4_000_000).unwrap();
         let kernel = SelfJoinKernel {
             grid: &dg,
+            eps_sq: dg.epsilon * dg.epsilon,
             results: &results,
             query_offset: 0,
             query_count: data.len(),
@@ -105,6 +113,7 @@ fn grid_kernel_simd_efficiency_reasonable() {
     let results = AppendBuffer::<Pair>::new(device.pool(), 4_000_000).unwrap();
     let kernel = SelfJoinKernel {
         grid: &dg,
+        eps_sq: dg.epsilon * dg.epsilon,
         results: &results,
         query_offset: 0,
         query_count: data.len(),

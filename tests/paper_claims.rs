@@ -1,10 +1,10 @@
 //! Shape-level assertions for the paper's quantitative claims — the ones
 //! that are checkable at test scale and don't depend on wall-clock noise.
 
+use gpu_self_join::gpu::append::AppendBuffer;
 use gpu_self_join::gpu::{launch_profiled, Device, DeviceSpec, LaunchConfig};
 use gpu_self_join::join::kernels::{kernel_registers, SelfJoinKernel};
 use gpu_self_join::join::{DeviceGrid, GridIndex, Pair};
-use gpu_self_join::gpu::append::AppendBuffer;
 use gpu_self_join::prelude::*;
 
 /// Paper §V-B: "UNICOMP reduces both the index search overhead (cell
@@ -24,6 +24,7 @@ fn unicomp_halves_traced_work() {
             let results = AppendBuffer::<Pair>::new(device.pool(), n * n).unwrap();
             let kernel = SelfJoinKernel {
                 grid: &dg,
+                eps_sq: dg.epsilon * dg.epsilon,
                 results: &results,
                 query_offset: 0,
                 query_count: n,
@@ -76,11 +77,7 @@ fn adjacent_cell_occupancy_collapses_with_dimension() {
         let data = uniform(dim, 3000, 32);
         let grid = GridIndex::build(&data, 5.0).unwrap();
         // Fraction of virtual cells that are non-empty.
-        let virtual_cells: f64 = grid
-            .cells_per_dim()
-            .iter()
-            .map(|&c| c as f64)
-            .product();
+        let virtual_cells: f64 = grid.cells_per_dim().iter().map(|&c| c as f64).product();
         let fraction = grid.non_empty_cells() as f64 / virtual_cells;
         assert!(
             fraction < prev_fraction,
@@ -143,7 +140,10 @@ fn avg_neighbors_fall_with_dimension() {
         let data = uniform(dim, 1200, 35);
         let out = GpuSelfJoin::default_device().run(&data, 8.0).unwrap();
         let avg = out.table.avg_neighbors();
-        assert!(avg < prev, "dim {dim}: avg {avg} did not fall (prev {prev})");
+        assert!(
+            avg < prev,
+            "dim {dim}: avg {avg} did not fall (prev {prev})"
+        );
         prev = avg;
     }
 }

@@ -6,15 +6,13 @@ use proptest::prelude::*;
 /// Random small dataset: dimension 1..=6, 10..300 points, coordinates in
 /// a box whose scale varies so cell geometry is exercised broadly.
 fn dataset_strategy() -> impl Strategy<Value = (Dataset, f64)> {
-    (1usize..=6, 10usize..200, 1u64..10_000, 0.02f64..0.3).prop_map(
-        |(dim, n, seed, eps_frac)| {
-            let data = uniform(dim, n, seed);
-            // ε as a fraction of the [0,100] box, floored to avoid
-            // CellSpaceOverflow in high dimensions.
-            let eps = (100.0 * eps_frac).max(2.0);
-            (data, eps)
-        },
-    )
+    (1usize..=6, 10usize..200, 1u64..10_000, 0.02f64..0.3).prop_map(|(dim, n, seed, eps_frac)| {
+        let data = uniform(dim, n, seed);
+        // ε as a fraction of the [0,100] box, floored to avoid
+        // CellSpaceOverflow in high dimensions.
+        let eps = (100.0 * eps_frac).max(2.0);
+        (data, eps)
+    })
 }
 
 proptest! {

@@ -23,7 +23,10 @@ fn facade_run_matches_host_reference() {
     );
     assert_eq!(out.table, host, "device join and host reference disagree");
     assert!(out.table.is_symmetric());
-    assert!(out.table.avg_neighbors() > 0.0, "ε=2 on 2k uniform points must find neighbors");
+    assert!(
+        out.table.avg_neighbors() > 0.0,
+        "ε=2 on 2k uniform points must find neighbors"
+    );
 }
 
 #[test]

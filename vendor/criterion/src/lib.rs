@@ -93,7 +93,8 @@ impl Bencher {
                     std::hint::black_box(body());
                     warm_iters += 1;
                 }
-                let per_iter_guess = (warm_start.elapsed() / warm_iters.max(1)).max(Duration::from_nanos(1));
+                let per_iter_guess =
+                    (warm_start.elapsed() / warm_iters.max(1)).max(Duration::from_nanos(1));
                 // Choose an inner batch so one sample lasts >= ~1ms.
                 let batch = (Duration::from_millis(1).as_nanos() / per_iter_guess.as_nanos())
                     .clamp(1, 1_000_000) as u32;

@@ -152,7 +152,9 @@ mod tests {
 
     #[test]
     fn par_sort_unstable_sorts() {
-        let mut v: Vec<u64> = (0..10_000u64).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+        let mut v: Vec<u64> = (0..10_000u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9))
+            .collect();
         let mut expected = v.clone();
         expected.sort_unstable();
         v.par_sort_unstable();
@@ -163,6 +165,8 @@ mod tests {
     fn empty_range_is_fine() {
         let v: Vec<usize> = (0..0usize).into_par_iter().map(|i| i).collect();
         assert!(v.is_empty());
-        (0..0u32).into_par_iter().for_each(|_| panic!("must not run"));
+        (0..0u32)
+            .into_par_iter()
+            .for_each(|_| panic!("must not run"));
     }
 }

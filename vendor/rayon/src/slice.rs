@@ -165,7 +165,9 @@ mod tests {
 
     #[test]
     fn non_copy_elements_survive() {
-        let mut v: Vec<String> = (0..10_000).map(|i| format!("{:05}", (i * 7919) % 10_000)).collect();
+        let mut v: Vec<String> = (0..10_000)
+            .map(|i| format!("{:05}", (i * 7919) % 10_000))
+            .collect();
         let mut expected = v.clone();
         expected.sort_unstable();
         v.par_sort_unstable();
