@@ -24,11 +24,10 @@
 //! session answers is also checked pair-for-pair against fresh joins.
 //! Every table is written to `bench_results/query_throughput.json`.
 
-use grid_join::host_join::query_neighbors;
-use grid_join::{GpuSelfJoin, GridIndex, NeighborTable, SelfJoinSession, SessionConfig};
+use grid_join::{GpuSelfJoin, NeighborTable, SelfJoinSession, SessionConfig};
 use sim_gpu::DevicePool;
 use sj_bench::cli::Args;
-use sj_bench::eps_for_selectivity;
+use sj_bench::eps_for_realized;
 use sj_bench::table::{emit_table, fmt_speedup};
 use sj_datasets::{sdss, synthetic, Dataset};
 use std::collections::HashMap;
@@ -56,40 +55,6 @@ fn stream(base: f64) -> Vec<f64> {
             }
         })
         .collect()
-}
-
-/// Sampled average neighbour count at `eps` (host scan over a stride
-/// sample — cheap and device-free).
-fn realized_selectivity(data: &Dataset, eps: f64) -> f64 {
-    let grid = GridIndex::build(data, eps).expect("calibration grid");
-    let n = data.len().max(1);
-    let stride = n.div_ceil(512);
-    let mut total = 0u64;
-    let mut samples = 0u64;
-    for q in (0..n).step_by(stride) {
-        query_neighbors(data, &grid, q, |_| total += 1);
-        samples += 1;
-    }
-    total as f64 / samples as f64
-}
-
-/// Calibrates ε until the *realized* average neighbour count lands near
-/// `target`. The closed-form `eps_for_selectivity` assumes uniform
-/// density; on the clustered SDSS surrogate it overshoots by an order of
-/// magnitude (dense galaxy cores), which would turn the stream
-/// result-download-bound. In 2-D the pair count grows ~ε², so a √-ratio
-/// update converges in a few steps.
-fn eps_for_realized(data: &Dataset, target: f64) -> f64 {
-    let mut eps = eps_for_selectivity(data, target);
-    for _ in 0..6 {
-        let realized = realized_selectivity(data, eps).max(1e-3);
-        let ratio = realized / target;
-        if (0.8..=1.25).contains(&ratio) {
-            break;
-        }
-        eps *= (target / realized).sqrt().clamp(0.3, 3.0);
-    }
-    eps
 }
 
 struct BaselineRun {

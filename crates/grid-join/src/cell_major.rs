@@ -251,6 +251,22 @@ pub struct CellMajorPlan {
 }
 
 impl CellMajorPlan {
+    /// Device bytes this plan keeps resident (the CSR table plus the
+    /// slot→cell map) — what a session's snapshot ledger accounts for.
+    pub fn resident_bytes(&self) -> usize {
+        self.cell_of_slot.size_bytes() + self.nbr_offsets.size_bytes() + self.nbr_cells.size_bytes()
+    }
+
+    /// Upper bound on [`Self::resident_bytes`] for a plan over `grid`,
+    /// computable before the hoisting kernels run: every cell has at most
+    /// `min(3^dim, |B|)` existing neighbor cells in the CSR table.
+    pub fn projected_bytes_upper(grid: &DeviceGrid) -> usize {
+        let nb = grid.b.len();
+        let shell = 3usize.saturating_pow(grid.dim as u32).min(nb.max(1));
+        let u32s = std::mem::size_of::<u32>();
+        grid.num_points * u32s + (nb + 1) * u32s + nb.saturating_mul(shell) * u32s
+    }
+
     /// Builds the plan on the device: two one-thread-per-cell kernel
     /// passes (count, then fill) perform the hoisted mask clipping and
     /// `B` searches; the host prefix-sums and scatters the records into

@@ -58,5 +58,6 @@ pub use plan::{Backend, EstimateStage, IndexStage, JoinPlan, JoinReport, PlanOut
 pub use result::{remap_pairs, retain_owned_pairs, NeighborTable, Pair};
 pub use selfjoin::{GpuSelfJoin, ScopedJoinOutput, SelfJoinConfig, SelfJoinOutput};
 pub use session::{
-    SelfJoinSession, SessionConfig, SessionKnnOutput, SessionQueryOutput, SessionStats,
+    ProjectedCost, SelfJoinSession, SessionConfig, SessionKnnOutput, SessionQueryOutput,
+    SessionStats,
 };

@@ -50,11 +50,19 @@ use crate::plan::{execute, Backend, EstimateStage, IndexStage, JoinPlan, JoinRep
 use crate::result::NeighborTable;
 use crate::selfjoin::SelfJoinConfig;
 use parking_lot::Mutex;
-use sim_gpu::{Device, DevicePool};
+use sim_gpu::{Device, DeviceLease, DevicePool, Evictor, LedgerEntry};
 use sj_datasets::Dataset;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Process-wide session id source — the owner tag sessions register their
+/// snapshots under in the pool's [`sim_gpu::MemoryLedger`].
+static NEXT_SESSION_ID: AtomicU64 = AtomicU64::new(1);
+
+/// EWMA weight of the newest observation in the session's cost model.
+const COST_EWMA_ALPHA: f64 = 0.3;
 
 /// Configuration of a resident session.
 #[derive(Clone, Copy, Debug)]
@@ -98,8 +106,16 @@ pub struct SessionStats {
     pub estimate_hits: u64,
     /// Index (re)builds — the first query plus every out-of-band ε.
     pub index_builds: u64,
-    /// Device snapshot uploads (once per device per index generation).
+    /// Device snapshot uploads (once per device per index generation,
+    /// plus one per re-upload after an eviction).
     pub snapshot_uploads: u64,
+    /// Resident snapshots dropped under memory pressure (LRU ledger
+    /// eviction or [`SelfJoinSession::evict_snapshot`]).
+    pub snapshot_evictions: u64,
+    /// Snapshot uploads that re-established residency a *previous* upload
+    /// of the same generation had already paid for — the price of an
+    /// eviction on a device the session still queries.
+    pub snapshot_reuploads: u64,
 }
 
 /// One device's resident copy of the current index generation.
@@ -111,6 +127,10 @@ struct DeviceSnapshot {
     /// upload + hoisting kernels + CSR transfer. Charged to the first
     /// query that touches the device, then amortized away.
     upload_modeled: Duration,
+    /// Registration in the pool's snapshot ledger; unregisters (exactly
+    /// once) when the snapshot drops, whether by eviction, generation
+    /// replacement or session drop.
+    ledger_entry: LedgerEntry,
 }
 
 /// One index generation: the host grid plus per-device snapshots.
@@ -118,6 +138,9 @@ struct Resident {
     grid: Arc<GridIndex>,
     /// Device index → snapshot, populated lazily on first touch.
     snapshots: Mutex<HashMap<usize, Arc<DeviceSnapshot>>>,
+    /// Devices that have uploaded this generation at least once — a
+    /// second upload on such a device is a *re-upload* (post-eviction).
+    uploaded_devices: Mutex<HashSet<usize>>,
     /// ε′ bits → exact directed pair count of an already-served query.
     /// Query streams repeat ε values; a hit replaces the sampling
     /// estimate kernel with the exact count from the previous answer
@@ -129,6 +152,46 @@ struct Resident {
 struct SessionState {
     resident: Option<Arc<Resident>>,
     stats: SessionStats,
+}
+
+/// Learned per-session cost coefficients (modeled seconds), updated by an
+/// EWMA after every served query — the calibration behind
+/// [`SelfJoinSession::projected_cost`].
+#[derive(Clone, Copy, Debug, Default)]
+struct CostModel {
+    /// Modeled seconds of a resident query per work unit, where one unit
+    /// is one point scanned or one result pair produced (kernels and
+    /// result transfers both scale with it).
+    query_secs_per_unit: Option<f64>,
+    /// Modeled seconds of an index (re)build including the first-touch
+    /// snapshot upload.
+    build_secs: Option<f64>,
+}
+
+fn ewma(slot: &mut Option<f64>, observation: f64) {
+    *slot = Some(match *slot {
+        Some(prev) => prev + COST_EWMA_ALPHA * (observation - prev),
+        None => observation,
+    });
+}
+
+/// Projected modeled cost of a prospective query, from the session's
+/// cached result-size estimates plus the learned batching cost model —
+/// the admission signal a serving frontend reads *without* touching a
+/// device.
+#[derive(Clone, Copy, Debug)]
+pub struct ProjectedCost {
+    /// Projected modeled response time (build included when needed).
+    pub modeled: Duration,
+    /// Projected directed result pairs the query will produce.
+    pub expected_pairs: u64,
+    /// Whether the query would fall outside the validity band and force
+    /// an index rebuild.
+    pub needs_build: bool,
+    /// Whether every coefficient behind `modeled` comes from observed
+    /// queries (false while the session is cold — admission controllers
+    /// should admit uncalibrated queries rather than guess).
+    pub calibrated: bool,
 }
 
 /// Output of one session self-join query.
@@ -164,16 +227,24 @@ pub struct SessionKnnOutput {
 /// semantics. Dropping the session releases every resident snapshot
 /// (device memory returns to the pool).
 pub struct SelfJoinSession {
+    /// Ledger owner tag (see [`Self::id`]).
+    id: u64,
     data: Dataset,
     pool: DevicePool,
     config: SessionConfig,
     state: Mutex<SessionState>,
+    model: Mutex<CostModel>,
+    /// Snapshot evictions (LRU or manual). Kept outside `state` because
+    /// ledger evictors fire without a session handle — they share this
+    /// counter through an `Arc`.
+    evictions: Arc<AtomicU64>,
 }
 
 impl SelfJoinSession {
     /// Pins `data` to a session over `pool` with default configuration.
     pub fn new(data: Dataset, pool: DevicePool) -> Self {
         Self {
+            id: NEXT_SESSION_ID.fetch_add(1, Ordering::Relaxed),
             data,
             pool,
             config: SessionConfig::default(),
@@ -181,6 +252,8 @@ impl SelfJoinSession {
                 resident: None,
                 stats: SessionStats::default(),
             }),
+            model: Mutex::new(CostModel::default()),
+            evictions: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -225,9 +298,17 @@ impl SelfJoinSession {
         &self.config
     }
 
+    /// Process-unique session id — the owner tag this session's snapshots
+    /// carry in the pool's [`sim_gpu::MemoryLedger`].
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
     /// Cumulative counters.
     pub fn stats(&self) -> SessionStats {
-        self.state.lock().stats
+        let mut stats = self.state.lock().stats;
+        stats.snapshot_evictions = self.evictions.load(Ordering::Relaxed);
+        stats
     }
 
     /// The ε the resident index was built with, if one is resident.
@@ -257,11 +338,30 @@ impl SelfJoinSession {
     /// identical to a fresh [`crate::GpuSelfJoin::run`] at the same ε,
     /// whether the resident index was reused or rebuilt.
     pub fn query(&self, epsilon: f64) -> Result<SessionQueryOutput, SelfJoinError> {
+        self.query_with(epsilon, self.pool.lease())
+    }
+
+    /// [`Self::query`] pinned to a specific pool device — serving
+    /// frontends with a worker thread per device dispatch through this so
+    /// each worker drives exactly the snapshot cache it owns.
+    pub fn query_on(
+        &self,
+        epsilon: f64,
+        device_index: usize,
+    ) -> Result<SessionQueryOutput, SelfJoinError> {
+        self.query_with(epsilon, self.pool.lease_device(device_index))
+    }
+
+    fn query_with(
+        &self,
+        epsilon: f64,
+        lease: DeviceLease,
+    ) -> Result<SessionQueryOutput, SelfJoinError> {
         let (resident, reused, build_wall) = self.resident_for(epsilon)?;
-        let lease = self.pool.lease();
         let t_touch = Instant::now();
         let (snap, first_touch) = self.snapshot_on(&resident, lease.device(), lease.index())?;
         let touch_wall = t_touch.elapsed();
+        snap.ledger_entry.touch();
 
         // Repeat-ε queries inject the exact pair count of the earlier
         // answer (scaled by the safety factor for batch-buffer headroom)
@@ -290,6 +390,25 @@ impl SelfJoinSession {
             post: PostStage::default(),
         };
         let mut out = execute(&plan, Backend::Device(lease.device()))?;
+
+        // Calibrate the cost model from what the query actually cost on
+        // the modeled clock (pure query cost — the report has not had the
+        // session-level one-time costs folded in yet).
+        {
+            let units = (self.data.len() as u64 + out.report.batching.actual_pairs) as f64;
+            let mut model = self.model.lock();
+            ewma(
+                &mut model.query_secs_per_unit,
+                out.report.modeled_total.as_secs_f64() / units.max(1.0),
+            );
+            if !reused {
+                let mut build_modeled = build_wall;
+                if first_touch {
+                    build_modeled += snap.upload_modeled;
+                }
+                ewma(&mut model.build_secs, build_modeled.as_secs_f64());
+            }
+        }
 
         // Fold the session-level one-time costs into this query's report:
         // the executor saw a resident index, so it charged neither the
@@ -344,6 +463,7 @@ impl SelfJoinSession {
         };
         let lease = self.pool.lease();
         let (snap, _first_touch) = self.snapshot_on(&resident, lease.device(), lease.index())?;
+        snap.ledger_entry.touch();
         let hits = gpu_knn_on(lease.device(), &snap.dg, k)?;
         self.state.lock().stats.knn_queries += 1;
         Ok(SessionKnnOutput {
@@ -383,6 +503,7 @@ impl SelfJoinSession {
         let resident = Arc::new(Resident {
             grid: Arc::new(grid),
             snapshots: Mutex::new(HashMap::new()),
+            uploaded_devices: Mutex::new(HashSet::new()),
             estimates: Mutex::new(HashMap::new()),
         });
         let mut state = self.state.lock();
@@ -392,17 +513,29 @@ impl SelfJoinSession {
     }
 
     /// Returns `device`'s snapshot of this generation, uploading (and
-    /// hoisting, on the cell-major path) on first touch. Returns
+    /// hoisting, on the cell-major path) on first touch — making room in
+    /// the pool's snapshot ledger first, and registering the new snapshot
+    /// with it so LRU eviction can reclaim it later. Returns
     /// `(snapshot, first_touch)`.
     fn snapshot_on(
         &self,
-        resident: &Resident,
+        resident: &Arc<Resident>,
         device: &Device,
         device_index: usize,
     ) -> Result<(Arc<DeviceSnapshot>, bool), SelfJoinError> {
         if let Some(snap) = resident.snapshots.lock().get(&device_index) {
             return Ok((Arc::clone(snap), false));
         }
+        // Budgeted pools evict LRU snapshots (this session's or another's)
+        // *before* the upload allocates, so the budget holds throughout.
+        // The projection is exact for the grid part and an upper bound for
+        // the hoist CSR. The permit serializes concurrent budgeted uploads
+        // pool-wide — without it, two sessions could both fit "the same"
+        // freed space and jointly overshoot the budget.
+        let ledger = self.pool.memory_ledger();
+        let _permit = ledger.budget().map(|_| ledger.upload_permit());
+        let mut projected = DeviceGrid::projected_bytes(&self.data, &resident.grid);
+        ledger.make_room(projected);
         // Upload and hoist OUTSIDE the map lock: a first touch on one
         // device must not stall concurrent queries on devices whose
         // snapshot is already cached (or is being built in parallel). Two
@@ -412,8 +545,14 @@ impl SelfJoinSession {
         let dg = DeviceGrid::upload(device, &self.data, &resident.grid)?;
         let tm = device.spec().transfer_model();
         let mut upload_modeled = tm.time(dg.h2d_bytes());
+        let mut resident_bytes = dg.h2d_bytes();
         let hoist = match self.config.join.hot_path {
             HotPath::CellMajor => {
+                // Room for the full snapshot (grid + CSR): the grid part
+                // is allocated but not yet registered, so it must still be
+                // counted against the budget here.
+                projected += CellMajorPlan::projected_bytes_upper(&dg);
+                ledger.make_room(projected);
                 let (plan, stats) = CellMajorPlan::build(
                     device,
                     &dg,
@@ -421,14 +560,27 @@ impl SelfJoinSession {
                     self.config.join.launch,
                 )?;
                 upload_modeled += stats.modeled + tm.time(stats.h2d_bytes + stats.d2h_bytes);
+                resident_bytes += plan.resident_bytes();
                 Some(plan)
             }
             HotPath::PerThread => None,
         };
+        // The evictor the ledger will call under memory pressure (shares
+        // the idle-check-then-remove rule with `evict_snapshot`).
+        let weak = Arc::downgrade(resident);
+        let evictions = Arc::clone(&self.evictions);
+        let evict: Evictor = Arc::new(move || {
+            let Some(resident) = weak.upgrade() else {
+                return false;
+            };
+            try_evict_snapshot(&resident, device_index, &evictions)
+        });
+        let ledger_entry = ledger.register(self.id, device_index, resident_bytes, evict);
         let snap = Arc::new(DeviceSnapshot {
             dg,
             hoist,
             upload_modeled,
+            ledger_entry,
         });
         {
             let mut snapshots = resident.snapshots.lock();
@@ -438,8 +590,108 @@ impl SelfJoinSession {
             }
             snapshots.insert(device_index, Arc::clone(&snap));
         }
-        self.state.lock().stats.snapshot_uploads += 1;
+        let reupload = !resident.uploaded_devices.lock().insert(device_index);
+        {
+            let mut state = self.state.lock();
+            state.stats.snapshot_uploads += 1;
+            if reupload {
+                state.stats.snapshot_reuploads += 1;
+            }
+        }
         Ok((snap, true))
+    }
+
+    /// Evicts one device's resident snapshot, freeing its device memory;
+    /// the next query touching that device transparently re-uploads.
+    /// Returns `false` when there is nothing resident on the device or a
+    /// running query still uses the snapshot (evicting it would free no
+    /// memory until the query finished anyway).
+    pub fn evict_snapshot(&self, device_index: usize) -> bool {
+        let resident = self.state.lock().resident.as_ref().map(Arc::clone);
+        let Some(resident) = resident else {
+            return false;
+        };
+        try_evict_snapshot(&resident, device_index, &self.evictions)
+    }
+
+    /// Projects the modeled cost of a query at `epsilon` without touching
+    /// a device: the expected result size comes from the generation's
+    /// exact-count cache (scaled from the nearest cached ε when the exact
+    /// value is absent) and the time coefficients from the EWMA-calibrated
+    /// cost model. Serving frontends use this as their admission signal;
+    /// while `calibrated` is false the projection is a prior, not a
+    /// measurement.
+    pub fn projected_cost(&self, epsilon: f64) -> ProjectedCost {
+        let n = self.data.len() as u64;
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            // Garbage ε would poison the nearest-ε search below (NaN log
+            // ratios); report an uncalibrated zero-cost build so the
+            // caller proceeds to the query path, whose validation turns
+            // it into the proper error.
+            return ProjectedCost {
+                modeled: Duration::ZERO,
+                expected_pairs: 0,
+                needs_build: true,
+                calibrated: false,
+            };
+        }
+        let needs_build = !self.would_reuse(epsilon);
+        let dim = self.data.dim().max(1) as i32;
+        let (expected_pairs, pairs_known) = {
+            let state = self.state.lock();
+            match state.resident.as_ref() {
+                Some(resident) => {
+                    let estimates = resident.estimates.lock();
+                    match estimates.get(&epsilon.to_bits()) {
+                        Some(&pairs) => (pairs, true),
+                        None => {
+                            // Nearest cached ε (log distance), scaled by
+                            // the volume ratio (ε′/ε)^dim — pair counts
+                            // grow with the ball volume.
+                            let nearest = estimates
+                                .iter()
+                                .map(|(bits, &pairs)| (f64::from_bits(*bits), pairs))
+                                .filter(|(eps, _)| *eps > 0.0)
+                                .min_by(|a, b| {
+                                    let da = (epsilon / a.0).ln().abs();
+                                    let db = (epsilon / b.0).ln().abs();
+                                    da.partial_cmp(&db).expect("finite cached eps")
+                                });
+                            match nearest {
+                                Some((eps_c, pairs)) => {
+                                    let scaled = pairs as f64 * (epsilon / eps_c).powi(dim);
+                                    (scaled.ceil() as u64, true)
+                                }
+                                None => (n.saturating_mul(8), false),
+                            }
+                        }
+                    }
+                }
+                None => (n.saturating_mul(8), false),
+            }
+        };
+        let model = *self.model.lock();
+        // Cold-session prior: a work unit costs about what moving one
+        // result pair over PCIe does.
+        let per_unit = model.query_secs_per_unit.unwrap_or_else(|| {
+            let tm = self.pool.device(0).spec().transfer_model();
+            tm.time(std::mem::size_of::<crate::result::Pair>())
+                .as_secs_f64()
+        });
+        let mut secs = per_unit * (n + expected_pairs) as f64;
+        let mut calibrated = model.query_secs_per_unit.is_some() && pairs_known;
+        if needs_build {
+            match model.build_secs {
+                Some(build) => secs += build,
+                None => calibrated = false,
+            }
+        }
+        ProjectedCost {
+            modeled: Duration::from_secs_f64(secs.max(0.0)),
+            expected_pairs,
+            needs_build,
+            calibrated,
+        }
     }
 }
 
@@ -458,6 +710,25 @@ impl std::fmt::Debug for SelfJoinSession {
 /// The validity-band predicate (see the module docs).
 fn in_band(built: f64, query: f64, reuse_floor: f64) -> bool {
     query <= built && query >= built * reuse_floor
+}
+
+/// The one eviction rule, shared by the ledger's LRU evictor and
+/// [`SelfJoinSession::evict_snapshot`]: drop `device_index`'s snapshot
+/// from the generation's map unless a running query still holds it (the
+/// map's `Arc` is then not the only one, and evicting would free no
+/// memory anyway). Returns whether a snapshot was evicted.
+fn try_evict_snapshot(resident: &Resident, device_index: usize, evictions: &AtomicU64) -> bool {
+    let mut snapshots = resident.snapshots.lock();
+    let in_use = match snapshots.get(&device_index) {
+        Some(snap) => Arc::strong_count(snap) > 1,
+        None => return false,
+    };
+    if in_use {
+        return false;
+    }
+    snapshots.remove(&device_index);
+    evictions.fetch_add(1, Ordering::Relaxed);
+    true
 }
 
 #[cfg(test)]
@@ -648,6 +919,111 @@ mod tests {
             session.query(f64::NAN),
             Err(SelfJoinError::Grid(_))
         ));
+    }
+
+    #[test]
+    fn evict_snapshot_frees_and_reupload_is_transparent() {
+        let data = uniform(2, 900, 83);
+        let pool = DevicePool::titan_x(1);
+        let session = SelfJoinSession::new(data.clone(), pool.clone());
+        let eps = 2.5;
+        let first = session.query(eps).unwrap();
+        assert!(pool.total_used_bytes() > 0);
+        assert_eq!(pool.memory_ledger().len(), 1, "snapshot registered");
+        assert!(session.evict_snapshot(0));
+        assert_eq!(pool.total_used_bytes(), 0, "eviction frees device memory");
+        assert_eq!(pool.memory_ledger().len(), 0, "ledger entry unregistered");
+        assert!(!session.evict_snapshot(0), "nothing left to evict");
+        // The next query transparently re-uploads and answers identically.
+        let again = session.query(eps).unwrap();
+        assert_eq!(first.table, again.table);
+        assert!(again.reused_index, "eviction must not invalidate the index");
+        let stats = session.stats();
+        assert_eq!(stats.snapshot_evictions, 1);
+        assert_eq!(stats.snapshot_reuploads, 1);
+        assert_eq!(stats.snapshot_uploads, 2);
+        assert_eq!(stats.index_builds, 1, "no rebuild, just re-residency");
+    }
+
+    #[test]
+    fn budgeted_pool_evicts_lru_session_snapshots() {
+        let data_a = uniform(2, 1000, 84);
+        let data_b = uniform(2, 1000, 85);
+        let pool = DevicePool::titan_x(1);
+        let a = SelfJoinSession::new(data_a.clone(), pool.clone());
+        let b = SelfJoinSession::new(data_b, pool.clone());
+        let out_a = a.query(2.0).unwrap();
+        let one_snapshot = pool.memory_ledger().total();
+        assert!(one_snapshot > 0);
+        // Budget fits roughly one snapshot: serving b must evict a's.
+        pool.memory_ledger()
+            .set_budget(Some(one_snapshot + one_snapshot / 2));
+        b.query(2.0).unwrap();
+        assert!(pool.memory_ledger().total() <= one_snapshot + one_snapshot / 2);
+        assert_eq!(a.stats().snapshot_evictions, 1, "a's snapshot was LRU");
+        assert_eq!(pool.memory_ledger().evictions(), 1);
+        // a still answers exactly, re-uploading (and evicting b in turn).
+        let again = a.query(2.0).unwrap();
+        assert_eq!(out_a.table, again.table);
+        assert_eq!(a.stats().snapshot_reuploads, 1);
+    }
+
+    #[test]
+    fn query_on_pins_the_device() {
+        let data = uniform(2, 700, 86);
+        let pool = DevicePool::titan_x(3);
+        let session = SelfJoinSession::new(data.clone(), pool.clone());
+        let out = session.query_on(2.0, 2).unwrap();
+        assert_eq!(out.device, 2);
+        assert!(pool.device(2).used_bytes() > 0, "snapshot on device 2");
+        assert_eq!(pool.device(0).used_bytes(), 0);
+        let fresh = GpuSelfJoin::default_device().run(&data, 2.0).unwrap();
+        assert_eq!(out.table, fresh.table);
+        assert_eq!(pool.active_leases(), vec![0, 0, 0], "lease returned");
+    }
+
+    #[test]
+    fn projected_cost_calibrates_from_served_queries() {
+        let data = uniform(2, 1500, 87);
+        let session = SelfJoinSession::single_device(data);
+        let eps = 2.0;
+        // Cold: a prior, not a measurement.
+        let cold = session.projected_cost(eps);
+        assert!(!cold.calibrated);
+        assert!(cold.needs_build);
+        let out = session.query(eps).unwrap();
+        // Warm with the exact count cached: calibrated, no build needed.
+        let warm = session.projected_cost(eps);
+        assert!(warm.calibrated);
+        assert!(!warm.needs_build);
+        assert_eq!(warm.expected_pairs, out.report.batching.actual_pairs);
+        assert!(warm.modeled > Duration::ZERO);
+        // Projection for the cached ε tracks the observed modeled cost
+        // within a loose band (same model that was calibrated from it).
+        let observed = out.report.modeled_total.as_secs_f64();
+        let projected = warm.modeled.as_secs_f64();
+        assert!(
+            projected < observed * 3.0,
+            "projected {projected} vs observed {observed}"
+        );
+        // In-band ε′ without a cached count: scaled from the nearest ε.
+        let shrunk = session.projected_cost(eps * 0.8);
+        assert!(shrunk.calibrated);
+        assert!(shrunk.expected_pairs < warm.expected_pairs);
+        assert!(!shrunk.needs_build);
+        // Out-of-band ε: build cost folds in, still calibrated (one build
+        // has been observed).
+        let grown = session.projected_cost(eps * 4.0);
+        assert!(grown.needs_build);
+        assert!(grown.calibrated);
+        assert!(grown.modeled > shrunk.modeled);
+    }
+
+    #[test]
+    fn session_ids_are_unique() {
+        let a = SelfJoinSession::single_device(uniform(2, 10, 88));
+        let b = SelfJoinSession::single_device(uniform(2, 10, 89));
+        assert_ne!(a.id(), b.id());
     }
 
     #[test]

@@ -1,0 +1,231 @@
+//! The admission controller: admit, delay, or reject.
+//!
+//! The controller never touches a device. Its inputs are cheap reads —
+//! the session's [`ProjectedCost`] (cached result-size estimate × the
+//! calibrated batching cost model), the scheduler's projected queue wait,
+//! and the pool's [`sim_gpu::PoolPressure`] — and its output is a
+//! [`Decision`] made against the configured latency SLO:
+//!
+//! * projected completion within the SLO → **admit**;
+//! * within `slo × delay_factor` → **admit, flagged delayed** (the query
+//!   runs but the operator sees the SLO margin eroding);
+//! * beyond that, or past the queue-depth bound, or past the tenant's
+//!   in-flight cap → **reject** with a `retry_after` hint sized to when
+//!   the backlog is projected to have drained enough.
+//!
+//! Uncalibrated queries (a cold session that has never observed a build
+//! or a result size) are always admitted: rejecting on a guess would be
+//! worse than observing once and calibrating.
+
+use grid_join::ProjectedCost;
+use sim_gpu::PoolPressure;
+use std::time::Duration;
+
+/// Admission-controller knobs (see the [module docs](self)).
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionConfig {
+    /// Master switch: `false` admits everything (the collapse baseline
+    /// the `serve_slo` bench measures against).
+    pub enabled: bool,
+    /// Target latency SLO: admission aims to keep every admitted query's
+    /// projected completion (queue wait + modeled cost) within it.
+    pub slo: Duration,
+    /// Projected completions in `(slo, slo × delay_factor]` are admitted
+    /// but flagged delayed. Must be ≥ 1.
+    pub delay_factor: f64,
+    /// Per-tenant cap on in-flight queries (queued + running); the
+    /// fair-share bound a flooding tenant hits first.
+    pub tenant_max_inflight: usize,
+    /// Hard bound on the pool's queued-work depth
+    /// ([`PoolPressure::queued`]), a backstop against unbounded queues
+    /// when cost projections run low.
+    pub max_queue_depth: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            slo: Duration::from_millis(250),
+            delay_factor: 1.5,
+            tenant_max_inflight: 64,
+            max_queue_depth: 4096,
+        }
+    }
+}
+
+/// The controller's verdict on one submitted query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Decision {
+    /// Run it. `delayed` marks admissions whose projected completion
+    /// exceeds the SLO but stayed within the delay window.
+    Admit {
+        /// Projected to finish past the SLO (but within the window).
+        delayed: bool,
+    },
+    /// Shed it; the client should retry no sooner than `retry_after`.
+    Reject {
+        /// Projected time until enough backlog has drained.
+        retry_after: Duration,
+    },
+}
+
+/// Decides one query's fate. `projected_wait` is the scheduler's estimate
+/// of time-to-dispatch at the query's arrival; `tenant_inflight` the
+/// submitting tenant's queued + running count; `pressure` the pool's load
+/// picture at submission.
+pub fn decide(
+    cfg: &AdmissionConfig,
+    projected_wait: Duration,
+    cost: &ProjectedCost,
+    tenant_inflight: usize,
+    pressure: &PoolPressure,
+) -> Decision {
+    if !cfg.enabled {
+        return Decision::Admit { delayed: false };
+    }
+    let retry_hint = || {
+        let over = (projected_wait + cost.modeled).saturating_sub(cfg.slo);
+        over.max(cost.modeled)
+    };
+    if tenant_inflight >= cfg.tenant_max_inflight {
+        return Decision::Reject {
+            retry_after: retry_hint(),
+        };
+    }
+    if pressure.queued >= cfg.max_queue_depth {
+        return Decision::Reject {
+            retry_after: retry_hint(),
+        };
+    }
+    if !cost.calibrated {
+        // Cold model: admit to observe. The first few queries calibrate
+        // the per-session cost coefficients everything else relies on.
+        return Decision::Admit { delayed: false };
+    }
+    let projected = projected_wait + cost.modeled;
+    if projected <= cfg.slo {
+        Decision::Admit { delayed: false }
+    } else if projected.as_secs_f64() <= cfg.slo.as_secs_f64() * cfg.delay_factor {
+        Decision::Admit { delayed: true }
+    } else {
+        Decision::Reject {
+            retry_after: retry_hint(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost(ms: u64, calibrated: bool) -> ProjectedCost {
+        ProjectedCost {
+            modeled: Duration::from_millis(ms),
+            expected_pairs: 1000,
+            needs_build: false,
+            calibrated,
+        }
+    }
+
+    fn idle_pressure() -> PoolPressure {
+        PoolPressure {
+            active: vec![0, 0],
+            queued: 0,
+        }
+    }
+
+    fn cfg() -> AdmissionConfig {
+        AdmissionConfig {
+            slo: Duration::from_millis(100),
+            ..AdmissionConfig::default()
+        }
+    }
+
+    #[test]
+    fn within_slo_admits() {
+        let d = decide(
+            &cfg(),
+            Duration::from_millis(50),
+            &cost(40, true),
+            0,
+            &idle_pressure(),
+        );
+        assert_eq!(d, Decision::Admit { delayed: false });
+    }
+
+    #[test]
+    fn delay_window_flags_delayed() {
+        let d = decide(
+            &cfg(),
+            Duration::from_millis(90),
+            &cost(40, true),
+            0,
+            &idle_pressure(),
+        );
+        assert_eq!(d, Decision::Admit { delayed: true });
+    }
+
+    #[test]
+    fn beyond_window_rejects_with_retry_hint() {
+        let d = decide(
+            &cfg(),
+            Duration::from_millis(400),
+            &cost(40, true),
+            0,
+            &idle_pressure(),
+        );
+        match d {
+            Decision::Reject { retry_after } => {
+                assert_eq!(retry_after, Duration::from_millis(340));
+            }
+            other => panic!("expected reject, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn uncalibrated_cost_always_admits() {
+        let d = decide(
+            &cfg(),
+            Duration::from_secs(10),
+            &cost(40, false),
+            0,
+            &idle_pressure(),
+        );
+        assert_eq!(d, Decision::Admit { delayed: false });
+    }
+
+    #[test]
+    fn tenant_cap_rejects_even_when_idle() {
+        let mut c = cfg();
+        c.tenant_max_inflight = 2;
+        let d = decide(&c, Duration::ZERO, &cost(1, true), 2, &idle_pressure());
+        assert!(matches!(d, Decision::Reject { .. }));
+    }
+
+    #[test]
+    fn queue_depth_bound_rejects() {
+        let mut c = cfg();
+        c.max_queue_depth = 3;
+        let deep = PoolPressure {
+            active: vec![1, 1],
+            queued: 3,
+        };
+        let d = decide(&c, Duration::ZERO, &cost(1, true), 0, &deep);
+        assert!(matches!(d, Decision::Reject { .. }));
+    }
+
+    #[test]
+    fn disabled_controller_admits_everything() {
+        let c = AdmissionConfig {
+            enabled: false,
+            ..cfg()
+        };
+        let deep = PoolPressure {
+            active: vec![9, 9],
+            queued: 10_000,
+        };
+        let d = decide(&c, Duration::from_secs(60), &cost(500, true), 999, &deep);
+        assert_eq!(d, Decision::Admit { delayed: false });
+    }
+}

@@ -1,0 +1,51 @@
+//! `sj-serve` — the multi-tenant query service over resident self-join
+//! sessions.
+//!
+//! The paper's pipeline answers one query; PR 4's [`SelfJoinSession`]
+//! answers a *stream* of them against a pinned dataset. This crate is the
+//! front door that turns those sessions into a service: many tenants
+//! submitting concurrent queries against many datasets, executed by a
+//! worker thread per pool device, with three control loops between the
+//! submit call and the kernels:
+//!
+//! 1. **Admission** ([`admission`]) — every query's projected cost comes
+//!    from its session's cached result-size estimates plus the calibrated
+//!    batching cost model ([`grid_join::ProjectedCost`]), and the pool's
+//!    backlog from [`sim_gpu::DevicePool::pressure`] and the scheduler's
+//!    per-device busy horizon. Queries whose projected completion would
+//!    break the configured latency SLO are *delayed* (admitted past the
+//!    SLO up to a configurable factor) or *rejected* with
+//!    [`ServeError::Overloaded`] carrying a `retry_after` hint.
+//! 2. **Scheduling** ([`scheduler`]) — admitted queries wait in a
+//!    deadline-ordered queue with per-tenant fair-share caps; each device
+//!    worker picks the earliest-deadline query whose tenant is under its
+//!    cap, so one flooding tenant cannot starve the rest.
+//! 3. **Eviction** — sessions register every device snapshot with the
+//!    pool's [`sim_gpu::MemoryLedger`]; with
+//!    [`ServiceConfig::snapshot_budget`] set, uploading a new snapshot
+//!    first evicts least-recently-used ones (any session's), and an
+//!    evicted session transparently re-uploads on its next touch. Queries
+//!    stay pair-for-pair exact throughout — eviction changes *where* the
+//!    index lives, never what it answers.
+//!
+//! Latency is accounted on the simulator's virtual clock: a query's
+//! latency is queue wait plus modeled response time, with per-device busy
+//! horizons advancing as workers complete jobs. [`ServiceMetrics`]
+//! exports per-tenant QPS, admit/delay/reject counts and latency
+//! percentiles as JSON.
+
+pub mod admission;
+pub mod metrics;
+pub mod scheduler;
+pub mod service;
+
+pub use admission::{AdmissionConfig, Decision};
+pub use metrics::{LatencyStats, ServiceMetrics, TenantMetrics};
+pub use service::{
+    DatasetId, QueryRequest, QueryTicket, SelfJoinService, ServeError, ServeOutput, ServiceConfig,
+};
+
+// Re-export the handful of upstream types that appear in this crate's
+// public signatures.
+pub use grid_join::{ProjectedCost, SelfJoinSession, SessionConfig};
+pub use sim_gpu::DevicePool;

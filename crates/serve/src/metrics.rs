@@ -1,0 +1,347 @@
+//! Service metrics: per-tenant traffic counters and latency percentiles,
+//! exported as JSON.
+//!
+//! Latencies are virtual (modeled) seconds — queue wait plus modeled
+//! response time — the same clock the admission controller's SLO is
+//! written against, so "p99 under the SLO" in a report means exactly what
+//! the controller promised.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Order statistics of one latency population.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Completed-query count the stats are over.
+    pub count: usize,
+    /// Median latency in seconds.
+    pub p50: f64,
+    /// 95th percentile in seconds.
+    pub p95: f64,
+    /// 99th percentile in seconds.
+    pub p99: f64,
+    /// Mean latency in seconds.
+    pub mean: f64,
+    /// Worst observed latency in seconds.
+    pub max: f64,
+}
+
+impl LatencyStats {
+    /// Computes stats from an unsorted latency sample.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        Self {
+            count: sorted.len(),
+            p50: percentile(&sorted, 0.50),
+            p95: percentile(&sorted, 0.95),
+            p99: percentile(&sorted, 0.99),
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Nearest-rank percentile over a sorted sample.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Cap on retained latency samples per tenant: when a tenant's history
+/// fills it, the sample is uniformly thinned (every other observation
+/// kept), so a long-running service stays bounded in memory while the
+/// percentiles remain an unbiased order-statistic estimate of the full
+/// stream.
+const MAX_LATENCY_SAMPLES: usize = 1 << 16;
+
+/// Raw per-tenant counters accumulated by the service.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct TenantCounters {
+    pub submitted: u64,
+    pub admitted: u64,
+    pub delayed: u64,
+    pub rejected: u64,
+    pub completed: u64,
+    pub failed: u64,
+    /// Uniformly-thinned virtual latencies of completed queries, in
+    /// seconds (see [`MAX_LATENCY_SAMPLES`]). Record through
+    /// [`Self::record_latency`].
+    pub latencies: Vec<f64>,
+    /// Earliest virtual arrival among admitted queries.
+    pub first_arrival: Option<f64>,
+    /// Latest virtual completion.
+    pub last_completion: f64,
+    /// Keep one of every `2^thinning` observations.
+    thinning: u32,
+    /// Observations skipped since the last kept one.
+    skip: u64,
+}
+
+impl TenantCounters {
+    /// Records one completed-query latency, thinning the retained sample
+    /// once it reaches [`MAX_LATENCY_SAMPLES`].
+    pub fn record_latency(&mut self, latency: f64) {
+        if self.skip > 0 {
+            self.skip -= 1;
+            return;
+        }
+        self.latencies.push(latency);
+        if self.latencies.len() >= MAX_LATENCY_SAMPLES {
+            let mut keep = 0;
+            for i in (0..self.latencies.len()).step_by(2) {
+                self.latencies[keep] = self.latencies[i];
+                keep += 1;
+            }
+            self.latencies.truncate(keep);
+            self.thinning += 1;
+        }
+        self.skip = (1u64 << self.thinning.min(63)) - 1;
+    }
+    pub fn snapshot(&self, tenant: &str) -> TenantMetrics {
+        let span = match self.first_arrival {
+            Some(first) => (self.last_completion - first).max(0.0),
+            None => 0.0,
+        };
+        TenantMetrics {
+            tenant: tenant.to_string(),
+            submitted: self.submitted,
+            admitted: self.admitted,
+            delayed: self.delayed,
+            rejected: self.rejected,
+            completed: self.completed,
+            failed: self.failed,
+            qps: if span > 0.0 {
+                self.completed as f64 / span
+            } else {
+                0.0
+            },
+            latency: LatencyStats::from_samples(&self.latencies),
+        }
+    }
+
+    pub fn merge(&mut self, other: &TenantCounters) {
+        self.submitted += other.submitted;
+        self.admitted += other.admitted;
+        self.delayed += other.delayed;
+        self.rejected += other.rejected;
+        self.completed += other.completed;
+        self.failed += other.failed;
+        self.latencies.extend_from_slice(&other.latencies);
+        self.first_arrival = match (self.first_arrival, other.first_arrival) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.last_completion = self.last_completion.max(other.last_completion);
+    }
+}
+
+/// One tenant's (or the whole service's) traffic summary.
+#[derive(Clone, Debug)]
+pub struct TenantMetrics {
+    /// Tenant name (`"_total"` for the service-wide aggregate).
+    pub tenant: String,
+    /// Queries submitted (admitted + rejected).
+    pub submitted: u64,
+    /// Queries admitted (including delayed admissions).
+    pub admitted: u64,
+    /// Admissions flagged delayed (projected past the SLO).
+    pub delayed: u64,
+    /// Queries rejected by admission control.
+    pub rejected: u64,
+    /// Queries completed successfully.
+    pub completed: u64,
+    /// Queries that failed during execution.
+    pub failed: u64,
+    /// Completed queries per virtual second over the tenant's active span.
+    pub qps: f64,
+    /// Virtual-latency order statistics of completed queries.
+    pub latency: LatencyStats,
+}
+
+/// Full service snapshot, one [`TenantMetrics`] per tenant plus the
+/// aggregate and the memory-pressure counters.
+#[derive(Clone, Debug)]
+pub struct ServiceMetrics {
+    /// Per-tenant summaries, sorted by tenant name.
+    pub tenants: Vec<TenantMetrics>,
+    /// Service-wide aggregate across all tenants.
+    pub total: TenantMetrics,
+    /// LRU snapshot evictions performed by the pool ledger (plus manual
+    /// session evictions) since the last metrics reset.
+    pub snapshot_evictions: u64,
+    /// Snapshot re-uploads those evictions later caused.
+    pub snapshot_reuploads: u64,
+    /// Bytes of resident snapshots currently registered in the ledger.
+    pub resident_bytes: usize,
+    /// The configured snapshot budget, if any.
+    pub snapshot_budget: Option<usize>,
+    /// The admission SLO in seconds (for report readers).
+    pub slo_secs: f64,
+}
+
+impl ServiceMetrics {
+    pub(crate) fn build(
+        counters: &HashMap<String, TenantCounters>,
+        snapshot_evictions: u64,
+        snapshot_reuploads: u64,
+        resident_bytes: usize,
+        snapshot_budget: Option<usize>,
+        slo_secs: f64,
+    ) -> Self {
+        let mut names: Vec<&String> = counters.keys().collect();
+        names.sort();
+        let mut total = TenantCounters::default();
+        let tenants = names
+            .iter()
+            .map(|name| {
+                let c = &counters[*name];
+                total.merge(c);
+                c.snapshot(name)
+            })
+            .collect();
+        Self {
+            tenants,
+            total: total.snapshot("_total"),
+            snapshot_evictions,
+            snapshot_reuploads,
+            resident_bytes,
+            snapshot_budget,
+            slo_secs,
+        }
+    }
+
+    /// Serializes the snapshot as a JSON object (no external crates; the
+    /// format mirrors what `bench_results/` tables use).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"slo_secs\": {},", self.slo_secs);
+        let _ = writeln!(
+            out,
+            "  \"snapshot_evictions\": {},",
+            self.snapshot_evictions
+        );
+        let _ = writeln!(
+            out,
+            "  \"snapshot_reuploads\": {},",
+            self.snapshot_reuploads
+        );
+        let _ = writeln!(out, "  \"resident_bytes\": {},", self.resident_bytes);
+        match self.snapshot_budget {
+            Some(b) => {
+                let _ = writeln!(out, "  \"snapshot_budget\": {b},");
+            }
+            None => {
+                let _ = writeln!(out, "  \"snapshot_budget\": null,");
+            }
+        }
+        let _ = writeln!(out, "  \"total\": {},", tenant_json(&self.total));
+        out.push_str("  \"tenants\": [\n");
+        for (i, t) in self.tenants.iter().enumerate() {
+            let sep = if i + 1 < self.tenants.len() { "," } else { "" };
+            let _ = writeln!(out, "    {}{}", tenant_json(t), sep);
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn tenant_json(t: &TenantMetrics) -> String {
+    format!(
+        "{{\"tenant\": {:?}, \"submitted\": {}, \"admitted\": {}, \"delayed\": {}, \
+         \"rejected\": {}, \"completed\": {}, \"failed\": {}, \"qps\": {:.3}, \
+         \"p50_secs\": {:.6}, \"p95_secs\": {:.6}, \"p99_secs\": {:.6}, \
+         \"mean_secs\": {:.6}, \"max_secs\": {:.6}}}",
+        t.tenant,
+        t.submitted,
+        t.admitted,
+        t.delayed,
+        t.rejected,
+        t.completed,
+        t.failed,
+        t.qps,
+        t.latency.p50,
+        t.latency.p95,
+        t.latency.p99,
+        t.latency.mean,
+        t.latency.max,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let stats = LatencyStats::from_samples(&samples);
+        assert_eq!(stats.p50, 50.0);
+        assert_eq!(stats.p95, 95.0);
+        assert_eq!(stats.p99, 99.0);
+        assert_eq!(stats.max, 100.0);
+        assert_eq!(stats.count, 100);
+        let one = LatencyStats::from_samples(&[7.0]);
+        assert_eq!(one.p50, 7.0);
+        assert_eq!(one.p99, 7.0);
+        assert_eq!(LatencyStats::from_samples(&[]), LatencyStats::default());
+    }
+
+    #[test]
+    fn latency_samples_stay_bounded_and_representative() {
+        let mut c = TenantCounters::default();
+        let total = MAX_LATENCY_SAMPLES * 4;
+        for i in 0..total {
+            c.record_latency(i as f64);
+        }
+        assert!(c.latencies.len() < MAX_LATENCY_SAMPLES);
+        assert!(c.latencies.len() >= MAX_LATENCY_SAMPLES / 4);
+        // The thinned sample still spans the stream, so percentiles stay
+        // order-statistic estimates of the whole population.
+        let stats = LatencyStats::from_samples(&c.latencies);
+        let span = total as f64;
+        assert!((stats.p50 / span - 0.5).abs() < 0.05, "p50 {}", stats.p50);
+        assert!((stats.p99 / span - 0.99).abs() < 0.05, "p99 {}", stats.p99);
+    }
+
+    #[test]
+    fn qps_spans_arrival_to_completion() {
+        let c = TenantCounters {
+            completed: 10,
+            first_arrival: Some(2.0),
+            last_completion: 7.0,
+            ..TenantCounters::default()
+        };
+        assert!((c.snapshot("t").qps - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_snapshot_is_well_formed_enough() {
+        let mut counters = HashMap::new();
+        counters.insert(
+            "alice".to_string(),
+            TenantCounters {
+                submitted: 5,
+                admitted: 4,
+                rejected: 1,
+                completed: 4,
+                latencies: vec![0.1, 0.2, 0.3, 0.4],
+                first_arrival: Some(0.0),
+                last_completion: 2.0,
+                ..TenantCounters::default()
+            },
+        );
+        let m = ServiceMetrics::build(&counters, 3, 2, 4096, Some(8192), 0.25);
+        let json = m.to_json();
+        assert!(json.contains("\"tenant\": \"alice\""));
+        assert!(json.contains("\"snapshot_evictions\": 3"));
+        assert!(json.contains("\"snapshot_budget\": 8192"));
+        assert!(json.contains("\"_total\""));
+        assert_eq!(m.total.completed, 4);
+        assert_eq!(m.tenants.len(), 1);
+    }
+}

@@ -46,9 +46,9 @@ pub use kernel::{
     launch, launch_profiled, model_device_time, Kernel, LaunchConfig, LaunchStats, NoTrace,
     ThreadCtx, Tracer,
 };
-pub use memory::{DeviceBuffer, MemoryPool, OutOfMemory};
+pub use memory::{DeviceBuffer, Evictor, LedgerEntry, MemoryLedger, MemoryPool, OutOfMemory};
 pub use occupancy::{occupancy, KernelResources, OccupancyResult};
-pub use pool::{DeviceLease, DevicePool, DeviceTally, PoolProfiler};
+pub use pool::{DeviceLease, DevicePool, DeviceTally, PoolPressure, PoolProfiler, QueuedWork};
 pub use profiler::{KernelMetrics, ProfiledLaunch};
 pub use transfer::{BatchCost, StreamTimeline, TimelineReport, TransferModel};
 pub use work::{launch_work_profiled, WorkProfile, WorkTracer};

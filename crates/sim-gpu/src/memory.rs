@@ -11,6 +11,7 @@
 //! simulator can map loads from distinct buffers to distinct cache lines.
 
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -197,6 +198,275 @@ impl<T> Drop for DeviceBuffer<T> {
     }
 }
 
+/// Callback that attempts to evict one registered resident allocation.
+///
+/// Returns `true` when the owner actually dropped the allocation (device
+/// memory freed synchronously, and the matching [`LedgerEntry`] guard
+/// unregistered the slot before the callback returned); `false` when the
+/// allocation is currently in use and could not be evicted. Called
+/// *without* any ledger lock held, so the callback may freely drop buffers
+/// whose guards re-enter the ledger.
+pub type Evictor = Arc<dyn Fn() -> bool + Send + Sync>;
+
+#[derive(Clone)]
+struct LedgerSlot {
+    owner: u64,
+    device: usize,
+    bytes: usize,
+    /// Recency stamp from the ledger's logical clock (bigger = newer).
+    seq: u64,
+    evict: Evictor,
+}
+
+struct LedgerInner {
+    slots: HashMap<u64, LedgerSlot>,
+    budget: Option<usize>,
+    total: usize,
+    next_id: u64,
+    clock: u64,
+    evictions: u64,
+}
+
+/// Pool-wide LRU ledger of resident (cross-query) device allocations.
+///
+/// Device memory itself is accounted per device by [`MemoryPool`]; what
+/// that accounting cannot see is which allocations are *resident state*
+/// (index snapshots a session keeps alive between queries) versus
+/// transient working memory, nor which resident state was touched least
+/// recently. The ledger tracks exactly that: sessions register each device
+/// snapshot with its byte size and an [`Evictor`] callback, touch the
+/// entry on every use, and unregister it (via the RAII [`LedgerEntry`])
+/// when the snapshot drops on its own.
+///
+/// With a budget configured ([`Self::set_budget`]), [`Self::make_room`]
+/// evicts least-recently-used entries — by invoking their evictors — until
+/// an incoming registration fits. Entries whose evictor reports "in use"
+/// are skipped, so an eviction never pulls memory out from under a running
+/// query. Clones share state; a [`crate::DevicePool`] hands out one ledger
+/// shared by every pool clone.
+#[derive(Clone)]
+pub struct MemoryLedger {
+    inner: Arc<Mutex<LedgerInner>>,
+    /// Serializes budgeted upload sequences (see [`Self::upload_permit`]).
+    upload_lock: Arc<Mutex<()>>,
+}
+
+impl Default for MemoryLedger {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for MemoryLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("MemoryLedger")
+            .field("entries", &inner.slots.len())
+            .field("total", &inner.total)
+            .field("budget", &inner.budget)
+            .field("evictions", &inner.evictions)
+            .finish()
+    }
+}
+
+impl MemoryLedger {
+    /// An unbudgeted ledger (tracks residency, never evicts).
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(LedgerInner {
+                slots: HashMap::new(),
+                budget: None,
+                total: 0,
+                next_id: 1,
+                clock: 0,
+                evictions: 0,
+            })),
+            upload_lock: Arc::new(Mutex::new(())),
+        }
+    }
+
+    /// Serializes a budgeted `make_room → allocate → register` sequence:
+    /// hold the returned guard across all three, so two concurrent
+    /// uploaders cannot both count the same freed space against the
+    /// budget and jointly overshoot it. Callers on unbudgeted ledgers
+    /// can skip the permit — there is no invariant to protect.
+    pub fn upload_permit(&self) -> parking_lot::MutexGuard<'_, ()> {
+        self.upload_lock.lock()
+    }
+
+    /// Sets (or clears) the resident-memory budget in bytes. A new budget
+    /// below the current total takes effect at the next
+    /// [`Self::make_room`] or [`Self::register`].
+    pub fn set_budget(&self, budget: Option<usize>) {
+        self.inner.lock().budget = budget;
+    }
+
+    /// The configured budget, if any.
+    pub fn budget(&self) -> Option<usize> {
+        self.inner.lock().budget
+    }
+
+    /// Total registered resident bytes across all devices.
+    pub fn total(&self) -> usize {
+        self.inner.lock().total
+    }
+
+    /// Registered resident bytes on one device.
+    pub fn device_total(&self, device: usize) -> usize {
+        self.inner
+            .lock()
+            .slots
+            .values()
+            .filter(|s| s.device == device)
+            .map(|s| s.bytes)
+            .sum()
+    }
+
+    /// Registered entry count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().slots.len()
+    }
+
+    /// Whether no entries are registered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().slots.is_empty()
+    }
+
+    /// Successful evictions since creation.
+    pub fn evictions(&self) -> u64 {
+        self.inner.lock().evictions
+    }
+
+    /// Evicts least-recently-used entries until `incoming` more bytes fit
+    /// under the budget (no-op without one). Entries that report
+    /// themselves in use are skipped. Returns the bytes actually freed.
+    ///
+    /// Call this *before* allocating the incoming resident state: evictors
+    /// run synchronously, so the freed device memory is available when
+    /// this returns.
+    pub fn make_room(&self, incoming: usize) -> usize {
+        let mut freed = 0usize;
+        // Ids whose evictor declined (in use) — skip them this round so
+        // the loop terminates even when everything is busy.
+        let mut busy: Vec<u64> = Vec::new();
+        loop {
+            let victim: Option<(u64, Evictor)> = {
+                let inner = self.inner.lock();
+                let Some(budget) = inner.budget else {
+                    return freed;
+                };
+                if inner.total.saturating_add(incoming) <= budget {
+                    return freed;
+                }
+                inner
+                    .slots
+                    .iter()
+                    .filter(|(id, _)| !busy.contains(id))
+                    .min_by_key(|(_, s)| s.seq)
+                    .map(|(id, s)| (*id, Arc::clone(&s.evict)))
+            };
+            let Some((id, evict)) = victim else {
+                // Over budget but nothing evictable: every entry is in
+                // use. The caller proceeds; pressure clears as queries
+                // finish and their snapshots become evictable.
+                return freed;
+            };
+            let before = self.total();
+            // The evictor drops the owner's allocation; its LedgerEntry
+            // guard unregisters the slot re-entrantly (no lock held here).
+            if evict() {
+                let mut inner = self.inner.lock();
+                inner.evictions += 1;
+                freed += before.saturating_sub(inner.total);
+            } else {
+                busy.push(id);
+            }
+        }
+    }
+
+    /// Registers `bytes` of resident state owned by `owner` on `device`,
+    /// first making room under the budget. The returned guard unregisters
+    /// the entry exactly once when dropped.
+    pub fn register(&self, owner: u64, device: usize, bytes: usize, evict: Evictor) -> LedgerEntry {
+        self.make_room(bytes);
+        let mut inner = self.inner.lock();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.clock += 1;
+        let seq = inner.clock;
+        inner.slots.insert(
+            id,
+            LedgerSlot {
+                owner,
+                device,
+                bytes,
+                seq,
+                evict,
+            },
+        );
+        inner.total += bytes;
+        LedgerEntry {
+            ledger: Some(self.clone()),
+            id,
+        }
+    }
+
+    fn touch(&self, id: u64) {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        if let Some(slot) = inner.slots.get_mut(&id) {
+            slot.seq = clock;
+        }
+    }
+
+    fn unregister(&self, id: u64) {
+        let mut inner = self.inner.lock();
+        if let Some(slot) = inner.slots.remove(&id) {
+            debug_assert!(inner.total >= slot.bytes, "ledger total underflow");
+            inner.total = inner.total.saturating_sub(slot.bytes);
+        }
+    }
+
+    /// Owners (with their per-owner byte totals) in LRU-first order —
+    /// introspection for service metrics and tests.
+    pub fn owners_lru(&self) -> Vec<(u64, usize)> {
+        let inner = self.inner.lock();
+        let mut slots: Vec<&LedgerSlot> = inner.slots.values().collect();
+        slots.sort_by_key(|s| s.seq);
+        slots.iter().map(|s| (s.owner, s.bytes)).collect()
+    }
+}
+
+/// RAII registration guard handed out by [`MemoryLedger::register`].
+///
+/// Dropping the guard unregisters the entry exactly once — whether the
+/// owner dropped its allocation on its own (generation replaced, session
+/// dropped) or an evictor did it on the ledger's behalf.
+#[derive(Debug)]
+pub struct LedgerEntry {
+    /// Taken on drop so a second drop path can never double-unregister.
+    ledger: Option<MemoryLedger>,
+    id: u64,
+}
+
+impl LedgerEntry {
+    /// Marks the entry most-recently-used.
+    pub fn touch(&self) {
+        if let Some(ledger) = &self.ledger {
+            ledger.touch(self.id);
+        }
+    }
+}
+
+impl Drop for LedgerEntry {
+    fn drop(&mut self) {
+        if let Some(ledger) = self.ledger.take() {
+            ledger.unregister(self.id);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,5 +542,116 @@ mod tests {
         let buf = DeviceBuffer::<u64>::zeroed(&pool, 0).unwrap();
         assert_eq!(pool.used(), 0);
         assert!(buf.is_empty());
+    }
+
+    use parking_lot::Mutex as PlMutex;
+
+    /// A registered "snapshot" stand-in: the shared slot owns the guard,
+    /// the evictor clears the slot (dropping the guard → unregistering).
+    fn register_slot(
+        ledger: &MemoryLedger,
+        owner: u64,
+        bytes: usize,
+        busy: Arc<std::sync::atomic::AtomicBool>,
+    ) -> Arc<PlMutex<Option<LedgerEntry>>> {
+        let slot: Arc<PlMutex<Option<LedgerEntry>>> = Arc::new(PlMutex::new(None));
+        let weak = Arc::downgrade(&slot);
+        let evict: Evictor = Arc::new(move || {
+            let Some(slot) = weak.upgrade() else {
+                return false;
+            };
+            if busy.load(std::sync::atomic::Ordering::SeqCst) {
+                return false;
+            }
+            let taken = slot.lock().take();
+            taken.is_some()
+        });
+        *slot.lock() = Some(ledger.register(owner, 0, bytes, evict));
+        slot
+    }
+
+    fn idle() -> Arc<std::sync::atomic::AtomicBool> {
+        Arc::new(std::sync::atomic::AtomicBool::new(false))
+    }
+
+    #[test]
+    fn ledger_tracks_registration_and_raii_unregister() {
+        let ledger = MemoryLedger::new();
+        assert!(ledger.is_empty());
+        let a = register_slot(&ledger, 1, 600, idle());
+        let b = register_slot(&ledger, 2, 400, idle());
+        assert_eq!(ledger.total(), 1000);
+        assert_eq!(ledger.len(), 2);
+        assert_eq!(ledger.device_total(0), 1000);
+        a.lock().take();
+        assert_eq!(ledger.total(), 400);
+        drop(b);
+        // Guard inside the slot dropped with the Arc.
+        assert_eq!(ledger.total(), 0);
+        assert_eq!(ledger.evictions(), 0, "RAII teardown is not an eviction");
+    }
+
+    #[test]
+    fn make_room_evicts_lru_first() {
+        let ledger = MemoryLedger::new();
+        ledger.set_budget(Some(1000));
+        let a = register_slot(&ledger, 1, 400, idle());
+        let b = register_slot(&ledger, 2, 400, idle());
+        // Touch a: b becomes the LRU victim.
+        a.lock().as_ref().unwrap().touch();
+        let freed = ledger.make_room(400);
+        assert_eq!(freed, 400);
+        assert!(b.lock().is_none(), "LRU entry b evicted");
+        assert!(a.lock().is_some(), "recently touched a survives");
+        assert_eq!(ledger.evictions(), 1);
+        assert_eq!(ledger.total(), 400);
+    }
+
+    #[test]
+    fn register_enforces_budget() {
+        let ledger = MemoryLedger::new();
+        ledger.set_budget(Some(1000));
+        let a = register_slot(&ledger, 1, 600, idle());
+        let _b = register_slot(&ledger, 2, 600, idle());
+        assert!(a.lock().is_none(), "a evicted to fit b");
+        assert!(ledger.total() <= 1000);
+    }
+
+    #[test]
+    fn busy_entries_are_skipped() {
+        let ledger = MemoryLedger::new();
+        ledger.set_budget(Some(1000));
+        let busy_flag = idle();
+        busy_flag.store(true, std::sync::atomic::Ordering::SeqCst);
+        let a = register_slot(&ledger, 1, 500, Arc::clone(&busy_flag));
+        let b = register_slot(&ledger, 2, 400, idle());
+        // a is LRU but in use: make_room must take b instead.
+        let freed = ledger.make_room(300);
+        assert_eq!(freed, 400);
+        assert!(a.lock().is_some());
+        assert!(b.lock().is_none());
+        // Everything busy: make_room gives up without freeing.
+        let c = register_slot(&ledger, 3, 400, Arc::clone(&busy_flag));
+        busy_flag.store(true, std::sync::atomic::Ordering::SeqCst);
+        assert_eq!(ledger.make_room(10_000), 0);
+        assert!(a.lock().is_some());
+        assert!(c.lock().is_some());
+    }
+
+    #[test]
+    fn unbudgeted_ledger_never_evicts() {
+        let ledger = MemoryLedger::new();
+        let a = register_slot(&ledger, 1, 1 << 20, idle());
+        assert_eq!(ledger.make_room(usize::MAX / 2), 0);
+        assert!(a.lock().is_some());
+    }
+
+    #[test]
+    fn owners_lru_orders_by_recency() {
+        let ledger = MemoryLedger::new();
+        let a = register_slot(&ledger, 7, 100, idle());
+        let _b = register_slot(&ledger, 8, 200, idle());
+        a.lock().as_ref().unwrap().touch();
+        assert_eq!(ledger.owners_lru(), vec![(8, 200), (7, 100)]);
     }
 }

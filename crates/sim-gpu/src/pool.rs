@@ -10,6 +10,7 @@
 //! modeled multi-device response time (the busiest device bounds it).
 
 use crate::device::{Device, DeviceSpec};
+use crate::memory::MemoryLedger;
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Duration;
@@ -29,16 +30,69 @@ pub struct DevicePool {
     devices: Vec<Device>,
     /// Lease ledger, shared across clones.
     leases: Arc<Mutex<LeaseLedger>>,
+    /// Resident-snapshot LRU ledger, shared across clones (see
+    /// [`MemoryLedger`]); sessions register their device snapshots here
+    /// and a configured budget drives LRU eviction.
+    memory_ledger: MemoryLedger,
 }
 
 /// Shared lease state: per-device active counts plus a rotation cursor
 /// that breaks ties round-robin, so a *serial* stream of short-lived
 /// leases still spreads across devices (a serving frontend dispatching
-/// query after query) instead of pinning device 0 forever.
+/// query after query) instead of pinning device 0 forever. `queued`
+/// counts admitted-but-undispatched work items (see
+/// [`DevicePool::queue_work`]) so [`DevicePool::pressure`] reflects the
+/// backlog, not just what is executing right now.
 #[derive(Debug)]
 struct LeaseLedger {
     counts: Vec<usize>,
     cursor: usize,
+    queued: usize,
+}
+
+/// Load picture of a pool at one instant: per-device active leases plus
+/// the pool-wide queued-work backlog. The cheap accessor admission
+/// controllers read instead of recomputing load from
+/// [`DevicePool::active_leases`] plus their own bookkeeping.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PoolPressure {
+    /// Active lease count per device, in device-index order.
+    pub active: Vec<usize>,
+    /// Work items admitted to a queue but not yet leased onto a device.
+    pub queued: usize,
+}
+
+impl PoolPressure {
+    /// Total outstanding work claims (active + queued).
+    pub fn total(&self) -> usize {
+        self.active.iter().sum::<usize>() + self.queued
+    }
+
+    /// Average outstanding claims per device — the scalar an admission
+    /// controller compares against its depth threshold.
+    pub fn per_device(&self) -> f64 {
+        self.total() as f64 / self.active.len().max(1) as f64
+    }
+}
+
+/// RAII claim on one slot of the pool's queued-work backlog, created by
+/// [`DevicePool::queue_work`] and released (exactly once) on drop —
+/// schedulers hold one per admitted-but-undispatched query so
+/// [`DevicePool::pressure`] sees the queue depth.
+#[derive(Debug)]
+pub struct QueuedWork {
+    /// Taken on release so a drop can never double-decrement.
+    leases: Option<Arc<Mutex<LeaseLedger>>>,
+}
+
+impl Drop for QueuedWork {
+    fn drop(&mut self) {
+        if let Some(leases) = self.leases.take() {
+            let mut ledger = leases.lock();
+            debug_assert!(ledger.queued > 0, "queued-work underflow");
+            ledger.queued = ledger.queued.saturating_sub(1);
+        }
+    }
 }
 
 /// A claim on one pool device, released on drop.
@@ -53,7 +107,11 @@ struct LeaseLedger {
 pub struct DeviceLease {
     device: Device,
     index: usize,
-    leases: Arc<Mutex<LeaseLedger>>,
+    /// Taken on release, so the ledger decrements exactly once no matter
+    /// which path (explicit [`Self::release`] or drop) runs — the ledger
+    /// is shared across pool clones, where a double decrement would
+    /// corrupt every clone's load picture at once.
+    leases: Option<Arc<Mutex<LeaseLedger>>>,
 }
 
 impl DeviceLease {
@@ -66,13 +124,22 @@ impl DeviceLease {
     pub fn index(&self) -> usize {
         self.index
     }
+
+    /// Returns the lease to the ledger now (equivalent to dropping it).
+    pub fn release(self) {}
+
+    fn return_to_ledger(&mut self) {
+        if let Some(leases) = self.leases.take() {
+            let mut ledger = leases.lock();
+            debug_assert!(ledger.counts[self.index] > 0, "lease count underflow");
+            ledger.counts[self.index] = ledger.counts[self.index].saturating_sub(1);
+        }
+    }
 }
 
 impl Drop for DeviceLease {
     fn drop(&mut self) {
-        let mut ledger = self.leases.lock();
-        debug_assert!(ledger.counts[self.index] > 0, "lease count underflow");
-        ledger.counts[self.index] -= 1;
+        self.return_to_ledger();
     }
 }
 
@@ -89,7 +156,9 @@ impl DevicePool {
             leases: Arc::new(Mutex::new(LeaseLedger {
                 counts: vec![0; count],
                 cursor: 0,
+                queued: 0,
             })),
+            memory_ledger: MemoryLedger::new(),
             devices: (0..count).map(|_| Device::new(spec.clone())).collect(),
         }
     }
@@ -111,7 +180,9 @@ impl DevicePool {
             leases: Arc::new(Mutex::new(LeaseLedger {
                 counts: vec![0; devices.len()],
                 cursor: 0,
+                queued: 0,
             })),
+            memory_ledger: MemoryLedger::new(),
             devices,
         }
     }
@@ -133,13 +204,59 @@ impl DevicePool {
         DeviceLease {
             device: self.devices[index].clone(),
             index,
-            leases: Arc::clone(&self.leases),
+            leases: Some(Arc::clone(&self.leases)),
+        }
+    }
+
+    /// Leases a *specific* device — the worker-per-device executors of a
+    /// serving frontend pin their queries to the device whose snapshot
+    /// cache they manage, rather than taking whatever is least loaded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for the pool.
+    pub fn lease_device(&self, index: usize) -> DeviceLease {
+        assert!(index < self.devices.len(), "device index out of range");
+        self.leases.lock().counts[index] += 1;
+        DeviceLease {
+            device: self.devices[index].clone(),
+            index,
+            leases: Some(Arc::clone(&self.leases)),
+        }
+    }
+
+    /// Registers one admitted-but-undispatched work item in the pool's
+    /// backlog count; drop the token when the work is leased onto a
+    /// device (or abandoned). See [`Self::pressure`].
+    pub fn queue_work(&self) -> QueuedWork {
+        self.leases.lock().queued += 1;
+        QueuedWork {
+            leases: Some(Arc::clone(&self.leases)),
+        }
+    }
+
+    /// The pool's load picture — active leases per device plus the
+    /// queued-work backlog — in one cheap read. Admission controllers use
+    /// this instead of deriving pressure from [`Self::active_leases`] and
+    /// private queue state.
+    pub fn pressure(&self) -> PoolPressure {
+        let ledger = self.leases.lock();
+        PoolPressure {
+            active: ledger.counts.clone(),
+            queued: ledger.queued,
         }
     }
 
     /// Active lease count per device, in device-index order.
     pub fn active_leases(&self) -> Vec<usize> {
         self.leases.lock().counts.clone()
+    }
+
+    /// The pool-wide resident-snapshot ledger, shared by every clone of
+    /// this pool. Budget it (`memory_ledger().set_budget(..)`) to turn on
+    /// LRU snapshot eviction for all sessions serving from the pool.
+    pub fn memory_ledger(&self) -> &MemoryLedger {
+        &self.memory_ledger
     }
 
     /// Number of devices in the pool.
@@ -295,6 +412,68 @@ mod tests {
         assert_eq!(e.index(), 1);
         drop((a, c, d, e));
         assert_eq!(pool.active_leases(), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn lease_release_is_exactly_once_across_clones() {
+        let pool = DevicePool::homogeneous(DeviceSpec::small_test_device(), 2);
+        let clone = pool.clone();
+        // Lease taken from the clone, dropped normally: both views agree
+        // and the shared ledger decrements exactly once.
+        let a = clone.lease();
+        assert_eq!(pool.active_leases(), vec![1, 0]);
+        drop(a);
+        assert_eq!(pool.active_leases(), vec![0, 0]);
+        assert_eq!(clone.active_leases(), vec![0, 0]);
+        // Explicit release consumes the lease; the drop that follows it
+        // internally must not decrement a second time.
+        let b = pool.lease();
+        let c = pool.lease();
+        let c_index = c.index();
+        b.release();
+        let counts = pool.active_leases();
+        assert_eq!(counts.iter().sum::<usize>(), 1, "b released exactly once");
+        assert_eq!(counts[c_index], 1, "c still held");
+        drop(c);
+        assert_eq!(pool.active_leases(), vec![0, 0]);
+    }
+
+    #[test]
+    fn targeted_lease_pins_its_device() {
+        let pool = DevicePool::homogeneous(DeviceSpec::small_test_device(), 3);
+        let a = pool.lease_device(2);
+        assert_eq!(a.index(), 2);
+        assert_eq!(pool.active_leases(), vec![0, 0, 1]);
+        // The balancing lease avoids the pinned device.
+        let b = pool.lease();
+        assert_ne!(b.index(), 2);
+        drop((a, b));
+        assert_eq!(pool.active_leases(), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn pressure_counts_active_and_queued() {
+        let pool = DevicePool::homogeneous(DeviceSpec::small_test_device(), 2);
+        let q1 = pool.queue_work();
+        let q2 = pool.queue_work();
+        let lease = pool.lease();
+        let p = pool.pressure();
+        assert_eq!(p.active, vec![1, 0]);
+        assert_eq!(p.queued, 2);
+        assert_eq!(p.total(), 3);
+        assert!((p.per_device() - 1.5).abs() < 1e-12);
+        drop(q1);
+        // A clone sees the same picture.
+        assert_eq!(pool.clone().pressure().queued, 1);
+        drop((q2, lease));
+        assert_eq!(pool.pressure().total(), 0);
+    }
+
+    #[test]
+    fn memory_ledger_is_shared_across_clones() {
+        let pool = DevicePool::homogeneous(DeviceSpec::small_test_device(), 2);
+        pool.memory_ledger().set_budget(Some(1 << 20));
+        assert_eq!(pool.clone().memory_ledger().budget(), Some(1 << 20));
     }
 
     #[test]

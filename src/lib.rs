@@ -29,6 +29,9 @@
 //! * [`gpu`] (`sim-gpu`) — the simulated device substrate.
 //! * [`shard`] (`sj-shard`) — the sharded multi-device engine:
 //!   [`ShardedSelfJoin`].
+//! * [`serve`] (`sj-serve`) — the multi-tenant query service:
+//!   [`SelfJoinService`] (admission control, fair-share scheduling, LRU
+//!   snapshot eviction over a shared pool).
 //! * [`baseline_rtree`] (`rtree`) — CPU-RTREE.
 //! * [`baseline_superego`] (`superego`) — Super-EGO.
 //! * [`datasets`] (`sj-datasets`) — workload generators (Table I).
@@ -39,14 +42,18 @@ pub use rtree as baseline_rtree;
 pub use sim_gpu as gpu;
 pub use sj_clustering as clustering;
 pub use sj_datasets as datasets;
+pub use sj_serve as serve;
 pub use sj_shard as shard;
 pub use superego as baseline_superego;
 
 pub use grid_join::{
-    Backend, GpuSelfJoin, GridIndex, HotPath, JoinPlan, NeighborTable, Pair, SelfJoinConfig,
-    SelfJoinError, SelfJoinOutput, SelfJoinSession, SessionConfig, SessionStats,
+    Backend, GpuSelfJoin, GridIndex, HotPath, JoinPlan, NeighborTable, Pair, ProjectedCost,
+    SelfJoinConfig, SelfJoinError, SelfJoinOutput, SelfJoinSession, SessionConfig, SessionStats,
 };
-pub use sim_gpu::{Device, DeviceLease, DevicePool, DeviceSpec};
+pub use sim_gpu::{Device, DeviceLease, DevicePool, DeviceSpec, MemoryLedger, PoolPressure};
+pub use sj_serve::{
+    AdmissionConfig, QueryRequest, SelfJoinService, ServeError, ServiceConfig, ServiceMetrics,
+};
 pub use sj_shard::{ShardedConfig, ShardedOutput, ShardedSelfJoin};
 
 /// Convenience re-exports for examples and quick starts.
@@ -59,6 +66,7 @@ pub mod prelude {
     pub use sim_gpu::{Device, DevicePool, DeviceSpec};
     pub use sj_datasets::synthetic::{clustered, lattice, uniform};
     pub use sj_datasets::{euclidean, euclidean_sq, Dataset};
+    pub use sj_serve::{QueryRequest, SelfJoinService, ServiceConfig};
     pub use sj_shard::{ShardedConfig, ShardedSelfJoin};
     pub use superego::SuperEgo;
 }

@@ -159,6 +159,100 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// (d) Snapshot eviction is an invisible optimization too: random
+    /// evict/re-upload interleavings under concurrent sessions on a
+    /// *budgeted* pool answer pair-for-pair like fresh joins, and the
+    /// pool's snapshot ledger never exceeds the configured budget.
+    #[test]
+    fn eviction_interleavings_stay_exact_and_under_budget(
+        seeds in collection::vec(1u64..10_000, 3),
+        evict_pattern in collection::vec((0usize..3, 0usize..2), 4..10),
+    ) {
+        // Two devices, and same-sized workloads so snapshot footprints
+        // are comparable: the budget below must cover the worst-case
+        // concurrently-in-use set (one snapshot per running query) while
+        // staying far under the full working set.
+        let devices = 2usize;
+        let workloads: Vec<(Dataset, f64)> = seeds
+            .iter()
+            .map(|&seed| (uniform(2, 400, seed), 4.0))
+            .collect();
+
+        // Measure the unbudgeted working set (every session resident on
+        // every device), then budget 60% of it — enough for the three
+        // in-flight queries (≤ 3 of 6 snapshots), too little for every
+        // session to stay resident on every device.
+        let probe = DevicePool::titan_x(devices);
+        let full = {
+            let sessions: Vec<_> = workloads
+                .iter()
+                .map(|(data, _)| SelfJoinSession::new(data.clone(), probe.clone()))
+                .collect();
+            for session in &sessions {
+                for d in 0..devices {
+                    session.query_on(4.0, d).unwrap();
+                }
+            }
+            probe.memory_ledger().total()
+        };
+        prop_assert!(full > 0);
+        let budget = full * 3 / 5;
+
+        let expected: Vec<NeighborTable> = workloads
+            .iter()
+            .map(|(data, eps)| {
+                GpuSelfJoin::default_device().run(data, *eps).unwrap().table
+            })
+            .collect();
+
+        let pool = DevicePool::titan_x(devices);
+        pool.memory_ledger().set_budget(Some(budget));
+        let sessions: Vec<_> = workloads
+            .iter()
+            .map(|(data, _)| SelfJoinSession::new(data.clone(), pool.clone()))
+            .collect();
+
+        std::thread::scope(|scope| {
+            for (i, session) in sessions.iter().enumerate() {
+                let pattern = evict_pattern.clone();
+                let pool = pool.clone();
+                let eps = workloads[i].1;
+                let expected = &expected[i];
+                scope.spawn(move || {
+                    for (round, &(victim_offset, device)) in pattern.iter().enumerate() {
+                        let out = session.query(eps).unwrap();
+                        assert_eq!(&out.table, expected, "session {i} round {round}");
+                        assert!(
+                            pool.memory_ledger().total() <= budget,
+                            "session {i} round {round}: ledger {} over budget {budget}",
+                            pool.memory_ledger().total()
+                        );
+                        // Manual eviction mixed into the stream: evict
+                        // this session's snapshot on a pseudo-random
+                        // device (no-op when the offset lands elsewhere
+                        // or a query holds it).
+                        if victim_offset == i % 3 {
+                            session.evict_snapshot(device.min(devices - 1));
+                        }
+                    }
+                });
+            }
+        });
+
+        // Every session still answers exactly after the churn, and the
+        // budget held to the end.
+        for (i, session) in sessions.iter().enumerate() {
+            let out = session.query(workloads[i].1).unwrap();
+            prop_assert_eq!(&out.table, &expected[i], "session {} final", i);
+        }
+        prop_assert!(pool.memory_ledger().total() <= budget);
+        prop_assert!(pool.total_used_bytes() <= budget, "resident snapshots are the only steady-state device memory");
+    }
+}
+
 /// kNN on a resident session reuses the cached snapshot and matches the
 /// rebuild-per-call `gpu_knn` exactly.
 #[test]
