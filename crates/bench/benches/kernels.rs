@@ -36,6 +36,7 @@ fn bench_selfjoin_kernel(c: &mut Criterion) {
                             query_count: data.len(),
                             unicomp: uni,
                             cell_order: false,
+                            ownership: None,
                         };
                         launch(&device, LaunchConfig::default(), data.len(), &kernel);
                         assert!(!results.overflowed());
@@ -68,6 +69,7 @@ fn bench_hot_paths(c: &mut Criterion) {
                 query_count: data.len(),
                 unicomp: true,
                 cell_order: false,
+                ownership: None,
             };
             launch(&device, LaunchConfig::default(), data.len(), &kernel);
             assert!(!results.overflowed());
@@ -85,6 +87,7 @@ fn bench_hot_paths(c: &mut Criterion) {
                 results: black_box(&results),
                 slot_offset: 0,
                 slot_count: data.len(),
+                ownership: None,
             };
             launch(&device, LaunchConfig::default(), data.len(), &kernel);
             assert!(!results.overflowed());
@@ -103,6 +106,7 @@ fn bench_hot_paths(c: &mut Criterion) {
                 results: black_box(&results),
                 slot_offset: 0,
                 slot_count: data.len(),
+                ownership: None,
             };
             launch(&device, LaunchConfig::default(), data.len(), &kernel);
             assert!(!results.overflowed());
@@ -155,6 +159,7 @@ fn bench_cell_order(c: &mut Criterion) {
                     query_count: data.len(),
                     unicomp: false,
                     cell_order,
+                    ownership: None,
                 };
                 launch(&device, LaunchConfig::default(), data.len(), &kernel);
                 assert!(!results.overflowed());

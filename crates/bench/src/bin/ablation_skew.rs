@@ -60,6 +60,7 @@ fn main() {
             query_count: data.len(),
             unicomp: false,
             cell_order: false,
+            ownership: None,
         };
         let (_, work) = launch_work_profiled(&device, LaunchConfig::default(), data.len(), &kernel);
         let (_, cache) = launch_profiled(&device, LaunchConfig::default(), data.len(), &kernel);

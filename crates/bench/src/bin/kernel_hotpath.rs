@@ -77,6 +77,7 @@ fn l1_hit_rate(data: &Dataset, grid: &GridIndex, path: HotPath, result_capacity:
                 query_count: data.len(),
                 unicomp: true,
                 cell_order: false,
+                ownership: None,
             };
             ProfiledLaunch::run(&device, LaunchConfig::default(), data.len(), &kernel).1
         }
@@ -90,6 +91,7 @@ fn l1_hit_rate(data: &Dataset, grid: &GridIndex, path: HotPath, result_capacity:
                 results: &results,
                 slot_offset: 0,
                 slot_count: data.len(),
+                ownership: None,
             };
             ProfiledLaunch::run(&device, LaunchConfig::default(), data.len(), &kernel).1
         }

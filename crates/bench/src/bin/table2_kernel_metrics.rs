@@ -79,6 +79,7 @@ fn main() {
                 query_count: data.len(),
                 unicomp,
                 cell_order: false,
+                ownership: None,
             };
             let (_stats, m) =
                 ProfiledLaunch::run(&device, LaunchConfig::default(), data.len(), &kernel);

@@ -38,8 +38,7 @@ impl SweepCache {
     /// Opens (and loads, if present) the cache for a scale factor.
     /// `enabled = false` produces an inert cache (for `--no-cache`).
     pub fn open(scale: f64, enabled: bool) -> Self {
-        let dir = PathBuf::from("bench_results");
-        let path = dir.join(format!("sweep_scale{scale}.csv"));
+        let path = crate::output_dir().join(format!("sweep_scale{scale}.csv"));
         let mut rows = HashMap::new();
         if enabled {
             if let Ok(text) = fs::read_to_string(&path) {

@@ -28,6 +28,16 @@ pub mod table;
 pub use cli::Args;
 pub use runner::{run_algorithms, Algo, Measurement};
 
+/// The figure binaries' output directory (`bench_results/`), created on
+/// first use. Every writer — the JSON table export, the CSV sweep cache —
+/// resolves its paths through this, so a binary can never fail on a
+/// missing directory regardless of which output paths a run exercises.
+pub fn output_dir() -> std::path::PathBuf {
+    let dir = std::path::PathBuf::from("bench_results");
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
 /// ε that lands a workload at roughly `target` average neighbours per
 /// point under its mean 2-D density (clustered data comes out denser —
 /// fine: that is the regime where cost-based scheduling matters). Shared

@@ -89,13 +89,11 @@ pub fn write_json_table(
     }
     table.push_str("]}");
 
-    let dir = PathBuf::from("bench_results");
-    let path = dir.join(format!("{figure}.json"));
+    let path = crate::output_dir().join(format!("{figure}.json"));
     let registry = TABLES.get_or_init(Mutex::default);
     let mut registry = registry.lock().expect("json registry poisoned");
     let tables = registry.entry(path.clone()).or_default();
     tables.push(table);
-    fs::create_dir_all(&dir)?;
     fs::write(&path, format!("[\n{}\n]\n", tables.join(",\n")))?;
     Ok(path)
 }

@@ -24,7 +24,7 @@ use crate::cell_major::{CellMajorPlan, CellMajorSelfJoinKernel, HotPath, PlanBui
 use crate::device_grid::DeviceGrid;
 use crate::error::SelfJoinError;
 use crate::kernels::{CountKernel, SelfJoinKernel};
-use crate::result::Pair;
+use crate::result::{Ownership, Pair};
 use sim_gpu::append::AppendBuffer;
 use sim_gpu::{launch, BatchCost, Device, LaunchConfig, StreamTimeline, TimelineReport};
 use std::time::Duration;
@@ -50,6 +50,11 @@ pub struct ExecOptions {
     /// upload batch — the session that owns the residency accounts for the
     /// one-time upload instead.
     pub resident: bool,
+    /// Emit-time ownership window (shard-fused joins): kernels drop pairs
+    /// whose key falls outside `[lo, hi)` with one comparison *before* the
+    /// result-buffer reservation, instead of materializing ghost pairs for
+    /// a post-pass filter. `None` emits everything.
+    pub ownership: Option<Ownership>,
 }
 
 /// Tunables of the batching scheme.
@@ -314,6 +319,7 @@ pub fn run_batched_on(
                         results: &results,
                         slot_offset: offset,
                         slot_count: count,
+                        ownership: opts.ownership,
                     };
                     launch(device, launch_cfg, count, &kernel)
                 }
@@ -326,6 +332,7 @@ pub fn run_batched_on(
                         query_count: count,
                         unicomp: opts.unicomp,
                         cell_order: opts.cell_order,
+                        ownership: opts.ownership,
                     };
                     launch(device, launch_cfg, count, &kernel)
                 }

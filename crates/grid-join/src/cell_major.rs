@@ -32,7 +32,7 @@
 use crate::device_grid::DeviceGrid;
 use crate::kernels::{kernel_registers, traced_find_cell, traced_mask_range};
 use crate::linearize::{delinearize, linearize, MAX_DIM};
-use crate::result::Pair;
+use crate::result::{Ownership, Pair};
 use crate::unicomp::{adjacent_ranges, for_each_full, for_each_unicomp};
 use sim_gpu::append::AppendBuffer;
 use sim_gpu::occupancy::KernelResources;
@@ -389,6 +389,11 @@ pub struct CellMajorSelfJoinKernel<'a> {
     pub slot_offset: usize,
     /// Number of slots in this launch.
     pub slot_count: usize,
+    /// Optional emit-time ownership window: pairs whose key falls outside
+    /// `[lo, hi)` are dropped *before* staging, so a sharded subplan never
+    /// materializes ghost-keyed pairs (see
+    /// [`crate::kernels::SelfJoinKernel::ownership`]).
+    pub ownership: Option<Ownership>,
 }
 
 impl Kernel for CellMajorSelfJoinKernel<'_> {
@@ -418,6 +423,13 @@ impl Kernel for CellMajorSelfJoinKernel<'_> {
         let mut p = [0.0f64; MAX_DIM];
         p[..dim].copy_from_slice(ctx.read_range(&grid.reordered, slot * dim, dim));
         let qid = ctx.read(&grid.a, slot);
+        let owns_query = self.ownership.is_none_or(|o| o.keeps(qid));
+        if !self.plan.unicomp && !owns_query {
+            // Full mode emits only query-keyed pairs; a ghost query's
+            // whole traversal would be filtered, so skip it entirely.
+            return;
+        }
+        let owns = |id: u32| self.ownership.is_none_or(|o| o.keeps(id));
 
         let mut stage = PairStage::new();
         let lo = ctx.read(&self.plan.nbr_offsets, h) as usize;
@@ -426,14 +438,21 @@ impl Kernel for CellMajorSelfJoinKernel<'_> {
         if self.plan.unicomp {
             // Home cell via the id-ordering rule on slots (slots are a
             // bijection with ids, so "each unordered pair once" holds and
-            // no candidate id read is needed below the diagonal).
+            // no candidate id read is needed below the diagonal). Under
+            // UNICOMP a ghost query may be the sole producer of an owned
+            // candidate's pair, so filtering is per direction, never a
+            // whole-thread skip.
             let own = ctx.read(&grid.g, h);
             for s in (slot as u32 + 1)..own.end {
                 let q = ctx.read_range(&grid.reordered, s as usize * dim, dim);
                 if dist_sq(&p[..dim], q) <= eps_sq {
                     let cand = ctx.read(&grid.a, s as usize);
-                    stage.push(ctx, self.results, Pair::new(qid, cand));
-                    stage.push(ctx, self.results, Pair::new(cand, qid));
+                    if owns_query {
+                        stage.push(ctx, self.results, Pair::new(qid, cand));
+                    }
+                    if owns(cand) {
+                        stage.push(ctx, self.results, Pair::new(cand, qid));
+                    }
                 }
             }
             // Parity-selected neighbor cells: both directions per hit.
@@ -444,8 +463,12 @@ impl Kernel for CellMajorSelfJoinKernel<'_> {
                     let q = ctx.read_range(&grid.reordered, s as usize * dim, dim);
                     if dist_sq(&p[..dim], q) <= eps_sq {
                         let cand = ctx.read(&grid.a, s as usize);
-                        stage.push(ctx, self.results, Pair::new(qid, cand));
-                        stage.push(ctx, self.results, Pair::new(cand, qid));
+                        if owns_query {
+                            stage.push(ctx, self.results, Pair::new(qid, cand));
+                        }
+                        if owns(cand) {
+                            stage.push(ctx, self.results, Pair::new(cand, qid));
+                        }
                     }
                 }
             }
@@ -507,6 +530,7 @@ mod tests {
             results: &results,
             slot_offset: 0,
             slot_count: data.len(),
+            ownership: None,
         };
         launch(&dev, LaunchConfig::default(), data.len(), &kernel);
         assert!(!results.overflowed());
@@ -527,6 +551,7 @@ mod tests {
             query_count: data.len(),
             unicomp,
             cell_order: false,
+            ownership: None,
         };
         launch(&dev, LaunchConfig::default(), data.len(), &kernel);
         assert!(!results.overflowed());
@@ -587,6 +612,7 @@ mod tests {
                 results: &results,
                 slot_offset: off,
                 slot_count: cnt,
+                ownership: None,
             };
             launch(&dev, LaunchConfig::default(), cnt, &kernel);
             all.extend(results.drain_to_host());
@@ -655,6 +681,7 @@ mod tests {
             results: &results,
             slot_offset: 0,
             slot_count: 300,
+            ownership: None,
         };
         launch(&dev, LaunchConfig::default(), 300, &kernel);
         assert!(results.overflowed());

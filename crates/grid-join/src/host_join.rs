@@ -44,14 +44,18 @@ pub fn host_self_join_parallel(data: &Dataset, grid: &GridIndex) -> NeighborTabl
     NeighborTable::from_pairs(data.len(), &out.pairs)
 }
 
-/// Parallel directed-pair scan at an explicit query radius — the plan
-/// executor's `Host { parallel: true }` backend.
+/// Parallel directed-pair scan at an explicit query radius for queries in
+/// `[offset, offset + count)` — the plan executor's `Host { parallel:
+/// true }` backend (an ownership window restricts the range to the owned
+/// prefix).
 pub(crate) fn host_pairs_parallel(
     data: &Dataset,
     grid: &GridIndex,
     query_epsilon: f64,
+    offset: usize,
+    count: usize,
 ) -> Vec<Pair> {
-    let n = data.len();
+    let n = count;
     // ~8 chunks per thread for load balance. `div_ceil` keeps the chunk
     // size ≥ 1 for any `n` (the old `n / threads*8` truncated to 0 for
     // small inputs and leaned on an arbitrary 1024 floor that serialized
@@ -61,9 +65,9 @@ pub(crate) fn host_pairs_parallel(
     let num_chunks = n.div_ceil(chunk.max(1)).max(1);
     (0..num_chunks)
         .into_par_iter()
-        .flat_map_iter(|ci| {
-            let lo = ci * chunk;
-            let hi = (lo + chunk).min(n);
+        .flat_map_iter(move |ci| {
+            let lo = offset + ci * chunk;
+            let hi = (lo + chunk).min(offset + n);
             // One scratch Vec per chunk, reused across its queries,
             // instead of a fresh allocation per query.
             let mut out = Vec::new();

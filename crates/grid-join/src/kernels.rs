@@ -24,7 +24,7 @@
 use crate::device_grid::DeviceGrid;
 use crate::grid::cell_coords;
 use crate::linearize::{linearize, MAX_DIM};
-use crate::result::Pair;
+use crate::result::{Ownership, Pair};
 use crate::unicomp::{adjacent_ranges, for_each_full, for_each_unicomp, DimRange};
 use sim_gpu::append::AppendBuffer;
 use sim_gpu::occupancy::KernelResources;
@@ -223,6 +223,14 @@ pub struct SelfJoinKernel<'a> {
     /// warp divergence on skewed data. Results are identical either way
     /// (the query set is a permutation).
     pub cell_order: bool,
+    /// Emit-time ownership window: only pairs keyed by a local id in
+    /// `[lo, hi)` are appended — one register comparison ahead of the
+    /// result reservation. Without UNICOMP a non-owned query thread
+    /// returns immediately (every pair it could emit is ghost-keyed);
+    /// with UNICOMP ghost threads still run — the parity rule may make
+    /// them the sole producer of an owned-keyed reverse pair — and the
+    /// window is tested per direction.
+    pub ownership: Option<Ownership>,
 }
 
 impl Kernel for SelfJoinKernel<'_> {
@@ -243,6 +251,12 @@ impl Kernel for SelfJoinKernel<'_> {
             self.query_offset + ctx.global_id
         };
         let qid = q as u32;
+        let owns_query = self.ownership.is_none_or(|o| o.keeps(qid));
+        if !self.unicomp && !owns_query {
+            // Every pair this thread could emit would be keyed by its own
+            // (non-owned) query id: skip the whole traversal.
+            return;
+        }
         let grid = self.grid;
         let dim = grid.dim;
         let eps_sq = self.eps_sq;
@@ -293,6 +307,8 @@ impl Kernel for SelfJoinKernel<'_> {
             });
         } else {
             // UNICOMP: own cell via the id-ordering rule …
+            let ownership = self.ownership;
+            let owns = |id: u32| ownership.is_none_or(|o| o.keeps(id));
             let own_lin = linearize(&cell[..dim], &grid.cells_per_dim[..dim]);
             let own =
                 traced_find_cell(ctx, grid, own_lin).expect("query point's cell must exist in B");
@@ -305,8 +321,12 @@ impl Kernel for SelfJoinKernel<'_> {
                 Some(qid),
                 None,
                 &mut |ctx, cand| {
-                    push_pair(ctx, self.results, qid, cand);
-                    push_pair(ctx, self.results, cand, qid);
+                    if owns_query {
+                        push_pair(ctx, self.results, qid, cand);
+                    }
+                    if owns(cand) {
+                        push_pair(ctx, self.results, cand, qid);
+                    }
                 },
             );
             // … and the parity-selected half of the neighbour cells,
@@ -323,8 +343,12 @@ impl Kernel for SelfJoinKernel<'_> {
                         None,
                         None,
                         &mut |ctx, cand| {
-                            push_pair(ctx, self.results, qid, cand);
-                            push_pair(ctx, self.results, cand, qid);
+                            if owns_query {
+                                push_pair(ctx, self.results, qid, cand);
+                            }
+                            if owns(cand) {
+                                push_pair(ctx, self.results, cand, qid);
+                            }
                         },
                     );
                 }
@@ -444,6 +468,7 @@ mod tests {
             query_count: data.len(),
             unicomp,
             cell_order: false,
+            ownership: None,
         };
         launch(&dev, LaunchConfig::default(), data.len(), &kernel);
         assert!(!results.overflowed());
@@ -536,6 +561,7 @@ mod tests {
                 query_count: cnt,
                 unicomp: false,
                 cell_order: false,
+                ownership: None,
             };
             launch(&dev, LaunchConfig::default(), cnt, &kernel);
             all.extend(results.drain_to_host());
@@ -590,6 +616,7 @@ mod tests {
             query_count: 300,
             unicomp: false,
             cell_order: false,
+            ownership: None,
         };
         launch(&dev, LaunchConfig::default(), 300, &kernel);
         assert!(results.overflowed());

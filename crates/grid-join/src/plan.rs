@@ -13,8 +13,12 @@
 //!   `Prebuilt` index, host backend (no device stages).
 //! * `sj-shard`'s `ShardedSelfJoin` — a plan *rewrite*: the partition pass
 //!   turns one logical join into per-shard subplans (`Prebuilt` index,
-//!   `Precomputed` estimate, scoped + remapped post stage), executed on
-//!   the scheduled device and merged with a dedup pass.
+//!   `Precomputed` estimate, an [`ExecOptions::ownership`] window so the
+//!   kernels drop ghost-keyed pairs at emit time, remapped post stage),
+//!   executed on the scheduled device and merged by concatenation — the
+//!   ownership windows are disjoint, so no dedup pass is needed. The
+//!   `PerThread` ablation path keeps the classic scoped post stage
+//!   instead.
 //! * [`crate::SelfJoinSession`] — `Resident` index: the session pins the
 //!   dataset, caches the built [`GridIndex`] plus per-device
 //!   [`DeviceGrid`] snapshots (and the hoisted [`CellMajorPlan`]), and
@@ -48,7 +52,7 @@ use crate::error::SelfJoinError;
 use crate::grid::GridIndex;
 use crate::host_join;
 use crate::kernels::kernel_registers;
-use crate::result::{remap_pairs, retain_owned_pairs, Pair};
+use crate::result::{remap_pairs, retain_owned_pairs, Ownership, Pair};
 use sim_gpu::occupancy::KernelResources;
 use sim_gpu::{occupancy, Device, DevicePool, LaunchConfig, OccupancyResult};
 use sj_datasets::Dataset;
@@ -156,6 +160,17 @@ impl<'a> JoinPlan<'a> {
         self
     }
 
+    /// Fuses an ownership window over the owned *prefix* `[0, owned)`
+    /// into execution: the kernels drop non-owned-keyed pairs at emit
+    /// time (one comparison before the `AppendBuffer` reservation), so
+    /// the ghost pairs are never materialized and no post-pass filter is
+    /// needed. The emit-filtered pair stream equals `scoped(owned)`'s
+    /// pair-for-pair.
+    pub fn owned_prefix(mut self, owned: usize) -> Self {
+        self.exec.ownership = Some(Ownership::prefix(owned));
+        self
+    }
+
     /// Remaps result ids through `map` in the post stage.
     pub fn remapped(mut self, map: &'a [u32]) -> Self {
         self.post.remap = Some(map);
@@ -257,6 +272,17 @@ pub fn execute(plan: &JoinPlan<'_>, backend: Backend<'_>) -> Result<PlanOutput, 
         IndexStage::Resident { grid, .. } => (*grid, Duration::ZERO),
     };
     debug_assert_eq!(grid.a().len(), plan.data.len(), "grid/data mismatch");
+
+    // Ownership-window validation: the window addresses dataset ids.
+    if let Some(o) = plan.exec.ownership {
+        assert!(
+            o.lo <= o.hi && o.hi as usize <= plan.data.len(),
+            "ownership window [{}, {}) exceeds dataset size {}",
+            o.lo,
+            o.hi,
+            plan.data.len()
+        );
+    }
 
     // ε′ validation: a reused index can only *shrink* the query radius.
     if let Some(eps) = plan.exec.query_epsilon {
@@ -365,11 +391,18 @@ fn run_host(
     parallel: bool,
 ) -> (Vec<Pair>, JoinReport) {
     let eps = plan.exec.query_epsilon.unwrap_or(grid.epsilon());
+    // The host scan emits query-keyed pairs only, so an ownership window
+    // restricts which queries are scanned — same emit-time semantics as
+    // the device kernels, with the work skipped rather than filtered.
+    let (off, cnt) = match plan.exec.ownership {
+        Some(o) => (o.lo as usize, o.len()),
+        None => (0, plan.data.len()),
+    };
     let t1 = Instant::now();
     let pairs = if parallel {
-        host_join::host_pairs_parallel(plan.data, grid, eps)
+        host_join::host_pairs_parallel(plan.data, grid, eps, off, cnt)
     } else {
-        host_join::host_pairs_for_range_within(plan.data, grid, eps, 0, plan.data.len())
+        host_join::host_pairs_for_range_within(plan.data, grid, eps, off, cnt)
     };
     let scan = t1.elapsed();
     let report = JoinReport {
@@ -501,6 +534,72 @@ mod tests {
             out.dropped_ghost_pairs as usize,
             full.pairs.len() - expected_kept
         );
+    }
+
+    #[test]
+    fn ownership_fused_equals_scoped_post_pass() {
+        // The emit-time ownership filter must produce exactly the pairs
+        // the post-pass `scoped` filter keeps — for both hot paths, with
+        // and without UNICOMP, so the shard engine can swap one for the
+        // other freely.
+        use crate::cell_major::HotPath;
+        let data = clustered(3, 500, 3, 1.0, 0.15, 98);
+        let eps = 1.5;
+        let owned = 320usize;
+        let device = Device::new(DeviceSpec::titan_x_pascal());
+        for hot_path in [HotPath::PerThread, HotPath::CellMajor] {
+            for unicomp in [false, true] {
+                let mut scoped = JoinPlan::build_index(&data, eps).scoped(owned);
+                scoped.exec.hot_path = hot_path;
+                scoped.exec.unicomp = unicomp;
+                let mut fused = JoinPlan::build_index(&data, eps).owned_prefix(owned);
+                fused.exec.hot_path = hot_path;
+                fused.exec.unicomp = unicomp;
+                let a = execute(&scoped, Backend::Device(&device)).unwrap();
+                let b = execute(&fused, Backend::Device(&device)).unwrap();
+                assert_eq!(
+                    table(&data, &a),
+                    table(&data, &b),
+                    "hot_path={hot_path:?} unicomp={unicomp}"
+                );
+                // Fused plans never materialize a ghost-keyed pair.
+                assert_eq!(b.dropped_ghost_pairs, 0);
+                assert!(b.pairs.iter().all(|p| (p.key as usize) < owned));
+            }
+        }
+    }
+
+    #[test]
+    fn ownership_fused_host_backend_scans_owned_prefix_only() {
+        let data = uniform(2, 450, 99);
+        let eps = 4.0;
+        let owned = 300usize;
+        let device = Device::new(DeviceSpec::titan_x_pascal());
+        let dev = execute(
+            &JoinPlan::build_index(&data, eps).owned_prefix(owned),
+            Backend::Device(&device),
+        )
+        .unwrap();
+        for parallel in [false, true] {
+            let host = execute(
+                &JoinPlan::build_index(&data, eps).owned_prefix(owned),
+                Backend::Host { parallel },
+            )
+            .unwrap();
+            assert_eq!(
+                table(&data, &host),
+                table(&data, &dev),
+                "parallel={parallel}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ownership window")]
+    fn oversized_ownership_window_panics() {
+        let data = uniform(2, 50, 100);
+        let plan = JoinPlan::build_index(&data, 3.0).owned_prefix(51);
+        let _ = execute(&plan, Backend::Host { parallel: false });
     }
 
     #[test]

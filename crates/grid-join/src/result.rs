@@ -172,6 +172,49 @@ impl NeighborTable {
     }
 }
 
+/// Emit-time ownership window of a shard-scoped join: the contiguous
+/// local-id range `[lo, hi)` of points this execution *owns*. Kernels
+/// carrying an ownership window test each candidate pair's key with one
+/// comparison **before** reserving result-buffer space, so ghost-keyed
+/// pairs are never materialized — the fused alternative to the post-pass
+/// [`retain_owned_pairs`] filter.
+///
+/// Shard-local datasets are laid out owned-points-first, so shard plans
+/// use the prefix window `[0, owned)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Ownership {
+    /// First owned local id (inclusive).
+    pub lo: u32,
+    /// One past the last owned local id (exclusive).
+    pub hi: u32,
+}
+
+impl Ownership {
+    /// The owned-points-first prefix window `[0, owned)` of a shard.
+    pub fn prefix(owned: usize) -> Self {
+        Self {
+            lo: 0,
+            hi: owned as u32,
+        }
+    }
+
+    /// Whether a pair keyed by `key` belongs to this execution.
+    #[inline]
+    pub fn keeps(&self, key: u32) -> bool {
+        self.lo <= key && key < self.hi
+    }
+
+    /// Number of local ids in the window.
+    pub fn len(&self) -> usize {
+        (self.hi - self.lo) as usize
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lo >= self.hi
+    }
+}
+
 /// Sorts pairs by (key, value) — the host-side equivalent of the paper's
 /// post-kernel `thrust::sort`, used when a caller wants the raw pair list
 /// in canonical order rather than a [`NeighborTable`].
@@ -303,6 +346,28 @@ mod tests {
         assert_eq!(pairs, vec![Pair::new(0, 3), Pair::new(1, 0)]);
         let mut none: Vec<Pair> = Vec::new();
         assert_eq!(retain_owned_pairs(&mut none, 5), 0);
+    }
+
+    #[test]
+    fn ownership_window_semantics() {
+        let own = Ownership::prefix(3);
+        assert!(own.keeps(0) && own.keeps(2));
+        assert!(!own.keeps(3));
+        assert_eq!(own.len(), 3);
+        let mid = Ownership { lo: 2, hi: 5 };
+        assert!(!mid.keeps(1) && mid.keeps(2) && mid.keeps(4) && !mid.keeps(5));
+        assert!(Ownership::prefix(0).is_empty());
+        // The emit-time window keeps exactly what the post-pass filter
+        // keeps for a prefix window.
+        let mut pairs = vec![Pair::new(0, 3), Pair::new(3, 0), Pair::new(2, 4)];
+        let keep = Ownership::prefix(3);
+        let by_window: Vec<Pair> = pairs
+            .iter()
+            .copied()
+            .filter(|p| keep.keeps(p.key))
+            .collect();
+        retain_owned_pairs(&mut pairs, 3);
+        assert_eq!(pairs, by_window);
     }
 
     #[test]

@@ -1,118 +1,512 @@
-//! Per-shard work prediction for the scheduler.
+//! Ghost-aware per-shard work projection for the scheduler and the
+//! shard-count chooser.
 //!
-//! Reuses the result-set batching scheme's on-device selectivity
-//! estimator ([`grid_join::batching::estimate_result_size`]): a sampled
-//! count kernel predicts each shard's directed result pairs, and the
-//! predicted kernel work — points processed plus pairs produced — becomes
-//! the scheduling cost. On skewed datasets two shards with equal point
-//! counts can differ by orders of magnitude in pair count; scheduling by
-//! this cost, not by `|shard|`, is what keeps the devices balanced.
+//! One cheap host-side **calibration** pass over the full dataset — an
+//! O(n) counting-grid binning plus an exact neighbor scan of a small
+//! stride sample — yields a [`CostModel`]: measured per-candidate
+//! evaluation cost, per-point grid-build cost, and per-sample neighbor /
+//! candidate densities. From the model, [`project_partition`] prices any
+//! candidate partition *without touching a device*: each shard's modeled
+//! time covers its upload (owned + ghost bytes through the PCIe model),
+//! its grid build, and its join scan over owned **and ghost** points —
+//! the ghost-band join cost slabs hid from the old count-based estimate.
 //!
-//! The prediction is also threaded into the shard's join via
-//! [`grid_join::BatchingConfig::precomputed_estimate`], so the estimation
-//! kernel runs once per shard, not twice.
+//! The engine minimizes the LPT makespan of these projections over a
+//! candidate set of shard counts ([`project_scaled`] prices candidates on
+//! the calibration sample, so the chooser costs microseconds), and the
+//! winning projection both schedules the shards and seeds each subplan's
+//! result-size estimate — no per-shard estimation kernels run at all.
 
-use crate::partition::Shard;
-use grid_join::batching::estimate_result_size;
-use grid_join::{BatchingConfig, DeviceGrid, GridIndex, SelfJoinError};
-use sim_gpu::Device;
-use std::time::Duration;
+use crate::partition::Partition;
+use grid_join::error::GridBuildError;
+use sim_gpu::{DeviceSpec, TransferModel};
+use sj_datasets::{euclidean_sq, Dataset};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
-/// Predicted execution cost of one shard.
+/// Measured host cost of one candidate evaluation is multiplied by this
+/// factor to approximate the *traced* kernel's host cost (the substrate
+/// routes every access through the tracer), before division by
+/// `DeviceSpec::throughput_vs_host_core` yields modeled device time. A
+/// model constant, tuned against the executed pipeline's timings.
+pub const TRACED_EVAL_OVERHEAD: f64 = 10.0;
+
+/// The per-shard `GridIndex::build` costs roughly this multiple of the
+/// calibration pass's raw binning (sorting, masks, reordered snapshot).
+pub const GRID_BUILD_FACTOR: f64 = 3.0;
+
+/// Safety factor applied to projected pair counts before they seed the
+/// batching scheme's buffer sizing (mirrors its own 1.25 estimator
+/// margin; underestimates only cost an overflow-retry, not correctness).
+pub const PAIR_SAFETY: f64 = 1.3;
+
+/// UNICOMP scans roughly this fraction of the full 3^d candidate set
+/// (half the neighbor cells plus the id-ordered half of the home cell).
+pub const UNICOMP_WORK_FACTOR: f64 = 0.55;
+
+/// Below this many calibration samples inside a shard's box, the
+/// projection falls back to the global densities.
+const MIN_SAMPLES_PER_SHARD: usize = 8;
+
+/// Cap on the points the calibration pass bins into its counting grid.
+/// Beyond this, a stride sample is binned instead and per-cell counts are
+/// inflated by the sampling ratio — calibration cost stays bounded while
+/// the join work it prices keeps growing with n, so the serial prelude
+/// never swamps the parallel speedup it exists to enable.
+const BIN_SAMPLE_CAP: usize = 4_096;
+
+/// Approximate H2D bytes per uploaded point: coordinates (8·dim), the
+/// reordered snapshot (8·dim), the `A` remap (4) and the amortized
+/// `B`/`G`/mask share (~24).
+pub fn bytes_per_point(dim: usize) -> usize {
+    16 * dim + 28
+}
+
+/// Calibration of one (dataset, ε) pair: measured costs plus a stride
+/// sample with exact per-point neighbor statistics. All projections for
+/// every candidate shard count derive from this one pass.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    /// The search radius the model was calibrated for.
+    pub epsilon: f64,
+    /// Points in the calibrated dataset.
+    pub len: usize,
+    /// Mean exact ε-neighbors per sampled point.
+    pub avg_neighbors: f64,
+    /// Mean candidate evaluations (3^d shell population) per sampled
+    /// point.
+    pub avg_candidates: f64,
+    /// Global ids of the stride sample, in sample order.
+    pub sample_ids: Vec<u32>,
+    /// Exact ε-neighbor count per sample.
+    pub sample_neighbors: Vec<u32>,
+    /// Candidate (shell) count per sample.
+    pub sample_candidates: Vec<u32>,
+    /// The sample's coordinates — a dataset small enough to re-partition
+    /// per candidate shard count in microseconds.
+    pub sample_data: Dataset,
+    /// Modeled device time per candidate evaluation.
+    pub eval_cost: Duration,
+    /// Modeled per-point cost of the shard's host grid build.
+    pub grid_build_per_point: Duration,
+    /// Non-empty counting-grid cells observed during binning.
+    pub non_empty_cells: usize,
+    /// Wall time of the calibration pass itself.
+    pub build_time: Duration,
+}
+
+/// Calibrates a cost model for `data` at `epsilon` on a device described
+/// by `spec`: O(n) counting-grid binning (timed → grid-build cost), then
+/// an exact 3^d-shell neighbor scan of a ≤1024-point stride sample
+/// (timed → per-candidate evaluation cost).
+pub fn calibrate(
+    data: &Dataset,
+    epsilon: f64,
+    spec: &DeviceSpec,
+) -> Result<CostModel, GridBuildError> {
+    let t0 = Instant::now();
+    if !(epsilon.is_finite() && epsilon > 0.0) {
+        return Err(GridBuildError::InvalidEpsilon(epsilon));
+    }
+    if data.len() > u32::MAX as usize {
+        return Err(GridBuildError::TooManyPoints(data.len()));
+    }
+    let n = data.len();
+    let dim = data.dim();
+    if n == 0 {
+        return Ok(CostModel {
+            epsilon,
+            len: 0,
+            avg_neighbors: 0.0,
+            avg_candidates: 0.0,
+            sample_ids: Vec::new(),
+            sample_neighbors: Vec::new(),
+            sample_candidates: Vec::new(),
+            sample_data: Dataset::new(dim),
+            eval_cost: Duration::ZERO,
+            grid_build_per_point: Duration::ZERO,
+            non_empty_cells: 0,
+            build_time: t0.elapsed(),
+        });
+    }
+
+    // Counting-grid anchor from the *binned sample's* minima, not a full
+    // O(n) min pass: the origin only anchors integer cell coordinates,
+    // and points below a sampled min simply land in negative cells —
+    // equally hashable. Keeps calibration strictly o(n).
+    let bstride = n.div_ceil(BIN_SAMPLE_CAP);
+    let binned_ids: Vec<u32> = (0..n as u32).step_by(bstride).collect();
+    let mut mins = vec![f64::INFINITY; dim];
+    for &g in &binned_ids {
+        for (j, &x) in data.point(g as usize).iter().enumerate() {
+            mins[j] = mins[j].min(x);
+        }
+    }
+    let cell_of = |p: &[f64], out: &mut [i64]| {
+        for j in 0..dim {
+            out[j] = ((p[j] - mins[j]) / epsilon).floor() as i64;
+        }
+    };
+    // FNV-style combination of the integer cell coordinates. A hash
+    // collision merges two cells' candidate lists — harmless for the
+    // neighbor counts (exact distance check) and a rounding error on the
+    // candidate counts.
+    let key_of = |c: &[i64]| -> u64 {
+        let mut k: u64 = 0xcbf2_9ce4_8422_2325;
+        for &x in c {
+            k = (k ^ x as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        k
+    };
+
+    // Timed binning pass — the raw ingredient of the grid-build cost.
+    // Large datasets bin a stride sample (see [`BIN_SAMPLE_CAP`]); the
+    // sampled cell populations estimate true populations after inflation
+    // by the sampling ratio.
+    let binned = binned_ids.len();
+    let inflate = n as f64 / binned as f64;
+    let tb = Instant::now();
+    let mut bins: HashMap<u64, Vec<u32>> = HashMap::with_capacity(binned / 2 + 16);
+    let mut cbuf = vec![0i64; dim];
+    for &g in &binned_ids {
+        cell_of(data.point(g as usize), &mut cbuf);
+        bins.entry(key_of(&cbuf)).or_default().push(g);
+    }
+    let bin_wall = tb.elapsed();
+    let non_empty_cells = bins.len();
+    let grid_build_per_point = bin_wall.mul_f64(GRID_BUILD_FACTOR / binned as f64);
+
+    // Timed exact-neighbor scan of a stride sample: for each sample, the
+    // 3^d adjacent shell through the counting grid, exact distance tests
+    // for the neighbor count, shell population for the candidate count.
+    // Counts observed on the sampled grid are inflated back to full-
+    // density estimates.
+    let sample_count = binned.min(512);
+    let stride = (binned / sample_count).max(1);
+    let eps_sq = epsilon * epsilon;
+    let shells = 3usize.pow(dim as u32);
+    let mut sample_ids = Vec::with_capacity(sample_count);
+    let mut sample_neighbors = Vec::with_capacity(sample_count);
+    let mut sample_candidates = Vec::with_capacity(sample_count);
+    let mut sample_data = Dataset::new(dim);
+    let mut total_candidates = 0u64;
+    let mut total_neighbors = 0u64;
+    let te = Instant::now();
+    let mut nbuf = vec![0i64; dim];
+    let mut raw_candidates = 0u64;
+    for s in 0..sample_count {
+        let g = binned_ids[s * stride] as usize;
+        let p = data.point(g);
+        cell_of(p, &mut cbuf);
+        let mut cand = 0u64;
+        let mut nb = 0u32;
+        for m in 0..shells {
+            let mut rem = m;
+            for j in 0..dim {
+                nbuf[j] = cbuf[j] + (rem % 3) as i64 - 1;
+                rem /= 3;
+            }
+            if let Some(list) = bins.get(&key_of(&nbuf)) {
+                cand += list.len() as u64;
+                for &o in list {
+                    if o as usize != g && euclidean_sq(p, data.point(o as usize)) <= eps_sq {
+                        nb += 1;
+                    }
+                }
+            }
+        }
+        raw_candidates += cand;
+        let cand = (cand as f64 * inflate).round() as u64;
+        let nb = (nb as f64 * inflate).round() as u64;
+        total_candidates += cand;
+        total_neighbors += nb;
+        sample_ids.push(g as u32);
+        sample_neighbors.push(nb.min(u32::MAX as u64) as u32);
+        sample_candidates.push(cand.min(u32::MAX as u64) as u32);
+        sample_data.push(p);
+    }
+    let eval_wall = te.elapsed();
+    // Per-evaluation cost from the *raw* (scanned) candidate count — the
+    // inflated counts estimate full-density work, not work done here.
+    let host_per_eval = eval_wall.div_f64(raw_candidates.max(1) as f64);
+    let eval_cost = host_per_eval.mul_f64(TRACED_EVAL_OVERHEAD / spec.throughput_vs_host_core);
+
+    Ok(CostModel {
+        epsilon,
+        len: n,
+        avg_neighbors: total_neighbors as f64 / sample_count as f64,
+        avg_candidates: total_candidates as f64 / sample_count as f64,
+        sample_ids,
+        sample_neighbors,
+        sample_candidates,
+        sample_data,
+        eval_cost,
+        grid_build_per_point,
+        non_empty_cells,
+        build_time: t0.elapsed(),
+    })
+}
+
+/// Projected execution cost of one shard, ghost work included.
 #[derive(Clone, Copy, Debug)]
 pub struct ShardCost {
     /// Shard index within the partition.
     pub shard: usize,
-    /// Points in the shard-local dataset (owned + ghosts).
-    pub points: usize,
-    /// Predicted directed result pairs (after the estimator's safety
-    /// factor), over the full local dataset.
+    /// Owned points.
+    pub owned: usize,
+    /// Halo ghost points.
+    pub ghosts: usize,
+    /// Projected directed result pairs over the full local dataset
+    /// (safety factor included) — seeds the batching buffer sizing.
     pub predicted_pairs: u64,
-    /// Host wall time of the estimation pass.
-    pub estimate_wall: Duration,
-    /// Modeled device time of the estimation kernel.
-    pub estimate_modeled: Duration,
+    /// Projected candidate evaluations of the shard's join scan (owned
+    /// and ghost queries both scan).
+    pub scan_work: f64,
+    /// Projected H2D bytes of the shard upload (owned + ghosts).
+    pub upload_bytes: usize,
+    /// The ghost share of [`Self::upload_bytes`] — the replication tax.
+    pub ghost_upload_bytes: usize,
+    /// Projected **host-stage** time: the shard's grid build, done on the
+    /// host by the device's executor task. In a queue, a shard's host
+    /// stage overlaps the *previous* shard's device stage.
+    pub grid_time: Duration,
+    /// Projected **device-stage** time: upload + join scan, modeled.
+    pub device_time: Duration,
+    /// Total isolated time (`grid_time + device_time`) — the LPT
+    /// scheduling weight.
+    pub modeled: Duration,
 }
 
 impl ShardCost {
-    /// Scalar scheduling cost: kernel work scales with the points scanned
-    /// plus the pairs produced (result writes dominate dense shards).
+    /// Points in the shard-local dataset (owned + ghosts).
+    pub fn points(&self) -> usize {
+        self.owned + self.ghosts
+    }
+
+    /// Scalar scheduling cost: modeled nanoseconds (≥ 1 so empty shards
+    /// still round-robin instead of all piling onto device 0).
     pub fn cost(&self) -> u64 {
-        self.points as u64 + self.predicted_pairs
+        (self.modeled.as_nanos() as u64).max(1)
     }
 }
 
-/// Estimates one shard's cost on `device` using the shard's prebuilt
-/// index. The device grid is uploaded for the duration of the estimate
-/// and freed before returning.
-pub fn estimate_shard_cost(
-    device: &Device,
-    shard: &Shard,
-    grid: &GridIndex,
-    cfg: &BatchingConfig,
-) -> Result<ShardCost, SelfJoinError> {
-    let dg = DeviceGrid::upload(device, &shard.data, grid)?;
-    let (predicted_pairs, _sample, estimate_wall, estimate_modeled) =
-        estimate_result_size(device, &dg, cfg, None)?;
-    Ok(ShardCost {
-        shard: shard.id,
-        points: shard.data.len(),
+/// Prices every shard of a *full* partition: per-shard densities come
+/// from the calibration samples falling inside the shard's box (global
+/// fallback when too few land there).
+pub fn project_partition(
+    model: &CostModel,
+    part: &Partition,
+    spec: &DeviceSpec,
+    unicomp: bool,
+) -> Vec<ShardCost> {
+    let transfer = spec.transfer_model();
+    part.shards
+        .iter()
+        .map(|s| {
+            let mut cnt = 0usize;
+            let mut nb = 0.0;
+            let mut cand = 0.0;
+            for (i, p) in model.sample_data.iter().enumerate() {
+                if s.owns(p) {
+                    cnt += 1;
+                    nb += model.sample_neighbors[i] as f64;
+                    cand += model.sample_candidates[i] as f64;
+                }
+            }
+            let (mu_n, mu_c) = if cnt >= MIN_SAMPLES_PER_SHARD {
+                (nb / cnt as f64, cand / cnt as f64)
+            } else {
+                (model.avg_neighbors, model.avg_candidates)
+            };
+            project_shard(
+                model,
+                s.id,
+                s.owned,
+                s.ghosts(),
+                mu_n,
+                mu_c,
+                unicomp,
+                &transfer,
+            )
+        })
+        .collect()
+}
+
+/// Prices a partition of the calibration *sample* as a stand-in for the
+/// full dataset: per-shard owned/ghost counts scale by `scale` (≈ n /
+/// sample size), densities come from the sample points directly (their
+/// `global_ids` index the model's sample arrays). This is what lets the
+/// shard-count chooser evaluate many candidate `k` without partitioning
+/// the full dataset once per candidate.
+pub fn project_scaled(
+    model: &CostModel,
+    sample_part: &Partition,
+    scale: f64,
+    spec: &DeviceSpec,
+    unicomp: bool,
+) -> Vec<ShardCost> {
+    let transfer = spec.transfer_model();
+    sample_part
+        .shards
+        .iter()
+        .map(|s| {
+            let mut nb = 0.0;
+            let mut cand = 0.0;
+            for &i in &s.global_ids[..s.owned] {
+                nb += model.sample_neighbors[i as usize] as f64;
+                cand += model.sample_candidates[i as usize] as f64;
+            }
+            let (mu_n, mu_c) = if s.owned >= MIN_SAMPLES_PER_SHARD {
+                (nb / s.owned as f64, cand / s.owned as f64)
+            } else {
+                (model.avg_neighbors, model.avg_candidates)
+            };
+            let owned = (s.owned as f64 * scale).round() as usize;
+            let ghosts = (s.ghosts() as f64 * scale).round() as usize;
+            project_shard(model, s.id, owned, ghosts, mu_n, mu_c, unicomp, &transfer)
+        })
+        .collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn project_shard(
+    model: &CostModel,
+    shard: usize,
+    owned: usize,
+    ghosts: usize,
+    mu_neighbors: f64,
+    mu_candidates: f64,
+    unicomp: bool,
+    transfer: &TransferModel,
+) -> ShardCost {
+    let dim = model.sample_data.dim();
+    let local = owned + ghosts;
+    let predicted_pairs = (mu_neighbors * local as f64 * PAIR_SAFETY).ceil() as u64;
+    let work_factor = if unicomp { UNICOMP_WORK_FACTOR } else { 1.0 };
+    let scan_work = local as f64 * mu_candidates * work_factor;
+    let upload_bytes = local * bytes_per_point(dim);
+    let ghost_upload_bytes = ghosts * bytes_per_point(dim);
+    let grid_time = model.grid_build_per_point.mul_f64(local as f64);
+    let device_time = transfer.time(upload_bytes) + model.eval_cost.mul_f64(scan_work);
+    ShardCost {
+        shard,
+        owned,
+        ghosts,
         predicted_pairs,
-        estimate_wall,
-        estimate_modeled,
-    })
+        scan_work,
+        upload_bytes,
+        ghost_upload_bytes,
+        grid_time,
+        device_time,
+        modeled: grid_time + device_time,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::partition::partition;
-    use sim_gpu::DeviceSpec;
+    use grid_join::GridIndex;
     use sj_datasets::synthetic::{clustered, uniform};
 
     #[test]
-    fn cost_tracks_density_not_count() {
-        // Three tight clusters on a line: equal-count shards, but the one
-        // holding a cluster at small ε has far more pairs than a sparse
-        // one. The estimator must see the difference.
-        let dev = Device::new(DeviceSpec::titan_x_pascal());
-        let data = clustered(2, 3000, 3, 1.0, 0.04, 21);
-        let part = partition(&data, 0.4, 3).unwrap();
-        let cfg = BatchingConfig::default();
-        let costs: Vec<ShardCost> = part
-            .shards
-            .iter()
-            .map(|s| {
-                let grid = GridIndex::build(&s.data, 0.4).unwrap();
-                estimate_shard_cost(&dev, s, &grid, &cfg).unwrap()
-            })
-            .collect();
-        assert_eq!(costs.len(), part.shards.len());
+    fn projection_close_to_truth_on_uniform_data() {
+        let data = uniform(2, 4000, 22);
+        let eps = 3.0;
+        let spec = DeviceSpec::titan_x_pascal();
+        let model = calibrate(&data, eps, &spec).unwrap();
+        let part = partition(&data, eps, 2).unwrap();
+        let costs = project_partition(&model, &part, &spec, true);
         for (c, s) in costs.iter().zip(&part.shards) {
-            assert_eq!(c.points, s.data.len());
+            let grid = GridIndex::build(&s.data, eps).unwrap();
+            let truth = grid_join::host_self_join(&s.data, &grid).total_pairs() as f64;
+            assert!(
+                c.predicted_pairs as f64 >= truth * 0.6,
+                "under: {c:?} truth {truth}"
+            );
+            assert!(
+                c.predicted_pairs as f64 <= truth * 3.0,
+                "over: {c:?} truth {truth}"
+            );
+            assert_eq!(c.owned, s.owned);
+            assert_eq!(c.ghosts, s.ghosts());
+            assert!(c.modeled > Duration::ZERO);
         }
-        // All memory released after estimation.
-        assert_eq!(dev.used_bytes(), 0);
     }
 
     #[test]
-    fn prediction_close_to_truth_on_uniform_shard() {
-        let dev = Device::new(DeviceSpec::titan_x_pascal());
-        let data = uniform(2, 4000, 22);
-        let part = partition(&data, 3.0, 2).unwrap();
-        let shard = &part.shards[0];
-        let grid = GridIndex::build(&shard.data, 3.0).unwrap();
-        let cost = estimate_shard_cost(&dev, shard, &grid, &BatchingConfig::default()).unwrap();
-        let truth = grid_join::host_self_join(&shard.data, &grid).total_pairs() as f64;
-        // The estimator carries a 1.25 safety factor.
+    fn cost_tracks_density_not_count() {
+        // Tight clusters: equal-count shards, wildly different pair
+        // counts. The projected cost must see the difference without any
+        // device kernel running.
+        let data = clustered(2, 3000, 3, 1.0, 0.04, 21);
+        let eps = 0.4;
+        let spec = DeviceSpec::titan_x_pascal();
+        let model = calibrate(&data, eps, &spec).unwrap();
+        let part = partition(&data, eps, 3).unwrap();
+        let costs = project_partition(&model, &part, &spec, true);
+        assert_eq!(costs.len(), part.shards.len());
+        let max = costs.iter().map(ShardCost::cost).max().unwrap();
+        let min = costs.iter().map(ShardCost::cost).min().unwrap();
         assert!(
-            cost.predicted_pairs as f64 >= truth * 0.8,
-            "under: {cost:?} truth {truth}"
+            max as f64 / min as f64 > 1.2,
+            "projection blind to density: {costs:?}"
         );
+    }
+
+    #[test]
+    fn ghost_bytes_counted_separately() {
+        let data = uniform(2, 3000, 23);
+        let eps = 2.0;
+        let spec = DeviceSpec::titan_x_pascal();
+        let model = calibrate(&data, eps, &spec).unwrap();
+        let part = partition(&data, eps, 4).unwrap();
+        let costs = project_partition(&model, &part, &spec, true);
+        assert!(part.ghost_points() > 0, "4 shards must replicate");
+        for (c, s) in costs.iter().zip(&part.shards) {
+            assert_eq!(c.ghost_upload_bytes, s.ghosts() * bytes_per_point(2));
+            assert!(c.upload_bytes >= c.ghost_upload_bytes);
+        }
+    }
+
+    #[test]
+    fn scaled_projection_tracks_full_projection() {
+        // Pricing the sample partition at scale must land in the same
+        // ballpark as pricing the real partition — it drives the shard-
+        // count chooser, so a gross disagreement would mis-size the run.
+        let data = uniform(2, 8000, 24);
+        let eps = 1.5;
+        let spec = DeviceSpec::titan_x_pascal();
+        let model = calibrate(&data, eps, &spec).unwrap();
+        let scale = data.len() as f64 / model.sample_data.len() as f64;
+        let k = 4;
+        let sample_part = partition(&model.sample_data, eps, k).unwrap();
+        let scaled = project_scaled(&model, &sample_part, scale, &spec, true);
+        let full = project_partition(&model, &partition(&data, eps, k).unwrap(), &spec, true);
+        let sum = |cs: &[ShardCost]| cs.iter().map(|c| c.modeled).sum::<Duration>();
+        let (a, b) = (sum(&scaled).as_secs_f64(), sum(&full).as_secs_f64());
         assert!(
-            cost.predicted_pairs as f64 <= truth * 2.5,
-            "over: {cost:?} truth {truth}"
+            a / b < 4.0 && b / a < 4.0,
+            "scaled {a:.6}s vs full {b:.6}s disagree grossly"
         );
-        assert!(cost.cost() >= cost.predicted_pairs);
+    }
+
+    #[test]
+    fn empty_dataset_calibrates_to_zero() {
+        let spec = DeviceSpec::titan_x_pascal();
+        let model = calibrate(&Dataset::new(2), 1.0, &spec).unwrap();
+        assert_eq!(model.len, 0);
+        assert_eq!(model.avg_neighbors, 0.0);
+        assert_eq!(model.eval_cost, Duration::ZERO);
+    }
+
+    #[test]
+    fn invalid_epsilon_rejected() {
+        let spec = DeviceSpec::titan_x_pascal();
+        let data = uniform(2, 10, 25);
+        assert!(matches!(
+            calibrate(&data, -1.0, &spec),
+            Err(GridBuildError::InvalidEpsilon(_))
+        ));
     }
 }

@@ -3,13 +3,41 @@
 //! The engine is a **plan rewrite** over the shared join-plan IR
 //! ([`grid_join::JoinPlan`]): the partition pass turns one logical join
 //! into per-shard *subplans* — prebuilt shard index, precomputed cost
-//! estimate, scoped + remapped post stage — and the rest of the pipeline
-//! is scheduling and merging:
+//! estimate, an emit-time ownership window, remapped post stage — and the
+//! rest of the pipeline is scheduling and merging:
 //!
-//! partition → per-shard index build → on-device cost estimation → LPT
-//! scheduling → one executor task per device (rayon) running its queue of
-//! subplans through [`grid_join::plan::execute`] → streaming,
-//! deduplicating merge into the global [`NeighborTable`].
+//! calibrate → choose shard count (modeled-makespan argmin) → kd
+//! partition → LPT scheduling → one executor task per device (rayon)
+//! running its queue of subplans (shard grid build + join) through
+//! [`grid_join::plan::execute`] → concatenating merge into the global
+//! [`NeighborTable`].
+//!
+//! ## Shard-count choice
+//!
+//! More shards mean more devices busy but also more ε-halo replication:
+//! every ghost point is uploaded, indexed and scanned twice. The engine
+//! prices that trade-off instead of guessing: the calibration sample is
+//! partitioned at every candidate count (1, the powers of two up to
+//! `devices × shards_per_device`, and the device count itself), each
+//! candidate's shards are cost-projected ghost-inclusive
+//! ([`crate::cost::project_scaled`]), LPT-scheduled, and the candidate
+//! with the smallest modeled makespan wins — so 8 devices are only *used*
+//! when the ghost tax is worth it. An explicit
+//! [`ShardedConfig::num_shards`] bypasses the chooser.
+//!
+//! ## Ownership fusion
+//!
+//! Shard-local point ids place the owned points first, so the ownership
+//! filter is the window `[0, owned)` — fused into the kernels via
+//! [`grid_join::plan::JoinPlan::owned_prefix`], which drops ghost-keyed
+//! pairs at emit time (one comparison before the result reservation).
+//! Ghost pairs are never materialized, downloaded or post-filtered, and
+//! since the ownership windows of different shards cover disjoint global
+//! id sets, the merge degenerates to concatenation (debug builds still
+//! run the counting-sort dedup and assert it found nothing). The
+//! [`HotPath::PerThread`] ablation path keeps the classic post-pass
+//! filter + dedup merge so the fused/post-pass configurations stay
+//! comparable.
 //!
 //! ## Timing model
 //!
@@ -19,32 +47,35 @@
 //! launch had the full host to itself. Running two simulated devices'
 //! kernels simultaneously would violate that assumption and double-count
 //! host throughput, so the executor serializes *kernel execution* across
-//! device tasks with a substrate lock (filtering, remapping and merging
-//! still overlap). Cross-device concurrency is then modeled exactly the
-//! way the batching scheme models transfer overlap: each device's modeled
-//! busy time accumulates independently, and the engine's modeled response
-//! time takes the **maximum** over devices — the busiest device bounds
+//! device tasks with a substrate lock (remapping and merging still
+//! overlap). Cross-device concurrency is then modeled exactly the way the
+//! batching scheme models transfer overlap: each device's modeled busy
+//! time accumulates independently, and the engine's modeled response time
+//! takes the **maximum** over devices — the busiest device bounds
 //! completion, just as a real multi-GPU driver would observe.
 
-use crate::cost::{estimate_shard_cost, ShardCost};
-use crate::partition::{partition, Partition};
-use crate::schedule::{lpt_schedule, Assignment};
+use crate::cost::{calibrate, project_partition, project_scaled, CostModel, ShardCost};
+use crate::partition::{partition, partition_par, Partition};
+use crate::schedule::{lpt_schedule, modeled_makespan, Assignment};
 use grid_join::plan::{execute, Backend, JoinPlan};
 use grid_join::{GridIndex, HotPath, NeighborTable, Pair, SelfJoinConfig, SelfJoinError};
 use parking_lot::Mutex;
 use rayon::prelude::*;
 use sim_gpu::{DevicePool, DeviceTally, PoolProfiler};
 use sj_datasets::Dataset;
+use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 
 /// Configuration of the sharded engine.
 #[derive(Clone, Copy, Debug)]
 pub struct ShardedConfig {
-    /// Shards created per device when `num_shards` is not set. Over-
-    /// decomposition (default 2) gives the cost-based scheduler freedom
-    /// to balance skew at the price of more halo replication.
+    /// Upper bound on shards per device for the shard-count chooser
+    /// (default 2): candidates range over 1 ..= devices × this. Over-
+    /// decomposition gives the cost-based scheduler freedom to balance
+    /// skew at the price of more halo replication — the chooser decides
+    /// whether that price pays.
     pub shards_per_device: usize,
-    /// Explicit total shard count (overrides `shards_per_device`).
+    /// Explicit total shard count (disables the chooser).
     pub num_shards: Option<usize>,
     /// Per-shard join configuration (UNICOMP on by default, as in the
     /// paper's best configuration).
@@ -72,16 +103,19 @@ pub struct ShardRunReport {
     pub owned: usize,
     /// Halo ghost points.
     pub ghosts: usize,
-    /// Scheduler's predicted cost (points + predicted pairs).
+    /// Scheduler's projected cost (modeled nanoseconds).
     pub predicted_cost: u64,
-    /// Directed pairs this shard contributed after ownership filtering.
+    /// Directed pairs this shard contributed (ownership applied).
     pub actual_pairs: u64,
-    /// Ghost-keyed pairs dropped by the ownership filter.
+    /// Ghost-keyed pairs dropped by the *post-pass* ownership filter —
+    /// zero on the fused path, where they are never materialized.
     pub dropped_ghost_pairs: u64,
     /// Result batches the shard's join executed.
     pub batches: usize,
-    /// Modeled device time of the shard's pipeline (upload + kernels +
-    /// drains, pipelined).
+    /// H2D bytes attributable to uploading this shard's ghost points.
+    pub ghost_h2d_bytes: usize,
+    /// Modeled device time of the shard's pipeline (grid build + upload +
+    /// kernels + drains, pipelined).
     pub modeled: Duration,
     /// Host wall time of the shard's pipeline.
     pub wall: Duration,
@@ -90,39 +124,66 @@ pub struct ShardRunReport {
 /// Execution report of a sharded join.
 #[derive(Clone, Debug)]
 pub struct ShardedReport {
-    /// Dimension the partitioner cut across.
-    pub split_dim: usize,
+    /// Dimensions the kd partitioner cut across, in cut order.
+    pub cut_dims: Vec<usize>,
     /// Per-shard execution records, in shard order.
     pub shards: Vec<ShardRunReport>,
     /// Per-device aggregated usage (kernel launches, modeled busy time,
-    /// transfer bytes), in device order.
+    /// transfer bytes incl. the ghost share), in device order.
     pub devices: Vec<DeviceTally>,
     /// Predicted per-device load the scheduler balanced.
     pub predicted_load: Vec<u64>,
+    /// `(shard count, modeled makespan)` for every candidate the chooser
+    /// priced (empty when `num_shards` was explicit).
+    pub candidate_makespans: Vec<(usize, Duration)>,
     /// Total halo ghost points (replication overhead).
     pub ghost_points: usize,
-    /// Wall time of the partitioning pass.
+    /// Wall time of the cost-model calibration pass.
+    pub calibrate_time: Duration,
+    /// Wall time of the shard-count chooser.
+    pub choose_time: Duration,
+    /// Modeled time of the partitioning pass: serial kd recursion plus
+    /// the slowest lane of each chunked full-data pass, one lane per
+    /// device (see `sj_shard::partition::partition_par`).
     pub partition_time: Duration,
-    /// Wall time of the per-shard host index builds.
+    /// Wall time of the per-shard host index builds (summed across
+    /// device tasks; they overlap in wall time).
     pub index_build_time: Duration,
-    /// Wall time of the cost-estimation pass.
-    pub estimate_time: Duration,
     /// Wall time of the parallel execution phase.
     pub execute_time: Duration,
-    /// Wall time of the sort + dedup + table-build merge.
+    /// Wall time of the merge (pure concatenation-order table build on
+    /// the fused path; sort + dedup on the ablation path).
     pub merge_time: Duration,
     /// End-to-end host wall time.
     pub total: Duration,
-    /// Modeled multi-device response time: the partition pass plus the
-    /// busiest device stream (per-shard index build + estimation kernel +
-    /// pipelined join timeline; devices run concurrently so the maximum
-    /// bounds completion). Matches the single-device
+    /// Modeled multi-device response time: calibration + chooser +
+    /// partition pass plus the busiest device stream (per-shard grid
+    /// build + pipelined join timeline; devices run concurrently so the
+    /// maximum bounds completion). Matches the single-device
     /// `JoinReport::modeled_total` convention, which likewise excludes
     /// host-side table/merge construction.
     pub modeled_total: Duration,
     /// Duplicate pairs removed by the merge. Exclusive pair ownership
-    /// makes this 0; a non-zero value signals a halo/ownership bug.
+    /// makes this 0; on the fused path duplicates are structurally
+    /// impossible and release builds skip the check entirely.
     pub duplicates_merged: u64,
+}
+
+impl ShardedReport {
+    /// Ghost points as a fraction of owned points.
+    pub fn ghost_fraction(&self) -> f64 {
+        let owned: usize = self.shards.iter().map(|s| s.owned).sum();
+        if owned == 0 {
+            0.0
+        } else {
+            self.ghost_points as f64 / owned as f64
+        }
+    }
+
+    /// Total H2D bytes spent uploading ghost points, across devices.
+    pub fn ghost_h2d_bytes(&self) -> usize {
+        self.devices.iter().map(|t| t.ghost_h2d_bytes).sum()
+    }
 }
 
 /// Output of a sharded self-join.
@@ -162,8 +223,7 @@ impl ShardedSelfJoin {
         self
     }
 
-    /// Fixes the total shard count (otherwise `devices ×
-    /// shards_per_device`).
+    /// Fixes the total shard count (disables the makespan chooser).
     pub fn with_shards(mut self, num_shards: usize) -> Self {
         self.config.num_shards = Some(num_shards);
         self
@@ -193,101 +253,149 @@ impl ShardedSelfJoin {
         &self.config
     }
 
+    /// Shard-count candidates: 1, the powers of two up to the cap, plus
+    /// the device count and the cap themselves.
+    fn shard_candidates(&self, ndev: usize) -> BTreeSet<usize> {
+        let cap = (ndev * self.config.shards_per_device).max(1);
+        let mut c: BTreeSet<usize> = [1, ndev.min(cap), cap].into();
+        let mut k = 2;
+        while k <= cap {
+            c.insert(k);
+            k *= 2;
+        }
+        c
+    }
+
+    /// Prices every candidate shard count on the calibration sample and
+    /// returns the modeled-makespan argmin (ties break toward fewer
+    /// shards) plus the full candidate table for the report.
+    fn choose_shard_count(
+        &self,
+        model: &CostModel,
+        ndev: usize,
+    ) -> Result<(usize, Vec<(usize, Duration)>), SelfJoinError> {
+        let spec = self.pool.device(0).spec();
+        let unicomp = self.config.join.unicomp;
+        let scale = model.len as f64 / model.sample_data.len().max(1) as f64;
+        let mut best = (1usize, Duration::MAX);
+        let mut table = Vec::new();
+        for &k in &self.shard_candidates(ndev) {
+            let sample_part = partition(&model.sample_data, model.epsilon, k)?;
+            let costs = project_scaled(model, &sample_part, scale, spec, unicomp);
+            let assign = lpt_schedule(&costs.iter().map(ShardCost::cost).collect::<Vec<_>>(), ndev);
+            let stages: Vec<(Duration, Duration)> =
+                costs.iter().map(|c| (c.grid_time, c.device_time)).collect();
+            let mk = modeled_makespan(&assign, &stages);
+            table.push((k, mk));
+            if mk < best.1 {
+                best = (k, mk);
+            }
+        }
+        Ok((best.0, table))
+    }
+
     /// Runs the sharded self-join: all ordered pairs `(p, q)`, `p ≠ q`,
     /// with `dist(p, q) ≤ epsilon`, merged across all devices.
     pub fn run(&self, data: &Dataset, epsilon: f64) -> Result<ShardedOutput, SelfJoinError> {
         let t0 = Instant::now();
         let ndev = self.pool.len();
-        let num_shards = self
-            .config
-            .num_shards
-            .unwrap_or(ndev * self.config.shards_per_device)
-            .max(1);
-        let part = partition(data, epsilon, num_shards)?;
+        let spec = self.pool.device(0).spec();
 
-        // Host index builds + on-device cost estimation (devices round-
-        // robin; the prediction is reused by the join so the estimation
-        // kernel runs once per shard).
-        let profiler = PoolProfiler::new(ndev);
-        let t1 = Instant::now();
-        let mut grids = Vec::with_capacity(part.shards.len());
-        let mut index_build_time = Duration::ZERO;
-        let mut costs: Vec<ShardCost> = Vec::with_capacity(part.shards.len());
-        for (i, shard) in part.shards.iter().enumerate() {
-            let tg = Instant::now();
-            // The partition is the source of truth for the halo geometry;
-            // index at its ε.
-            let grid = GridIndex::build(&shard.data, part.epsilon)?;
-            let grid_build = tg.elapsed();
-            index_build_time += grid_build;
-            let est = estimate_shard_cost(
-                self.pool.device(i % ndev),
-                shard,
-                &grid,
-                &self.config.join.batching,
-            )?;
-            // The shard's host index build is attributed to the device
-            // stream that consumes it: builds feeding different devices
-            // overlap (the host is multi-core), builds feeding the same
-            // device serialize — matching how the single-device
-            // `JoinReport::modeled_total` counts its own grid build.
-            profiler.record(
-                i % ndev,
-                &DeviceTally {
-                    launches: 1,
-                    wall: est.estimate_wall,
-                    busy: grid_build + est.estimate_modeled,
-                    // The estimate uploads (and frees) the full shard
-                    // grid; count that transfer like the join phase does.
-                    h2d_bytes: grid.size_bytes() + shard.data.len() * shard.data.dim() * 8,
-                    ..DeviceTally::default()
-                },
-            );
-            grids.push(grid);
-            costs.push(est);
-        }
-        let estimate_time = t1.elapsed();
+        // Ghost-aware cost model: one cheap host pass prices every
+        // candidate partition (and seeds each subplan's result estimate)
+        // — no per-shard estimation kernels.
+        let model = calibrate(data, epsilon, spec)?;
+        let calibrate_time = model.build_time;
+
+        let tc = Instant::now();
+        let (num_shards, candidate_makespans) = match self.config.num_shards {
+            Some(k) => (k.max(1), Vec::new()),
+            None => self.choose_shard_count(&model, ndev)?,
+        };
+        let choose_time = tc.elapsed();
+
+        // One partition lane per device: the chunked full-data passes
+        // are charged at their per-lane makespan, matching the engine's
+        // per-device stream convention.
+        let part = partition_par(data, epsilon, num_shards, ndev)?;
+        let costs = project_partition(&model, &part, spec, self.config.join.unicomp);
 
         let assignment: Assignment =
             lpt_schedule(&costs.iter().map(ShardCost::cost).collect::<Vec<_>>(), ndev);
 
-        // Parallel execution: one rayon task per device drains its queue,
-        // streaming ownership-filtered, globally-remapped pairs into the
-        // shared merge accumulator. The substrate lock serializes kernel
-        // execution across devices (see module docs).
+        // Fused path: ownership is an emit-time kernel window and the
+        // merge is pure concatenation. The PerThread ablation keeps the
+        // post-pass filter + dedup merge for comparison.
+        let fused = self.config.join.hot_path == HotPath::CellMajor;
+
+        // Parallel execution: one rayon task per device drains its queue
+        // — building each shard's grid, then running the subplan — and
+        // streams globally-remapped pairs into the shared merge
+        // accumulator. The substrate lock serializes kernel execution
+        // across devices (see module docs).
         let t2 = Instant::now();
+        let profiler = PoolProfiler::new(ndev);
         let merged: Mutex<Vec<Pair>> = Mutex::new(Vec::new());
         let shard_reports: Mutex<Vec<Option<ShardRunReport>>> =
             Mutex::new(vec![None; part.shards.len()]);
+        let index_build: Mutex<Duration> = Mutex::new(Duration::ZERO);
+        let streams: Mutex<Vec<Duration>> = Mutex::new(vec![Duration::ZERO; ndev]);
         let substrate = Mutex::new(());
         let device_runs: Vec<Result<(), SelfJoinError>> = (0..ndev)
             .into_par_iter()
             .map(|d| -> Result<(), SelfJoinError> {
+                // Modeled device-stream clock: the executor thread's host
+                // work (grid builds) and the device's modeled work
+                // pipeline exactly as `modeled_makespan` prices them.
+                let mut host_t = Duration::ZERO;
+                let mut dev_t = Duration::ZERO;
                 for &s in &assignment.queues[d] {
                     let shard = &part.shards[s];
-                    // The shard's subplan: the rewrite of the logical join
-                    // restricted to this shard. Index and estimate were
-                    // produced by the partition/estimation passes; the
-                    // post stage applies the halo-ownership contract and
-                    // lifts local ids back to global ones.
-                    let subplan = self
-                        .subplan(&shard.data, &grids[s], costs[s].predicted_pairs)
-                        .scoped(shard.owned)
-                        .remapped(&shard.global_ids);
+                    // The partition is the source of truth for the halo
+                    // geometry; index at its ε.
+                    let tg = Instant::now();
+                    let grid = GridIndex::build(&shard.data, part.epsilon)?;
+                    let grid_build = tg.elapsed();
+                    *index_build.lock() += grid_build;
+
+                    // The shard's subplan: the rewrite of the logical
+                    // join restricted to this shard. Owned points are the
+                    // local prefix, so the ownership window is [0, owned)
+                    // — fused into the kernels on the hot path, a post
+                    // pass on the ablation path. Ids lift back to global.
+                    let base = self.subplan(&shard.data, &grid, costs[s].predicted_pairs);
+                    let subplan = if fused {
+                        base.owned_prefix(shard.owned)
+                    } else {
+                        base.scoped(shard.owned)
+                    }
+                    .remapped(&shard.global_ids);
                     let out = {
                         let _kernels = substrate.lock();
                         execute(&subplan, Backend::Device(self.pool.device(d)))?
                     };
                     let mut pairs = out.pairs;
+                    host_t += grid_build;
+                    dev_t = host_t.max(dev_t) + out.report.modeled_total;
+                    let h2d = out.report.index_bytes + shard.data.len() * shard.data.dim() * 8;
+                    // Ghost share of the upload, attributed by point
+                    // count (ghosts and owned points cost the same bytes
+                    // in both the coordinates and the index).
+                    let ghost_h2d = ((h2d as f64 * shard.ghosts() as f64)
+                        / shard.data.len().max(1) as f64)
+                        as usize;
                     profiler.record(
                         d,
                         &DeviceTally {
                             items: 1,
                             launches: out.report.batching.batches,
                             wall: out.report.device_pipeline,
-                            busy: out.report.modeled_total,
-                            h2d_bytes: out.report.index_bytes
-                                + shard.data.len() * shard.data.dim() * 8,
+                            // The host grid build is charged to the
+                            // device stream that consumes it, matching
+                            // the single-device modeled_total convention.
+                            busy: grid_build + out.report.modeled_total,
+                            h2d_bytes: h2d,
+                            ghost_h2d_bytes: ghost_h2d,
                             d2h_bytes: out.report.batching.actual_pairs as usize
                                 * std::mem::size_of::<Pair>(),
                         },
@@ -301,11 +409,13 @@ impl ShardedSelfJoin {
                         actual_pairs: pairs.len() as u64,
                         dropped_ghost_pairs: out.dropped_ghost_pairs,
                         batches: out.report.batching.batches,
-                        modeled: out.report.modeled_total,
+                        ghost_h2d_bytes: ghost_h2d,
+                        modeled: grid_build + out.report.modeled_total,
                         wall: out.report.total,
                     });
                     merged.lock().append(&mut pairs);
                 }
+                streams.lock()[d] = dev_t;
                 Ok(())
             })
             .collect();
@@ -314,35 +424,55 @@ impl ShardedSelfJoin {
         }
         let execute_time = t2.elapsed();
 
-        // Deduplicating merge: counting sort over the dense key space
-        // (O(|R|) instead of a full O(|R| log |R|) pair sort on
-        // multi-million-pair results), dropping duplicates per neighbor
-        // list (exclusive ownership predicts zero — the count is a cheap
-        // invariant check) while building the global table.
+        // Merge. Fused path: the per-shard ownership windows cover
+        // disjoint global id sets, so concatenation is already the union
+        // — debug builds re-run the counting-sort dedup purely to assert
+        // the disjointness invariant. Ablation path: dedup merge as a
+        // cheap runtime check of the post-pass filter.
         let t3 = Instant::now();
         let pairs = merged.into_inner();
-        let (table, duplicates_merged) = NeighborTable::from_pairs_dedup(data.len(), &pairs);
+        let (table, duplicates_merged) = if fused {
+            if cfg!(debug_assertions) {
+                let (table, dups) = NeighborTable::from_pairs_dedup(data.len(), &pairs);
+                debug_assert_eq!(dups, 0, "fused ownership windows overlapped");
+                (table, dups)
+            } else {
+                (NeighborTable::from_pairs(data.len(), &pairs), 0)
+            }
+        } else {
+            NeighborTable::from_pairs_dedup(data.len(), &pairs)
+        };
         let merge_time = t3.elapsed();
 
         let devices = profiler.snapshot();
         // Response-time convention matches the single-device
         // `JoinReport::modeled_total` (grid build + estimate + pipelined
-        // device timeline): the partition pass plus the busiest device
-        // stream. Host-side table construction is excluded there and the
-        // host-side merge is excluded here (reported as `merge_time`).
-        let modeled_total = part.build_time + profiler.makespan();
+        // device timeline): the serial prelude (calibration, chooser,
+        // partition) plus the busiest device *stream* — per stream, grid
+        // builds (host) pipeline with modeled device work exactly as the
+        // chooser priced them. Host-side table construction is excluded
+        // there and the host-side merge is excluded here (reported as
+        // `merge_time`).
+        let stream_makespan = streams
+            .into_inner()
+            .into_iter()
+            .max()
+            .unwrap_or(Duration::ZERO);
+        let modeled_total = calibrate_time + choose_time + part.build_time + stream_makespan;
         let shards = shard_reports.into_inner().into_iter().flatten().collect();
         Ok(ShardedOutput {
             table,
             report: ShardedReport {
-                split_dim: part.split_dim,
+                cut_dims: part.cut_dims.clone(),
                 shards,
                 devices,
                 predicted_load: assignment.predicted_load,
+                candidate_makespans,
                 ghost_points: part.ghost_points(),
+                calibrate_time,
+                choose_time,
                 partition_time: part.build_time,
-                index_build_time,
-                estimate_time,
+                index_build_time: index_build.into_inner(),
                 execute_time,
                 merge_time,
                 total: t0.elapsed(),
@@ -353,9 +483,9 @@ impl ShardedSelfJoin {
     }
 
     /// The per-shard subplan of the rewrite: the configured join over the
-    /// shard's prebuilt index with its scheduler-provided result estimate.
-    /// `run` further scopes it to the shard's owned prefix and remaps ids
-    /// to the global space.
+    /// shard's prebuilt index with its model-projected result estimate.
+    /// `run` further applies the ownership window (fused or post-pass)
+    /// and remaps ids to the global space.
     fn subplan<'a>(
         &self,
         shard_data: &'a Dataset,
@@ -372,13 +502,15 @@ impl ShardedSelfJoin {
     }
 
     /// Partitions without executing — exposed for inspection and tests.
+    /// Uses the explicit shard count if set, else the chooser's cap
+    /// (`devices × shards_per_device`) as an upper bound.
     pub fn plan(&self, data: &Dataset, epsilon: f64) -> Result<Partition, SelfJoinError> {
         let num_shards = self
             .config
             .num_shards
             .unwrap_or(self.pool.len() * self.config.shards_per_device)
             .max(1);
-        Ok(partition(data, epsilon, num_shards)?)
+        Ok(partition_par(data, epsilon, num_shards, self.pool.len())?)
     }
 }
 
@@ -424,7 +556,10 @@ mod tests {
     #[test]
     fn work_spreads_across_devices() {
         let data = uniform(2, 4000, 34);
-        let out = ShardedSelfJoin::titan_x(4).run(&data, 2.0).unwrap();
+        let out = ShardedSelfJoin::titan_x(4)
+            .with_shards(8)
+            .run(&data, 2.0)
+            .unwrap();
         let busy_devices = out.report.devices.iter().filter(|t| t.items > 0).count();
         assert!(busy_devices >= 2, "only {busy_devices} devices used");
         // With work spread over ≥2 devices, the busiest device's modeled
@@ -453,6 +588,49 @@ mod tests {
         assert_eq!(cm.table, pt.table);
         assert_eq!(cm.report.duplicates_merged, 0);
         assert_eq!(pt.report.duplicates_merged, 0);
+        // Fused path never materializes ghost pairs; the ablation path
+        // visibly filters them (ghosts exist whenever shards > 1).
+        for s in &cm.report.shards {
+            assert_eq!(s.dropped_ghost_pairs, 0);
+        }
+        if pt.report.shards.len() > 1 {
+            assert!(pt.report.shards.iter().any(|s| s.dropped_ghost_pairs > 0));
+        }
+    }
+
+    #[test]
+    fn chooser_records_candidates_and_picks_min_makespan() {
+        let data = uniform(2, 3000, 41);
+        let out = ShardedSelfJoin::titan_x(4).run(&data, 2.0).unwrap();
+        let cands = &out.report.candidate_makespans;
+        assert!(!cands.is_empty(), "default config must run the chooser");
+        assert!(cands.iter().any(|&(k, _)| k == 1));
+        assert!(cands.iter().any(|&(k, _)| k == 8), "cap = 4 × 2 missing");
+        let best = cands.iter().map(|&(_, m)| m).min().unwrap();
+        let chosen = cands
+            .iter()
+            .find(|&&(k, _)| k == out.report.shards.len())
+            .map(|&(_, m)| m);
+        // The executed shard count may be below the chosen k only if the
+        // partitioner degraded (narrow data) — not on uniform 2-D data.
+        assert_eq!(chosen, Some(best), "did not execute the argmin: {cands:?}");
+    }
+
+    #[test]
+    fn single_device_choice_beats_or_matches_no_sharding() {
+        // On one device extra shards buy no device parallelism — only
+        // grid-build/device overlap can justify them. Whatever the
+        // chooser picks, its modeled makespan must not exceed the k = 1
+        // candidate's (the degenerate "don't shard" option is always on
+        // the table).
+        let data = uniform(2, 3000, 42);
+        let out = ShardedSelfJoin::titan_x(1).run(&data, 2.0).unwrap();
+        let cands = &out.report.candidate_makespans;
+        let k1 = cands.iter().find(|&&(k, _)| k == 1).map(|&(_, m)| m);
+        let best = cands.iter().map(|&(_, m)| m).min();
+        assert!(best <= k1, "chooser worse than not sharding: {cands:?}");
+        let single = GpuSelfJoin::default_device().run(&data, 2.0).unwrap();
+        assert_eq!(out.table, single.table);
     }
 
     #[test]
@@ -463,6 +641,7 @@ mod tests {
             .run(&data, 2.0)
             .unwrap();
         assert!(out.report.shards.len() <= 3);
+        assert!(out.report.candidate_makespans.is_empty());
         let single = GpuSelfJoin::default_device().run(&data, 2.0).unwrap();
         assert_eq!(out.table, single.table);
     }
@@ -479,6 +658,7 @@ mod tests {
         assert_eq!(out.report.ghost_points, 0);
         assert_eq!(out.report.shards.len(), 1);
         assert_eq!(out.report.shards[0].dropped_ghost_pairs, 0);
+        assert_eq!(out.report.ghost_h2d_bytes(), 0);
     }
 
     #[test]

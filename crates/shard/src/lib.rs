@@ -7,18 +7,27 @@
 //! all of them concurrently — the trajectory the authors took in their
 //! later multi-GPU self-join work. Four pieces compose the engine:
 //!
-//! * [`partition`] — splits space into contiguous, grid-aligned slabs
-//!   along the widest dimension, each carrying an ε-wide ghost/halo band
-//!   (the halo-ownership invariant below).
-//! * [`cost`] — predicts each shard's work by reusing the batching
-//!   scheme's on-device selectivity estimator, so the scheduler sees
-//!   *cost*, not point count.
+//! * [`partition`] — recursive kd-style splits: each sub-region is cut
+//!   along its widest remaining dimension at a grid-aligned boundary,
+//!   yielding compact **boxes** instead of thin slabs. Each box carries an
+//!   ε-wide ghost/halo band per face (the halo-ownership invariant
+//!   below); compact boxes have far less ε-surface per owned point than
+//!   slabs, so the ghost tax stays flat as shard counts grow.
+//! * [`cost`] — a ghost-aware cost model calibrated by one cheap host
+//!   pass ([`calibrate`]): per-shard work is projected from sampled
+//!   neighbourhood densities *including* the ghost-band join work and the
+//!   ghost upload bytes, so the scheduler — and the shard-count chooser —
+//!   see *cost*, not point count.
 //! * [`schedule`] — longest-processing-time assignment of shards to
-//!   devices by predicted cost; skewed datasets balance because a dense
-//!   shard counts for what it costs.
-//! * [`engine`] — [`ShardedSelfJoin`]: one executor task per device runs
-//!   its shard queue through [`grid_join::GpuSelfJoin`], streaming each
-//!   shard's ownership-filtered pairs into a deduplicating merge.
+//!   devices by projected cost, and [`modeled_makespan`], the busiest-
+//!   device bound the engine minimizes when choosing how many shards to
+//!   cut at all.
+//! * [`engine`] — [`ShardedSelfJoin`]: prices candidate shard counts on
+//!   the calibration sample, partitions at the modeled-makespan argmin,
+//!   then runs one executor task per device. Ownership is **fused into
+//!   the kernels** as an emit-time window over each shard's owned-prefix
+//!   ids, so ghost-keyed pairs are never materialized and the merge is
+//!   pure concatenation.
 //!
 //! ```
 //! use sj_shard::ShardedSelfJoin;
@@ -32,37 +41,39 @@
 //!
 //! # The halo-ownership invariant
 //!
-//! Every shard owns a contiguous slab `[lo, hi)` of the global ε-grid
-//! along the split dimension (`lo`/`hi` are cell boundaries, so shards are
-//! grid-aligned), and additionally carries **ghost** copies of every
-//! foreign point within the ε-wide halo band `[lo − ε, hi + ε]`. Two
-//! facts make the merged result exact:
+//! Every shard owns an axis-aligned box `∏ⱼ [loⱼ, hiⱼ)` of space (bounds
+//! lie on global ε-grid cell boundaries, so shards are grid-aligned), and
+//! additionally carries **ghost** copies of every foreign point within
+//! the ε-widened box `∏ⱼ [loⱼ − ε, hiⱼ + ε]`. Two facts make the merged
+//! result exact:
 //!
 //! 1. **Completeness.** If `p` is owned by shard `s` and
-//!    `dist(p, q) ≤ ε`, then `q`'s coordinate along the split dimension
-//!    differs from `p`'s by at most ε, so `q` lies inside `s`'s halo band
+//!    `dist(p, q) ≤ ε`, then `q`'s coordinate differs from `p`'s by at
+//!    most ε in *every* dimension, so `q` lies inside `s`'s ε-widened box
 //!    and is present (owned or ghost) in `s`'s local dataset. The local
 //!    join therefore finds every neighbour of every owned point. (The
-//!    band is widened by a ~1 ppb relative guard so floating-point
+//!    halo is widened by a ~1 ppb relative guard so floating-point
 //!    rounding at cell boundaries can never exclude a true neighbour.)
-//! 2. **Exclusivity.** The slabs partition space, so every point is owned
-//!    by exactly one shard, and a shard only reports pairs whose *key* is
-//!    an owned point (ghost-keyed pairs are dropped by the ownership
-//!    filter in `grid_join`). Hence each directed pair `(p, q)` is
-//!    reported by exactly one shard — the owner of `p` — and the merge
-//!    needs no cross-shard reconciliation (it still deduplicates and
-//!    counts, as a cheap runtime check of this invariant).
+//! 2. **Exclusivity.** The boxes partition space, so every point is owned
+//!    by exactly one shard, and a shard only emits pairs whose *key* is
+//!    an owned point: each shard orders its local ids owned-first, and
+//!    the kernels carry an `Ownership` window that drops ghost-keyed
+//!    pairs at emit time — one comparison before the result-buffer
+//!    reservation, no ghost pair ever materialized. Hence each directed
+//!    pair `(p, q)` is reported by exactly one shard — the owner of `p` —
+//!    and the merge is plain concatenation (debug builds still run the
+//!    dedup pass and assert it found nothing).
 //!
 //! Together: the union of per-shard results equals the single-device
 //! result pair-for-pair, which the workspace's property tests assert for
-//! random datasets, ε values and shard counts.
+//! random datasets, dimensions, ε values and shard counts.
 
 pub mod cost;
 pub mod engine;
 pub mod partition;
 pub mod schedule;
 
-pub use cost::{estimate_shard_cost, ShardCost};
+pub use cost::{calibrate, project_partition, project_scaled, CostModel, ShardCost};
 pub use engine::{ShardRunReport, ShardedConfig, ShardedOutput, ShardedReport, ShardedSelfJoin};
 pub use partition::{partition, Partition, Shard};
-pub use schedule::{lpt_schedule, Assignment};
+pub use schedule::{lpt_schedule, modeled_makespan, Assignment};

@@ -303,6 +303,9 @@ pub struct DeviceTally {
     pub busy: Duration,
     /// Host→device bytes attributed to this device.
     pub h2d_bytes: usize,
+    /// The share of [`Self::h2d_bytes`] spent uploading halo ghost
+    /// points — replicated data a perfect partition would not move.
+    pub ghost_h2d_bytes: usize,
     /// Device→host bytes attributed to this device.
     pub d2h_bytes: usize,
 }
@@ -315,6 +318,7 @@ impl DeviceTally {
         self.wall += other.wall;
         self.busy += other.busy;
         self.h2d_bytes += other.h2d_bytes;
+        self.ghost_h2d_bytes += other.ghost_h2d_bytes;
         self.d2h_bytes += other.d2h_bytes;
     }
 }
@@ -544,11 +548,13 @@ mod tests {
             wall: Duration::from_millis(5),
             busy: Duration::from_millis(7),
             h2d_bytes: 100,
+            ghost_h2d_bytes: 30,
             d2h_bytes: 200,
         };
         a.merge(&a.clone());
         assert_eq!(a.items, 2);
         assert_eq!(a.h2d_bytes, 200);
+        assert_eq!(a.ghost_h2d_bytes, 60);
         assert_eq!(a.busy, Duration::from_millis(14));
     }
 }

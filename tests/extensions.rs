@@ -55,6 +55,7 @@ fn cell_order_improves_cache_hit_rate_on_skewed_data() {
             query_count: data.len(),
             unicomp: false,
             cell_order,
+            ownership: None,
         };
         let (_, cache) = launch_profiled(&device, LaunchConfig::default(), data.len(), &kernel);
         rates.push(cache.hit_rate());
@@ -87,6 +88,7 @@ fn cell_order_lowers_warp_imbalance_on_skewed_data() {
             query_count: data.len(),
             unicomp: false,
             cell_order,
+            ownership: None,
         };
         let (_, profile) =
             launch_work_profiled(&device, LaunchConfig::default(), data.len(), &kernel);
@@ -119,6 +121,7 @@ fn grid_kernel_simd_efficiency_reasonable() {
         query_count: data.len(),
         unicomp: false,
         cell_order: false,
+        ownership: None,
     };
     let (_, profile) = launch_work_profiled(&device, LaunchConfig::default(), data.len(), &kernel);
     let eff = profile.simd_efficiency();

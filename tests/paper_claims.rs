@@ -30,6 +30,7 @@ fn unicomp_halves_traced_work() {
                 query_count: n,
                 unicomp,
                 cell_order: false,
+                ownership: None,
             };
             let (_, cache) = launch_profiled(&device, LaunchConfig::default(), n, &kernel);
             requested.push(cache.bytes_requested as f64);

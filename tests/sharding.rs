@@ -54,37 +54,109 @@ proptest! {
         );
     }
 
-    /// Partition invariants: exclusive exhaustive ownership and ε-halo
-    /// completeness along the split dimension.
+    /// kd-partition invariants, over random dimensions 2–6 and shard
+    /// counts 1–16:
+    ///
+    /// 1. the shard boxes tile the domain — every point is *owned* by
+    ///    exactly one shard's box (pairwise-disjoint ownership regions
+    ///    and exhaustive coverage in one check);
+    /// 2. each shard's owned prefix is exactly the set of points its box
+    ///    owns;
+    /// 3. ghost bands are ε-correct — for every pair within ε, the owner
+    ///    shard of each endpoint carries the other endpoint (owned or
+    ///    ghost), so no cross-box neighbour is ever lost.
     #[test]
-    fn partition_invariants(
-        (data, eps) in workload_strategy(),
-        shards in 1usize..=4,
+    fn kd_partition_invariants(
+        dim in 2usize..=6,
+        n in 20usize..120,
+        seed in 1u64..10_000,
+        family in 0usize..3,
+        eps in 2.0f64..30.0,
+        shards in 1usize..=16,
     ) {
+        let data = match family {
+            0 => uniform(dim, n, seed),
+            1 => clustered(dim, n, 3, 5.0, 0.2, seed),
+            _ => clustered(dim, n, 2, 1.0, 0.05, seed),
+        };
         let part = partition::partition(&data, eps, shards).unwrap();
-        // Ownership is a partition of the input.
-        let mut owned: Vec<u32> = part
+
+        // (1) Exclusive, exhaustive box ownership.
+        let mut owner = vec![usize::MAX; data.len()];
+        for (g, p) in data.iter().enumerate() {
+            let owners: Vec<usize> = part
+                .shards
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.owns(p))
+                .map(|(i, _)| i)
+                .collect();
+            prop_assert_eq!(owners.len(), 1, "point {} owned by {:?}", g, &owners);
+            owner[g] = owners[0];
+        }
+
+        // (2) Owned prefixes match box membership.
+        for (i, s) in part.shards.iter().enumerate() {
+            let mut from_box: Vec<u32> = (0..data.len() as u32)
+                .filter(|&g| owner[g as usize] == i)
+                .collect();
+            from_box.sort_unstable();
+            let mut prefix: Vec<u32> = s.global_ids[..s.owned].to_vec();
+            prefix.sort_unstable();
+            prop_assert_eq!(prefix, from_box, "shard {} owned prefix", i);
+        }
+
+        // (3) ε-halo completeness: the owner of either endpoint of a
+        // close pair carries both endpoints.
+        let present: Vec<std::collections::HashSet<u32>> = part
             .shards
             .iter()
-            .flat_map(|s| s.global_ids[..s.owned].iter().copied())
+            .map(|s| s.global_ids.iter().copied().collect())
             .collect();
-        owned.sort_unstable();
-        prop_assert_eq!(owned, (0..data.len() as u32).collect::<Vec<_>>());
-        // Halo completeness: every foreign point within ε of a slab (in
-        // the split dimension) is carried as a ghost.
-        let j = part.split_dim;
-        for s in &part.shards {
-            let present: std::collections::HashSet<u32> =
-                s.global_ids.iter().copied().collect();
-            for (g, p) in data.iter().enumerate() {
-                if p[j] >= s.lo - eps && p[j] <= s.hi + eps {
+        for a in 0..data.len() {
+            for b in (a + 1)..data.len() {
+                let d2: f64 = data
+                    .point(a)
+                    .iter()
+                    .zip(data.point(b))
+                    .map(|(x, y)| (x - y) * (x - y))
+                    .sum();
+                if d2 <= eps * eps {
                     prop_assert!(
-                        present.contains(&(g as u32)),
-                        "point {} missing from shard [{}, {})", g, s.lo, s.hi
+                        present[owner[a]].contains(&(b as u32)),
+                        "pair ({a},{b}) within eps but {b} absent from {a}'s shard"
+                    );
+                    prop_assert!(
+                        present[owner[b]].contains(&(a as u32)),
+                        "pair ({a},{b}) within eps but {a} absent from {b}'s shard"
                     );
                 }
             }
         }
+    }
+}
+
+/// Satellite pin: the fused (CellMajor) path concatenates shard results —
+/// the dedup pass must find nothing to merge even at aggressive shard
+/// counts, on uniform and skewed data alike.
+#[test]
+fn fused_path_merges_without_duplicates() {
+    for (data, eps) in [
+        (uniform(2, 4000, 11), 2.0),
+        (clustered(3, 3000, 4, 2.0, 0.1, 12), 6.0),
+    ] {
+        let out = ShardedSelfJoin::titan_x(4)
+            .with_shards(8)
+            .with_hot_path(HotPath::CellMajor)
+            .run(&data, eps)
+            .unwrap();
+        assert!(out.report.shards.len() > 1, "want a multi-shard run");
+        assert_eq!(out.report.duplicates_merged, 0);
+        for s in &out.report.shards {
+            assert_eq!(s.dropped_ghost_pairs, 0, "fused path filtered post-hoc");
+        }
+        let single = GpuSelfJoin::default_device().run(&data, eps).unwrap();
+        assert_eq!(out.table, single.table);
     }
 }
 
