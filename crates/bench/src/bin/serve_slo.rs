@@ -112,6 +112,8 @@ fn main() {
     let slo = Duration::from_secs_f64(SLO_FACTOR * mean_cost);
 
     let mut rows = Vec::new();
+    // The first traced run's spans, exported after the sweep.
+    let mut trace_records: Option<Vec<sj_obs::SpanRecord>> = None;
     for devices in [1usize, 2, 4] {
         let queries = (80 * devices).max(160);
         let offered_qps = OVERLOAD * devices as f64 / mean_cost;
@@ -125,6 +127,15 @@ fn main() {
 
         let mut measured: Vec<(bool, f64, f64, u64)> = Vec::new(); // (admission, p99, rejected_frac, delayed)
         for admission_on in [false, true] {
+            // Trace only the admission-controlled stream: that is the
+            // serving path the span taxonomy documents, and keeping the
+            // baseline untraced keeps the ring buffers comfortably
+            // within one run's spans.
+            let tracing = args.trace && admission_on;
+            if tracing {
+                sj_obs::trace::clear();
+                sj_obs::set_enabled(true);
+            }
             let service = SelfJoinService::new(
                 DevicePool::titan_x(devices),
                 ServiceConfig {
@@ -171,6 +182,23 @@ fn main() {
             }
             let m = service.metrics();
             assert_eq!(m.total.failed, 0);
+            if tracing {
+                sj_obs::set_enabled(false);
+                let records = sj_obs::drain();
+                let stats = sj_obs::validate(&records).expect("trace must be well-formed");
+                let roots = records.iter().filter(|r| r.name == "serve.query").count() as u64;
+                assert_eq!(
+                    roots, m.total.admitted,
+                    "one serve.query root per admitted query"
+                );
+                println!(
+                    "  trace[{devices} dev]: {} spans, {} roots, depth {}, {} threads",
+                    stats.spans, stats.roots, stats.max_depth, stats.threads
+                );
+                if trace_records.is_none() {
+                    trace_records = Some(records);
+                }
+            }
             let rejected_frac = m.total.rejected as f64 / m.total.submitted.max(1) as f64;
             measured.push((
                 admission_on,
@@ -236,8 +264,68 @@ fn main() {
         &rows,
     );
 
+    if let Some(records) = trace_records {
+        let dir = sj_bench::output_dir();
+        let full = sj_obs::chrome_trace(&records);
+        sj_obs::json::parse(&full).expect("chrome trace must be valid JSON");
+        let full_path = dir.join("serve_slo_trace.json");
+        std::fs::write(&full_path, &full).expect("write trace");
+        // A small committed sample: the complete span trees of the first
+        // few admitted queries, so the repo carries a loadable example
+        // without megabytes of trace.
+        let sample = sample_trees(&records, 3);
+        sj_obs::validate(&sample).expect("sample trees stay connected");
+        let sample_json = sj_obs::chrome_trace(&sample);
+        sj_obs::json::parse(&sample_json).expect("trace sample must be valid JSON");
+        let sample_path = dir.join("trace_sample.json");
+        std::fs::write(&sample_path, &sample_json).expect("write trace sample");
+        println!(
+            "\ntrace: {} ({} spans) / sample: {} ({} spans) — load in chrome://tracing",
+            full_path.display(),
+            records.len(),
+            sample_path.display(),
+            sample.len()
+        );
+    }
+
+    // Calibration audit: admission's projected cost vs the measured
+    // modeled cost of every executed query in this run.
+    match sj_obs::audit::report("admission") {
+        Some(report) => println!("\n{}", report.summary()),
+        None => println!("\ncost audit [admission]: no samples recorded"),
+    }
+
     println!(
         "\nacceptance bar: admission p99 <= SLO while baseline p99 >= 3x SLO, \
          all completed answers exact — passed"
     );
+}
+
+/// The complete span trees of the first `k` `serve.query` roots (in
+/// record order): each record whose ancestor chain reaches one of them.
+fn sample_trees(records: &[sj_obs::SpanRecord], k: usize) -> Vec<sj_obs::SpanRecord> {
+    use std::collections::{HashMap, HashSet};
+    let parent: HashMap<u64, u64> = records.iter().map(|r| (r.id, r.parent)).collect();
+    let roots: HashSet<u64> = records
+        .iter()
+        .filter(|r| r.name == "serve.query")
+        .take(k)
+        .map(|r| r.id)
+        .collect();
+    records
+        .iter()
+        .filter(|r| {
+            let mut cur = r.id;
+            loop {
+                if roots.contains(&cur) {
+                    return true;
+                }
+                match parent.get(&cur) {
+                    Some(&p) if p != 0 => cur = p,
+                    _ => return false,
+                }
+            }
+        })
+        .cloned()
+        .collect()
 }

@@ -16,6 +16,9 @@ pub struct Args {
     /// Also write every printed table as JSON under `bench_results/`
     /// (see [`crate::table::emit_table`]).
     pub json: bool,
+    /// Enable span tracing (`sj_obs`) and export a Chrome trace of the
+    /// measured run under `bench_results/` (binaries that support it).
+    pub trace: bool,
 }
 
 impl Default for Args {
@@ -26,6 +29,7 @@ impl Default for Args {
             quick: false,
             no_cache: false,
             json: false,
+            trace: false,
         }
     }
 }
@@ -65,6 +69,7 @@ impl Args {
                 "--quick" => out.quick = true,
                 "--no-cache" => out.no_cache = true,
                 "--json" => out.json = true,
+                "--trace" => out.trace = true,
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
             }
@@ -87,7 +92,8 @@ fn usage(msg: &str) -> ! {
          --trials N   trials per measurement, best-of (default 1; paper used 3)\n\
          --quick      smoke mode: caps scale at 0.0005\n\
          --no-cache   ignore bench_results/ CSV cache\n\
-         --json       also write printed tables to bench_results/<figure>.json"
+         --json       also write printed tables to bench_results/<figure>.json\n\
+         --trace      record sj_obs spans and export a Chrome trace to bench_results/"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -121,6 +127,12 @@ mod tests {
     fn json_flag_parses() {
         assert!(parse(&["--json"]).json);
         assert!(parse(&["--quick", "--json"]).json);
+    }
+
+    #[test]
+    fn trace_flag_parses() {
+        assert!(parse(&["--trace"]).trace);
+        assert!(!parse(&["--json"]).trace);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! machine-readable JSON export behind `--json`.
 
 use crate::cli::Args;
+use sj_obs::Json;
 use std::collections::HashMap;
 use std::fs;
 use std::path::PathBuf;
@@ -56,71 +57,52 @@ pub fn emit_table(args: &Args, figure: &str, title: &str, header: &[&str], rows:
 /// Appends one table to the process-wide JSON export for `figure` and
 /// rewrites `bench_results/<figure>.json` (tables are small; rewriting
 /// keeps the file a valid JSON array at all times). Cells that parse as
-/// finite numbers are emitted as JSON numbers, everything else as strings.
+/// finite numbers are emitted as JSON numbers, everything else as
+/// strings. Serialization goes through the workspace's shared writer
+/// ([`sj_obs::Json`]), the same emitter the trace exporter and
+/// `sj_serve`'s metrics snapshot use.
 pub fn write_json_table(
     figure: &str,
     title: &str,
     header: &[&str],
     rows: &[Vec<String>],
 ) -> std::io::Result<PathBuf> {
-    static TABLES: OnceLock<Mutex<HashMap<PathBuf, Vec<String>>>> = OnceLock::new();
-    let mut table = String::new();
-    table.push_str(&format!(
-        "  {{\"figure\": {}, \"title\": {}, \"header\": [{}], \"rows\": [",
-        json_string(figure),
-        json_string(title),
-        header
-            .iter()
-            .map(|h| json_string(h))
-            .collect::<Vec<_>>()
-            .join(", ")
-    ));
-    for (i, row) in rows.iter().enumerate() {
-        if i > 0 {
-            table.push_str(", ");
-        }
-        table.push_str(&format!(
-            "[{}]",
-            row.iter()
-                .map(|c| json_cell(c))
-                .collect::<Vec<_>>()
-                .join(", ")
-        ));
+    static TABLES: OnceLock<Mutex<HashMap<PathBuf, Vec<Json>>>> = OnceLock::new();
+    let mut header_json = Json::arr();
+    for h in header {
+        header_json = header_json.push(*h);
     }
-    table.push_str("]}");
+    let mut rows_json = Json::arr();
+    for row in rows {
+        let mut r = Json::arr();
+        for cell in row {
+            r = r.push(json_cell(cell));
+        }
+        rows_json = rows_json.push(r);
+    }
+    let table = Json::obj()
+        .field("figure", figure)
+        .field("title", title)
+        .field("header", header_json)
+        .field("rows", rows_json);
 
     let path = crate::output_dir().join(format!("{figure}.json"));
     let registry = TABLES.get_or_init(Mutex::default);
     let mut registry = registry.lock().expect("json registry poisoned");
     let tables = registry.entry(path.clone()).or_default();
     tables.push(table);
-    fs::write(&path, format!("[\n{}\n]\n", tables.join(",\n")))?;
+    let mut doc = Json::arr();
+    for t in tables.iter() {
+        doc = doc.push(t.clone());
+    }
+    fs::write(&path, doc.render_pretty())?;
     Ok(path)
 }
 
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-fn json_cell(cell: &str) -> String {
+fn json_cell(cell: &str) -> Json {
     match cell.trim().parse::<f64>() {
-        // Re-serialize through Rust's f64 Display, which is always a
-        // valid JSON number (inputs like "+1" or ".5" are not).
-        Ok(v) if v.is_finite() => format!("{v}"),
-        _ => json_string(cell),
+        Ok(v) if v.is_finite() => Json::Num(v),
+        _ => Json::Str(cell.to_string()),
     }
 }
 
@@ -186,13 +168,12 @@ mod tests {
 
     #[test]
     fn json_cells_type_correctly() {
-        assert_eq!(json_cell("1.25"), "1.25");
-        assert_eq!(json_cell(" 42 "), "42");
-        assert_eq!(json_cell("-0.5"), "-0.5");
-        assert_eq!(json_cell("1.2ms"), "\"1.2ms\"");
-        assert_eq!(json_cell("nan"), "\"nan\"");
-        assert_eq!(json_cell("-"), "\"-\"");
-        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_cell("1.25"), Json::Num(1.25));
+        assert_eq!(json_cell(" 42 "), Json::Num(42.0));
+        assert_eq!(json_cell("-0.5"), Json::Num(-0.5));
+        assert_eq!(json_cell("1.2ms"), Json::Str("1.2ms".into()));
+        assert_eq!(json_cell("nan"), Json::Str("nan".into()));
+        assert_eq!(json_cell("-"), Json::Str("-".into()));
     }
 
     #[test]
@@ -203,11 +184,18 @@ mod tests {
         let p2 = write_json_table(figure, "t2", &["c"], &[vec!["2.5".into()]]).unwrap();
         assert_eq!(p1, p2);
         let text = std::fs::read_to_string(&p1).unwrap();
-        assert!(text.starts_with("[\n"));
-        assert!(text.contains("\"title\": \"t1\""));
-        assert!(text.contains("\"title\": \"t2\""));
-        assert!(text.contains("\"rows\": [[1, \"x\"]]"));
-        assert!(text.contains("[[2.5]]"));
+        let doc = sj_obs::json::parse(&text).expect("export parses");
+        let tables = doc.items();
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].get("title").and_then(Json::as_str), Some("t1"));
+        assert_eq!(tables[1].get("title").and_then(Json::as_str), Some("t2"));
+        let rows = tables[0].get("rows").unwrap().items();
+        assert_eq!(rows[0].items()[0].as_f64(), Some(1.0));
+        assert_eq!(rows[0].items()[1].as_str(), Some("x"));
+        assert_eq!(
+            tables[1].get("rows").unwrap().items()[0].items()[0].as_f64(),
+            Some(2.5)
+        );
         let _ = std::fs::remove_file(&p1);
     }
 }

@@ -259,13 +259,32 @@ pub struct PlanOutput {
 /// shard contract passes an owned *prefix*).
 pub fn execute(plan: &JoinPlan<'_>, backend: Backend<'_>) -> Result<PlanOutput, SelfJoinError> {
     let t0 = Instant::now();
+    let mut span = sj_obs::Span::enter("plan.execute");
+    // Where this plan starts on the modeled clock (the worker seeded the
+    // thread's cursor); the span is finalized with the *pipelined*
+    // modeled total, snapping the cursor back from the serialized layout
+    // the child device stages produce.
+    let modeled_start = if span.id() != 0 {
+        let c = sj_obs::trace::modeled_cursor();
+        if c.is_nan() {
+            0.0
+        } else {
+            c
+        }
+    } else {
+        0.0
+    };
+    span.label("n", plan.data.len());
 
     // Index stage.
     let built;
     let (grid, grid_build): (&GridIndex, Duration) = match &plan.index {
         IndexStage::Build { epsilon } => {
             let tb = Instant::now();
+            let mut ispan = sj_obs::Span::enter("plan.index");
             built = GridIndex::build(plan.data, *epsilon)?;
+            ispan.label("cells", built.non_empty_cells());
+            drop(ispan);
             (&built, tb.elapsed())
         }
         IndexStage::Prebuilt(grid) => (*grid, Duration::ZERO),
@@ -311,6 +330,7 @@ pub fn execute(plan: &JoinPlan<'_>, backend: Backend<'_>) -> Result<PlanOutput, 
 
     // Post stage: ownership filter, then remap (shard halo contract).
     let mut dropped_ghost_pairs = 0;
+    let mut pspan = sj_obs::Span::enter("plan.post");
     if let Some(owned) = plan.post.scope_owned {
         assert!(
             owned <= plan.data.len(),
@@ -318,12 +338,17 @@ pub fn execute(plan: &JoinPlan<'_>, backend: Backend<'_>) -> Result<PlanOutput, 
             plan.data.len()
         );
         dropped_ghost_pairs = retain_owned_pairs(&mut pairs, owned as u32);
+        pspan.label("dropped_ghosts", dropped_ghost_pairs);
     }
     if let Some(map) = plan.post.remap {
         remap_pairs(&mut pairs, map);
+        pspan.label("remapped", 1u64);
     }
+    drop(pspan);
 
     report.total = t0.elapsed();
+    span.label("pairs", pairs.len());
+    span.set_modeled(modeled_start, report.modeled_total.as_secs_f64());
     Ok(PlanOutput {
         pairs,
         dropped_ghost_pairs,
@@ -345,7 +370,13 @@ fn run_device(
             snapshot, hoist, ..
         } => (*snapshot, *hoist, true),
         _ => {
+            let mut uspan = sj_obs::Span::enter("gpu.upload");
             uploaded = DeviceGrid::upload(device, plan.data, grid)?;
+            if uspan.id() != 0 {
+                let bytes = uploaded.h2d_bytes();
+                uspan.label("bytes", bytes);
+                uspan.set_modeled_dur(device.spec().transfer_model().time(bytes).as_secs_f64());
+            }
             (&uploaded, None, false)
         }
     };

@@ -357,7 +357,12 @@ impl SelfJoinSession {
         epsilon: f64,
         lease: DeviceLease,
     ) -> Result<SessionQueryOutput, SelfJoinError> {
+        let mut span = sj_obs::Span::enter("session.query");
+        span.label("session", self.id);
+        span.label("epsilon", epsilon);
+        span.label("device", lease.index());
         let (resident, reused, build_wall) = self.resident_for(epsilon)?;
+        span.label("decision", if reused { "reuse" } else { "rebuild" });
         let t_touch = Instant::now();
         let (snap, first_touch) = self.snapshot_on(&resident, lease.device(), lease.index())?;
         let touch_wall = t_touch.elapsed();
@@ -498,7 +503,10 @@ impl SelfJoinSession {
         // correct (each query uses the generation it built; last install
         // wins) — just wasted work in a pathological interleaving.
         let t0 = Instant::now();
+        let mut bspan = sj_obs::Span::enter("session.build");
+        bspan.label("epsilon_built", epsilon * self.config.build_headroom);
         let grid = GridIndex::build(&self.data, epsilon * self.config.build_headroom)?;
+        drop(bspan);
         let build_wall = t0.elapsed();
         let resident = Arc::new(Resident {
             grid: Arc::new(grid),
@@ -532,6 +540,9 @@ impl SelfJoinSession {
         // the hoist CSR. The permit serializes concurrent budgeted uploads
         // pool-wide — without it, two sessions could both fit "the same"
         // freed space and jointly overshoot the budget.
+        let mut uspan = sj_obs::Span::enter("session.upload");
+        uspan.label("session", self.id);
+        uspan.label("device", device_index);
         let ledger = self.pool.memory_ledger();
         let _permit = ledger.budget().map(|_| ledger.upload_permit());
         let mut projected = DeviceGrid::projected_bytes(&self.data, &resident.grid);
@@ -591,11 +602,17 @@ impl SelfJoinSession {
             snapshots.insert(device_index, Arc::clone(&snap));
         }
         let reupload = !resident.uploaded_devices.lock().insert(device_index);
+        uspan.label("bytes", snap.dg.h2d_bytes());
+        uspan.label("reupload", u64::from(reupload));
+        uspan.set_modeled_dur(snap.upload_modeled.as_secs_f64());
         {
             let mut state = self.state.lock();
             state.stats.snapshot_uploads += 1;
             if reupload {
                 state.stats.snapshot_reuploads += 1;
+                sj_obs::registry()
+                    .counter("sj_session_reuploads_total", &[])
+                    .inc();
             }
         }
         Ok((snap, true))

@@ -6,8 +6,8 @@
 //! written against, so "p99 under the SLO" in a report means exactly what
 //! the controller promised.
 
+use sj_obs::Json;
 use std::collections::HashMap;
-use std::fmt::Write as _;
 
 /// Order statistics of one latency population.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -28,12 +28,22 @@ pub struct LatencyStats {
 
 impl LatencyStats {
     /// Computes stats from an unsorted latency sample.
+    ///
+    /// Percentiles use the **nearest-rank** convention (see
+    /// [`percentile`]): `pXX` is the smallest observed sample with at
+    /// least XX% of the population at or below it — always a real
+    /// observation, never an interpolation. Small samples therefore
+    /// collapse by design: with `n = 1` every percentile is the lone
+    /// sample, and with `n = 2` the median is the *lower* sample
+    /// (`⌈0.5·2⌉ = 1`) while p95/p99 are the upper one. Non-finite
+    /// samples sort by IEEE total order (NaN last) instead of
+    /// panicking.
     pub fn from_samples(samples: &[f64]) -> Self {
         if samples.is_empty() {
             return Self::default();
         }
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         Self {
             count: sorted.len(),
             p50: percentile(&sorted, 0.50),
@@ -45,7 +55,10 @@ impl LatencyStats {
     }
 }
 
-/// Nearest-rank percentile over a sorted sample.
+/// Nearest-rank percentile over a sorted sample: the element at 1-based
+/// rank `⌈q·n⌉`, clamped to `[1, n]` — so `q = 0` yields the minimum
+/// rather than indexing below the sample, and float rounding at `q = 1`
+/// cannot run past the end.
 fn percentile(sorted: &[f64], q: f64) -> f64 {
     debug_assert!(!sorted.is_empty());
     let rank = (q * sorted.len() as f64).ceil() as usize;
@@ -215,61 +228,41 @@ impl ServiceMetrics {
         }
     }
 
-    /// Serializes the snapshot as a JSON object (no external crates; the
-    /// format mirrors what `bench_results/` tables use).
+    /// Serializes the snapshot through the workspace's shared JSON
+    /// writer ([`sj_obs::Json`]) — the same emitter the trace exporter
+    /// and bench tables use, so escaping and number formatting match.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n");
-        let _ = writeln!(out, "  \"slo_secs\": {},", self.slo_secs);
-        let _ = writeln!(
-            out,
-            "  \"snapshot_evictions\": {},",
-            self.snapshot_evictions
-        );
-        let _ = writeln!(
-            out,
-            "  \"snapshot_reuploads\": {},",
-            self.snapshot_reuploads
-        );
-        let _ = writeln!(out, "  \"resident_bytes\": {},", self.resident_bytes);
-        match self.snapshot_budget {
-            Some(b) => {
-                let _ = writeln!(out, "  \"snapshot_budget\": {b},");
-            }
-            None => {
-                let _ = writeln!(out, "  \"snapshot_budget\": null,");
-            }
+        let mut tenants = Json::arr();
+        for t in &self.tenants {
+            tenants = tenants.push(tenant_json(t));
         }
-        let _ = writeln!(out, "  \"total\": {},", tenant_json(&self.total));
-        out.push_str("  \"tenants\": [\n");
-        for (i, t) in self.tenants.iter().enumerate() {
-            let sep = if i + 1 < self.tenants.len() { "," } else { "" };
-            let _ = writeln!(out, "    {}{}", tenant_json(t), sep);
-        }
-        out.push_str("  ]\n}\n");
-        out
+        Json::obj()
+            .field("slo_secs", self.slo_secs)
+            .field("snapshot_evictions", self.snapshot_evictions)
+            .field("snapshot_reuploads", self.snapshot_reuploads)
+            .field("resident_bytes", self.resident_bytes)
+            .field("snapshot_budget", self.snapshot_budget)
+            .field("total", tenant_json(&self.total))
+            .field("tenants", tenants)
+            .render_pretty()
     }
 }
 
-fn tenant_json(t: &TenantMetrics) -> String {
-    format!(
-        "{{\"tenant\": {:?}, \"submitted\": {}, \"admitted\": {}, \"delayed\": {}, \
-         \"rejected\": {}, \"completed\": {}, \"failed\": {}, \"qps\": {:.3}, \
-         \"p50_secs\": {:.6}, \"p95_secs\": {:.6}, \"p99_secs\": {:.6}, \
-         \"mean_secs\": {:.6}, \"max_secs\": {:.6}}}",
-        t.tenant,
-        t.submitted,
-        t.admitted,
-        t.delayed,
-        t.rejected,
-        t.completed,
-        t.failed,
-        t.qps,
-        t.latency.p50,
-        t.latency.p95,
-        t.latency.p99,
-        t.latency.mean,
-        t.latency.max,
-    )
+fn tenant_json(t: &TenantMetrics) -> Json {
+    Json::obj()
+        .field("tenant", t.tenant.as_str())
+        .field("submitted", t.submitted)
+        .field("admitted", t.admitted)
+        .field("delayed", t.delayed)
+        .field("rejected", t.rejected)
+        .field("completed", t.completed)
+        .field("failed", t.failed)
+        .field("qps", t.qps)
+        .field("p50_secs", t.latency.p50)
+        .field("p95_secs", t.latency.p95)
+        .field("p99_secs", t.latency.p99)
+        .field("mean_secs", t.latency.mean)
+        .field("max_secs", t.latency.max)
 }
 
 #[cfg(test)]
@@ -288,7 +281,25 @@ mod tests {
         let one = LatencyStats::from_samples(&[7.0]);
         assert_eq!(one.p50, 7.0);
         assert_eq!(one.p99, 7.0);
+        assert_eq!(one.max, 7.0);
+        // n = 2 collapses per the documented convention: the median is
+        // the lower sample (rank ⌈0.5·2⌉ = 1), the tails the upper.
+        let two = LatencyStats::from_samples(&[9.0, 3.0]);
+        assert_eq!(two.p50, 3.0);
+        assert_eq!(two.p95, 9.0);
+        assert_eq!(two.p99, 9.0);
+        assert_eq!(two.max, 9.0);
         assert_eq!(LatencyStats::from_samples(&[]), LatencyStats::default());
+    }
+
+    #[test]
+    fn non_finite_samples_do_not_panic() {
+        // NaN sorts last under IEEE total order: it poisons max (by
+        // design — garbage in, visible garbage out) without aborting the
+        // metrics endpoint.
+        let stats = LatencyStats::from_samples(&[1.0, f64::NAN, 2.0]);
+        assert_eq!(stats.p50, 2.0);
+        assert!(stats.max.is_nan());
     }
 
     #[test]
@@ -343,5 +354,15 @@ mod tests {
         assert!(json.contains("\"_total\""));
         assert_eq!(m.total.completed, 4);
         assert_eq!(m.tenants.len(), 1);
+        // The snapshot goes through the shared writer, so it must parse
+        // back with the shared reader.
+        let doc = sj_obs::json::parse(&json).expect("snapshot parses");
+        assert_eq!(
+            doc.get("total")
+                .and_then(|t| t.get("completed"))
+                .and_then(Json::as_f64),
+            Some(4.0)
+        );
+        assert_eq!(doc.get("tenants").map(|t| t.items().len()), Some(1));
     }
 }

@@ -53,6 +53,13 @@ pub(crate) struct Job {
     pub ticket: TicketShared,
     /// Pool backlog token; dropped at dispatch.
     pub queued: Option<QueuedWork>,
+    /// Root `serve.query` span id for this query's trace tree, 0 when
+    /// tracing was disabled at admission. Workers parent their queue/run
+    /// spans under it so the tree stays connected across threads.
+    pub span: u64,
+    /// Wall-clock admission timestamp (trace-epoch ns) for backdating
+    /// the queue-wait span; 0 when tracing was disabled.
+    pub admit_ns: u64,
 }
 
 /// Mutable scheduler state, all under one lock.
@@ -256,6 +263,8 @@ mod tests {
             delayed: false,
             ticket: new_ticket(),
             queued: None,
+            span: 0,
+            admit_ns: 0,
         }
     }
 

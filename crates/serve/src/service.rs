@@ -413,6 +413,33 @@ impl SelfJoinService {
                         let seq = st.next_seq;
                         st.next_seq += 1;
                         let (device, start) = st.place(item.arrival, item.projected);
+                        // Root of the query's trace tree. Its wall
+                        // interval is admission processing; its modeled
+                        // interval is the placement *reservation*
+                        // (arrival → projected completion) — workers
+                        // later record the measured queue/run spans as
+                        // children.
+                        let mut qspan = sj_obs::Span::enter("serve.query");
+                        let (span_id, admit_ns) = if qspan.id() != 0 {
+                            qspan.label("tenant", prep.req.tenant.clone());
+                            qspan.label("epsilon", prep.req.epsilon);
+                            qspan.label("dataset", prep.req.dataset.0);
+                            qspan.label("seq", seq);
+                            let mut aspan = sj_obs::Span::child_of(qspan.id(), "serve.admission");
+                            aspan
+                                .label("decision", if delayed { "admit_delayed" } else { "admit" });
+                            aspan.label("device", device);
+                            aspan.label("projected_us", item.projected * 1e6);
+                            aspan.label("wait_us", wait.as_secs_f64() * 1e6);
+                            aspan.set_modeled(item.arrival, 0.0);
+                            drop(aspan);
+                            qspan
+                                .set_modeled(item.arrival, (start + item.projected) - item.arrival);
+                            (qspan.id(), sj_obs::trace::now_ns())
+                        } else {
+                            (0, 0)
+                        };
+                        drop(qspan);
                         let ticket = new_ticket();
                         st.queue.push(Job {
                             seq,
@@ -426,6 +453,8 @@ impl SelfJoinService {
                             delayed,
                             ticket: Arc::clone(&ticket),
                             queued: Some(self.inner.pool.queue_work()),
+                            span: span_id,
+                            admit_ns,
                         });
                         st.tenant_inflight[prep.tenant] += 1;
                         pressure.queued += 1;
@@ -433,6 +462,12 @@ impl SelfJoinService {
                         Ok(QueryTicket { inner: ticket })
                     }
                     Decision::Reject { retry_after } => {
+                        let mut aspan = sj_obs::Span::enter("serve.admission");
+                        if aspan.id() != 0 {
+                            aspan.label("tenant", prep.req.tenant.clone());
+                            aspan.label("decision", "reject");
+                            aspan.set_modeled(item.arrival, 0.0);
+                        }
                         rejects.push(prep.tenant);
                         Err(ServeError::Overloaded { retry_after })
                     }
@@ -441,11 +476,17 @@ impl SelfJoinService {
         }
         self.inner.sched.cv.notify_all();
 
-        // Phase 3 — metrics, outside the scheduler lock.
+        // Phase 3 — metrics, outside the scheduler lock. Counters are
+        // double-entried: the per-service `TenantCounters` snapshot and
+        // the process-wide `sj_obs` registry (Prometheus/JSON exposition).
         {
             let mut ms = self.inner.metrics.lock().expect("metrics lock poisoned");
+            let MetricsState {
+                names, counters, ..
+            } = &mut *ms;
+            let reg = sj_obs::registry();
             for (tenant, arrival, delayed) in admits {
-                let c = &mut ms.counters[tenant];
+                let c = &mut counters[tenant];
                 c.submitted += 1;
                 c.admitted += 1;
                 if delayed {
@@ -455,11 +496,20 @@ impl SelfJoinService {
                     Some(first) => first.min(arrival),
                     None => arrival,
                 });
+                let labels = [("tenant", names[tenant].as_str())];
+                reg.counter("sj_serve_submitted_total", &labels).inc();
+                reg.counter("sj_serve_admitted_total", &labels).inc();
+                if delayed {
+                    reg.counter("sj_serve_delayed_total", &labels).inc();
+                }
             }
             for tenant in rejects {
-                let c = &mut ms.counters[tenant];
+                let c = &mut counters[tenant];
                 c.submitted += 1;
                 c.rejected += 1;
+                let labels = [("tenant", names[tenant].as_str())];
+                reg.counter("sj_serve_submitted_total", &labels).inc();
+                reg.counter("sj_serve_rejected_total", &labels).inc();
             }
         }
         outcomes
@@ -556,6 +606,12 @@ impl std::fmt::Debug for SelfJoinService {
     }
 }
 
+/// Bucket bounds for the streaming latency histogram, computed once.
+fn latency_histogram_bounds() -> &'static [f64] {
+    static BOUNDS: std::sync::OnceLock<Vec<f64>> = std::sync::OnceLock::new();
+    BOUNDS.get_or_init(sj_obs::latency_buckets)
+}
+
 /// One executor thread (the pool spawns one per device for parallelism):
 /// pop the next placed job in virtual-start order, run it for real on
 /// its assigned device, correct the device's horizon by the measured
@@ -580,6 +636,29 @@ fn worker_loop(inner: Arc<Inner>, _worker: usize) {
             Arc::clone(&sessions[job.dataset].1)
         };
         let (device, start) = (job.device, job.start);
+        // Trace the dispatch: a backdated queue-wait span (admission →
+        // pop on the wall clock, arrival → virtual start on the modeled
+        // clock) and a run span the whole session/plan/kernel subtree
+        // nests under. `set_modeled` on the queue span leaves the
+        // thread's modeled cursor at `job.start`, exactly where the run
+        // subtree's device stages should begin.
+        if job.span != 0 {
+            let mut wspan = sj_obs::Span::child_of(job.span, "serve.queue");
+            wspan.label("device", device);
+            if job.admit_ns != 0 {
+                wspan.set_wall_start_ns(job.admit_ns);
+            }
+            wspan.set_modeled(job.arrival, (start - job.arrival).max(0.0));
+        }
+        let mut rspan = if job.span != 0 {
+            let mut s = sj_obs::Span::child_of(job.span, "serve.run");
+            s.label("device", device);
+            s.label("seq", job.seq);
+            sj_obs::set_modeled_cursor(start);
+            Some(s)
+        } else {
+            None
+        };
         let result = {
             let _kernels = inner.substrate.lock().expect("substrate lock poisoned");
             session.query_on(job.epsilon, device)
@@ -588,6 +667,15 @@ fn worker_loop(inner: Arc<Inner>, _worker: usize) {
             Ok(out) => out.report.modeled_total.as_secs_f64(),
             Err(_) => 0.0,
         };
+        if let Some(s) = rspan.as_mut() {
+            s.set_modeled(start, actual);
+        }
+        drop(rspan);
+        // Pair admission's projection with the measured modeled cost so
+        // calibration drift shows up in the cost audit.
+        if result.is_ok() {
+            sj_obs::audit::record("admission", job.projected, actual);
+        }
         let completion = start + actual;
         {
             let mut st = inner.sched.state.lock().expect("sched lock poisoned");
@@ -602,14 +690,25 @@ fn worker_loop(inner: Arc<Inner>, _worker: usize) {
         let latency = (completion - job.arrival).max(0.0);
         {
             let mut ms = inner.metrics.lock().expect("metrics lock poisoned");
-            let c = &mut ms.counters[job.tenant];
+            let MetricsState {
+                names, counters, ..
+            } = &mut *ms;
+            let c = &mut counters[job.tenant];
+            let labels = [("tenant", names[job.tenant].as_str())];
+            let reg = sj_obs::registry();
             match &result {
                 Ok(_) => {
                     c.completed += 1;
                     c.record_latency(latency);
                     c.last_completion = c.last_completion.max(completion);
+                    reg.counter("sj_serve_completed_total", &labels).inc();
+                    reg.histogram("sj_serve_latency_secs", &labels, latency_histogram_bounds())
+                        .observe(latency);
                 }
-                Err(_) => c.failed += 1,
+                Err(_) => {
+                    c.failed += 1;
+                    reg.counter("sj_serve_failed_total", &labels).inc();
+                }
             }
         }
         let outcome = result

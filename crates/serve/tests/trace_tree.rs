@@ -1,0 +1,123 @@
+//! Serve-level trace test: every admitted query's spans form one
+//! connected tree — admission → queue → run → session → plan → device
+//! stages — carrying both the wall clock and the modeled clock.
+//!
+//! Lives in an integration test (own process) so the global trace
+//! buffers see only this test's spans.
+
+use sj_serve::{AdmissionConfig, DevicePool, QueryRequest, SelfJoinService, ServiceConfig};
+use std::collections::HashMap;
+use std::time::Duration;
+
+#[test]
+fn admitted_queries_form_connected_span_trees() {
+    let service = SelfJoinService::new(
+        DevicePool::titan_x(2),
+        ServiceConfig {
+            admission: AdmissionConfig {
+                slo: Duration::from_secs(60),
+                ..AdmissionConfig::default()
+            },
+            ..ServiceConfig::default()
+        },
+    );
+    let id = service.register_dataset("demo", sj_datasets::synthetic::uniform(2, 900, 7));
+    // Calibrate and seed snapshots before tracing so the trace holds
+    // exactly the serving-path spans.
+    service.warm(id, &[2.0]).unwrap();
+
+    sj_obs::set_enabled(true);
+    let _ = sj_obs::drain();
+    let queries = 6u64;
+    let tickets: Vec<_> = (0..queries)
+        .map(|i| {
+            let tenant = if i % 2 == 0 { "alice" } else { "bob" };
+            service
+                .submit(QueryRequest::new(tenant, id, 2.0).at(Duration::from_millis(i)))
+                .unwrap()
+        })
+        .collect();
+    for t in tickets {
+        t.wait().unwrap();
+    }
+    sj_obs::set_enabled(false);
+    let records = sj_obs::drain();
+
+    // Well-formed forest: unique ids, no dangling parents, no cycles.
+    let stats = sj_obs::validate(&records).expect("well-formed trace");
+    assert!(stats.spans > 0);
+    assert!(
+        stats.threads >= 2,
+        "admission and worker threads both trace"
+    );
+
+    let mut children: HashMap<u64, Vec<&sj_obs::SpanRecord>> = HashMap::new();
+    for r in &records {
+        children.entry(r.parent).or_default().push(r);
+    }
+    let roots: Vec<_> = records.iter().filter(|r| r.name == "serve.query").collect();
+    assert_eq!(
+        roots.len(),
+        queries as usize,
+        "one serve.query root per admitted query"
+    );
+    for root in roots {
+        assert_eq!(root.parent, 0, "serve.query is a trace root");
+        let (root_start, _) = root
+            .modeled_ns
+            .expect("root carries the modeled reservation");
+
+        // Every stage of the pipeline appears somewhere under the root.
+        let mut names = Vec::new();
+        let mut stack = vec![root.id];
+        while let Some(id) = stack.pop() {
+            for k in children.get(&id).map(Vec::as_slice).unwrap_or(&[]) {
+                names.push(k.name);
+                stack.push(k.id);
+            }
+        }
+        for expected in [
+            "serve.admission",
+            "serve.queue",
+            "serve.run",
+            "session.query",
+            "plan.execute",
+            "gpu.launch",
+        ] {
+            assert!(
+                names.contains(&expected),
+                "missing {expected} under serve.query (got {names:?})"
+            );
+        }
+
+        // Queue and run are measured on both clocks and abut on the
+        // virtual timeline: the wait ends where execution starts.
+        let direct = &children[&root.id];
+        let queue = direct.iter().find(|r| r.name == "serve.queue").unwrap();
+        let run = direct.iter().find(|r| r.name == "serve.run").unwrap();
+        let (queue_start, queue_dur) = queue.modeled_ns.expect("queue modeled interval");
+        let (run_start, run_dur) = run.modeled_ns.expect("run modeled interval");
+        assert!(run_dur > 0, "run span measures the modeled join cost");
+        assert!(queue_start >= root_start.saturating_sub(2));
+        assert!(
+            (queue_start + queue_dur).abs_diff(run_start) <= 2,
+            "queue wait must end at the virtual start ({} + {} vs {})",
+            queue_start,
+            queue_dur,
+            run_start
+        );
+        assert!(
+            queue.wall_start_ns <= run.wall_start_ns,
+            "queue span is backdated to admission on the wall clock"
+        );
+    }
+
+    // The Chrome export of the forest parses with the shared reader.
+    let chrome = sj_obs::chrome_trace(&records);
+    let doc = sj_obs::json::parse(&chrome).expect("chrome trace parses");
+    let events = doc.get("traceEvents").expect("traceEvents array");
+    assert!(
+        events.items().len() > records.len(),
+        "wall + modeled events"
+    );
+}

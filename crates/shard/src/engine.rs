@@ -298,20 +298,42 @@ impl ShardedSelfJoin {
     /// with `dist(p, q) ≤ epsilon`, merged across all devices.
     pub fn run(&self, data: &Dataset, epsilon: f64) -> Result<ShardedOutput, SelfJoinError> {
         let t0 = Instant::now();
+        let mut span = sj_obs::Span::enter("shard.run");
+        span.label("n", data.len());
+        span.label("epsilon", epsilon);
+        let root_id = span.id();
+        let modeled_start = if root_id != 0 {
+            let c = sj_obs::trace::modeled_cursor();
+            if c.is_nan() {
+                0.0
+            } else {
+                c
+            }
+        } else {
+            0.0
+        };
         let ndev = self.pool.len();
+        span.label("devices", ndev);
         let spec = self.pool.device(0).spec();
 
         // Ghost-aware cost model: one cheap host pass prices every
         // candidate partition (and seeds each subplan's result estimate)
         // — no per-shard estimation kernels.
-        let model = calibrate(data, epsilon, spec)?;
+        let model = {
+            let _cspan = sj_obs::Span::enter("shard.calibrate");
+            calibrate(data, epsilon, spec)?
+        };
         let calibrate_time = model.build_time;
 
         let tc = Instant::now();
+        let mut chspan = sj_obs::Span::enter("shard.choose");
         let (num_shards, candidate_makespans) = match self.config.num_shards {
             Some(k) => (k.max(1), Vec::new()),
             None => self.choose_shard_count(&model, ndev)?,
         };
+        chspan.label("chosen", num_shards);
+        chspan.label("candidates", candidate_makespans.len());
+        drop(chspan);
         let choose_time = tc.elapsed();
 
         // One partition lane per device: the chunked full-data passes
@@ -320,8 +342,19 @@ impl ShardedSelfJoin {
         let part = partition_par(data, epsilon, num_shards, ndev)?;
         let costs = project_partition(&model, &part, spec, self.config.join.unicomp);
 
-        let assignment: Assignment =
-            lpt_schedule(&costs.iter().map(ShardCost::cost).collect::<Vec<_>>(), ndev);
+        let assignment: Assignment = {
+            let mut sspan = sj_obs::Span::enter("shard.schedule");
+            sspan.label("shards", costs.len());
+            lpt_schedule(&costs.iter().map(ShardCost::cost).collect::<Vec<_>>(), ndev)
+        };
+        // The schedule's own makespan projection over the *actual*
+        // partition — paired with the measured stream makespan below for
+        // the cost-model audit.
+        let projected_makespan = {
+            let stages: Vec<(Duration, Duration)> =
+                costs.iter().map(|c| (c.grid_time, c.device_time)).collect();
+            modeled_makespan(&assignment, &stages)
+        };
 
         // Fused path: ownership is an emit-time kernel window and the
         // merge is pure concatenation. The PerThread ablation keeps the
@@ -341,9 +374,19 @@ impl ShardedSelfJoin {
         let index_build: Mutex<Duration> = Mutex::new(Duration::ZERO);
         let streams: Mutex<Vec<Duration>> = Mutex::new(vec![Duration::ZERO; ndev]);
         let substrate = Mutex::new(());
+        // Device streams start on the modeled clock after the serial
+        // prelude (calibration + chooser + partition).
+        let prelude_secs =
+            modeled_start + (calibrate_time + choose_time + part.build_time).as_secs_f64();
         let device_runs: Vec<Result<(), SelfJoinError>> = (0..ndev)
             .into_par_iter()
             .map(|d| -> Result<(), SelfJoinError> {
+                let mut dspan = sj_obs::Span::child_of(root_id, "shard.device");
+                dspan.label("device", d);
+                dspan.label("queue", assignment.queues[d].len());
+                if dspan.id() != 0 {
+                    sj_obs::trace::set_modeled_cursor(prelude_secs);
+                }
                 // Modeled device-stream clock: the executor thread's host
                 // work (grid builds) and the device's modeled work
                 // pipeline exactly as `modeled_makespan` prices them.
@@ -351,12 +394,26 @@ impl ShardedSelfJoin {
                 let mut dev_t = Duration::ZERO;
                 for &s in &assignment.queues[d] {
                     let shard = &part.shards[s];
+                    let mut shspan = sj_obs::Span::enter("shard.shard");
+                    shspan.label("shard", s);
+                    shspan.label("owned", shard.owned);
+                    shspan.label("ghosts", shard.ghosts());
+                    let shard_cursor = if shspan.id() != 0 {
+                        sj_obs::trace::modeled_cursor()
+                    } else {
+                        f64::NAN
+                    };
                     // The partition is the source of truth for the halo
                     // geometry; index at its ε.
                     let tg = Instant::now();
                     let grid = GridIndex::build(&shard.data, part.epsilon)?;
                     let grid_build = tg.elapsed();
                     *index_build.lock() += grid_build;
+                    // The shard's host grid build occupies the stream
+                    // before the device pipeline starts.
+                    if !shard_cursor.is_nan() {
+                        sj_obs::trace::set_modeled_cursor(shard_cursor + grid_build.as_secs_f64());
+                    }
 
                     // The shard's subplan: the rewrite of the logical
                     // join restricted to this shard. Owned points are the
@@ -413,8 +470,15 @@ impl ShardedSelfJoin {
                         modeled: grid_build + out.report.modeled_total,
                         wall: out.report.total,
                     });
+                    if !shard_cursor.is_nan() {
+                        shspan.set_modeled(
+                            shard_cursor,
+                            (grid_build + out.report.modeled_total).as_secs_f64(),
+                        );
+                    }
                     merged.lock().append(&mut pairs);
                 }
+                dspan.set_modeled(prelude_secs, dev_t.as_secs_f64());
                 streams.lock()[d] = dev_t;
                 Ok(())
             })
@@ -453,13 +517,47 @@ impl ShardedSelfJoin {
         // chooser priced them. Host-side table construction is excluded
         // there and the host-side merge is excluded here (reported as
         // `merge_time`).
-        let stream_makespan = streams
-            .into_inner()
-            .into_iter()
-            .max()
-            .unwrap_or(Duration::ZERO);
+        let streams = streams.into_inner();
+        let stream_makespan = streams.iter().copied().max().unwrap_or(Duration::ZERO);
         let modeled_total = calibrate_time + choose_time + part.build_time + stream_makespan;
-        let shards = shard_reports.into_inner().into_iter().flatten().collect();
+        let shards: Vec<ShardRunReport> =
+            shard_reports.into_inner().into_iter().flatten().collect();
+
+        // Cost-model audit: the scheduler's projected makespan vs the
+        // measured busiest-stream makespan of the run it scheduled.
+        sj_obs::audit::record(
+            "shard_chooser",
+            projected_makespan.as_secs_f64(),
+            stream_makespan.as_secs_f64(),
+        );
+        // Balance/replication gauges: busiest stream over mean busy
+        // stream (1.0 = perfectly balanced), and halo replication as a
+        // fraction of owned points.
+        {
+            let busy: Vec<f64> = streams
+                .iter()
+                .map(|s| s.as_secs_f64())
+                .filter(|&s| s > 0.0)
+                .collect();
+            if !busy.is_empty() {
+                let mean = busy.iter().sum::<f64>() / busy.len() as f64;
+                let max = busy.iter().cloned().fold(0.0, f64::max);
+                sj_obs::registry()
+                    .gauge("sj_shard_stream_balance", &[])
+                    .set(if mean > 0.0 { max / mean } else { 1.0 });
+            }
+            let owned: usize = shards.iter().map(|s| s.owned).sum();
+            let ghosts = part.ghost_points();
+            sj_obs::registry()
+                .gauge("sj_shard_ghost_fraction", &[])
+                .set(if owned == 0 {
+                    0.0
+                } else {
+                    ghosts as f64 / owned as f64
+                });
+        }
+        span.label("shards", shards.len());
+        span.set_modeled(modeled_start, modeled_total.as_secs_f64());
         Ok(ShardedOutput {
             table,
             report: ShardedReport {

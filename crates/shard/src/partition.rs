@@ -224,9 +224,12 @@ pub fn partition_par(
         });
     }
 
+    let mut span = sj_obs::Span::enter("shard.partition");
+    span.label("shards", num_shards);
     let flat = data.coords();
     let n = data.len();
     let lanes = lanes.clamp(1, n);
+    span.label("lanes", lanes);
     let csize = n.div_ceil(lanes);
     let chunks: Vec<(usize, usize)> = (0..lanes)
         .map(|c| (c * csize, ((c + 1) * csize).min(n)))
@@ -248,8 +251,11 @@ pub fn partition_par(
     let mut cols: Vec<Vec<f64>> = vec![Vec::with_capacity(n.div_ceil(sstride)); dim];
     let mut slowest = Duration::ZERO;
     let mut summed = Duration::ZERO;
-    for &(start, end) in &chunks {
+    for (lane, &(start, end)) in chunks.iter().enumerate() {
         let tl = Instant::now();
+        let mut lspan = sj_obs::Span::enter("shard.partition.lane");
+        lspan.label("pass", 1u64);
+        lspan.label("lane", lane);
         let mut next_sample = start.next_multiple_of(sstride);
         for (i, row) in flat[start * dim..end * dim].chunks_exact(dim).enumerate() {
             for j in 0..dim {
@@ -389,8 +395,11 @@ pub fn partition_par(
     let mut lane_outs: Vec<LaneOut> = Vec::with_capacity(lanes);
     let mut slowest = Duration::ZERO;
     let mut summed = Duration::ZERO;
-    for &(start, end) in &chunks {
+    for (lane, &(start, end)) in chunks.iter().enumerate() {
         let tl = Instant::now();
+        let mut lspan = sj_obs::Span::enter("shard.partition.lane");
+        lspan.label("pass", 2u64);
+        lspan.label("lane", lane);
         let mut out = LaneOut {
             counts: vec![0u32; nshards],
             ghost_ids: vec![Vec::new(); nshards],
@@ -474,6 +483,9 @@ pub fn partition_par(
     let mut summed = Duration::ZERO;
     for lane in 0..lanes.min(nshards) {
         let tl = Instant::now();
+        let mut lspan = sj_obs::Span::enter("shard.partition.lane");
+        lspan.label("pass", "ghost_tails");
+        lspan.label("lane", lane);
         for s in (lane..nshards).step_by(lanes) {
             let mut cur = owned_of[s];
             for out in &lane_outs {
@@ -497,6 +509,9 @@ pub fn partition_par(
     let mut summed = Duration::ZERO;
     for (c, &(start, end)) in chunks.iter().enumerate() {
         let tl = Instant::now();
+        let mut lspan = sj_obs::Span::enter("shard.partition.lane");
+        lspan.label("pass", 3u64);
+        lspan.label("lane", c);
         let cur = &mut cursors[c];
         for (i, p) in flat[start * dim..end * dim].chunks_exact(dim).enumerate() {
             let g = start + i;
@@ -526,6 +541,11 @@ pub fn partition_par(
         })
         .collect();
 
+    span.label("shards_out", shards.len());
+    span.label(
+        "ghost_points",
+        shards.iter().map(|s| s.data.len() - s.owned).sum::<usize>(),
+    );
     Ok(Partition {
         cut_dims,
         epsilon,

@@ -180,19 +180,24 @@ pub fn launch<K: Kernel>(
 ) -> LaunchStats {
     let occ = occupancy(device.spec(), kernel.resources(), cfg.block_threads);
     let blocks = total_threads.div_ceil(cfg.block_threads.max(1));
+    let mut span = sj_obs::Span::enter("gpu.launch");
     let start = Instant::now();
     (0..blocks).into_par_iter().for_each(|block_id| {
         let mut tracer = NoTrace;
         run_block(kernel, cfg, total_threads, block_id, &mut tracer);
     });
     let wall = start.elapsed();
-    LaunchStats {
+    let stats = LaunchStats {
         wall,
         modeled_wall: model_device_time(device, wall),
         blocks,
         threads: total_threads,
         occupancy: occ,
-    }
+    };
+    span.label("blocks", blocks);
+    span.label("threads", total_threads);
+    span.set_modeled_dur(stats.modeled_wall.as_secs_f64());
+    stats
 }
 
 /// Converts measured host wall time into modeled device time (see
@@ -222,6 +227,8 @@ pub fn launch_profiled<K: Kernel>(
         line_bytes: spec.l1_line_bytes,
         associativity: spec.l1_associativity,
     };
+    let mut span = sj_obs::Span::enter("gpu.launch");
+    span.label("profiled", 1u64);
     let start = Instant::now();
     let per_sm: Vec<CacheStats> = (0..sm_count)
         .into_par_iter()
@@ -242,16 +249,17 @@ pub fn launch_profiled<K: Kernel>(
         merged.merge(s);
     }
     let wall = start.elapsed();
-    (
-        LaunchStats {
-            wall,
-            modeled_wall: model_device_time(device, wall),
-            blocks,
-            threads: total_threads,
-            occupancy: occ,
-        },
-        merged,
-    )
+    let stats = LaunchStats {
+        wall,
+        modeled_wall: model_device_time(device, wall),
+        blocks,
+        threads: total_threads,
+        occupancy: occ,
+    };
+    span.label("blocks", blocks);
+    span.label("threads", total_threads);
+    span.set_modeled_dur(stats.modeled_wall.as_secs_f64());
+    (stats, merged)
 }
 
 #[inline]

@@ -225,6 +225,29 @@ struct LedgerInner {
     next_id: u64,
     clock: u64,
     evictions: u64,
+    metrics: LedgerMetrics,
+}
+
+/// Registry series of one ledger, labeled per instance so concurrently
+/// live ledgers don't clobber each other.
+struct LedgerMetrics {
+    /// `sj_ledger_evictions_total{ledger}`.
+    evictions: sj_obs::Counter,
+    /// `sj_ledger_resident_bytes{ledger}`, sampled at register/unregister.
+    resident_bytes: sj_obs::Gauge,
+}
+
+impl LedgerMetrics {
+    fn register() -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT_LEDGER: AtomicU64 = AtomicU64::new(0);
+        let id = NEXT_LEDGER.fetch_add(1, Ordering::Relaxed).to_string();
+        let reg = sj_obs::registry();
+        Self {
+            evictions: reg.counter("sj_ledger_evictions_total", &[("ledger", &id)]),
+            resident_bytes: reg.gauge("sj_ledger_resident_bytes", &[("ledger", &id)]),
+        }
+    }
 }
 
 /// Pool-wide LRU ledger of resident (cross-query) device allocations.
@@ -280,6 +303,7 @@ impl MemoryLedger {
                 next_id: 1,
                 clock: 0,
                 evictions: 0,
+                metrics: LedgerMetrics::register(),
             })),
             upload_lock: Arc::new(Mutex::new(())),
         }
@@ -377,6 +401,7 @@ impl MemoryLedger {
             if evict() {
                 let mut inner = self.inner.lock();
                 inner.evictions += 1;
+                inner.metrics.evictions.inc();
                 freed += before.saturating_sub(inner.total);
             } else {
                 busy.push(id);
@@ -405,6 +430,7 @@ impl MemoryLedger {
             },
         );
         inner.total += bytes;
+        inner.metrics.resident_bytes.set(inner.total as f64);
         LedgerEntry {
             ledger: Some(self.clone()),
             id,
@@ -425,6 +451,7 @@ impl MemoryLedger {
         if let Some(slot) = inner.slots.remove(&id) {
             debug_assert!(inner.total >= slot.bytes, "ledger total underflow");
             inner.total = inner.total.saturating_sub(slot.bytes);
+            inner.metrics.resident_bytes.set(inner.total as f64);
         }
     }
 

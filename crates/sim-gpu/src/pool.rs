@@ -12,6 +12,7 @@
 use crate::device::{Device, DeviceSpec};
 use crate::memory::MemoryLedger;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -48,6 +49,65 @@ struct LeaseLedger {
     counts: Vec<usize>,
     cursor: usize,
     queued: usize,
+    gauges: PoolGauges,
+}
+
+impl LeaseLedger {
+    fn new(count: usize) -> Self {
+        Self {
+            counts: vec![0; count],
+            cursor: 0,
+            queued: 0,
+            gauges: PoolGauges::register(count),
+        }
+    }
+
+    /// Publishes the current lease picture to the metrics registry.
+    /// Called at every lease/release/queue transition — gauges track
+    /// pressure *over time*, not just when something polls
+    /// [`DevicePool::pressure`].
+    fn sample(&self, device: Option<usize>) {
+        if let Some(i) = device {
+            self.gauges.active[i].set(self.counts[i] as f64);
+        }
+        self.gauges
+            .active_total
+            .set(self.counts.iter().sum::<usize>() as f64);
+        self.gauges.queued.set(self.queued as f64);
+    }
+}
+
+/// Registry gauges of one pool's lease ledger. Each pool instance gets a
+/// distinct `pool` label so concurrently live pools (tests, nested
+/// engines) don't overwrite each other's series.
+#[derive(Debug)]
+struct PoolGauges {
+    /// `sj_pool_active_leases{pool,device}` per device.
+    active: Vec<sj_obs::Gauge>,
+    /// `sj_pool_active_leases_total{pool}`.
+    active_total: sj_obs::Gauge,
+    /// `sj_pool_queued_work{pool}`.
+    queued: sj_obs::Gauge,
+}
+
+impl PoolGauges {
+    fn register(count: usize) -> Self {
+        static NEXT_POOL: AtomicU64 = AtomicU64::new(0);
+        let pool = NEXT_POOL.fetch_add(1, Ordering::Relaxed).to_string();
+        let reg = sj_obs::registry();
+        Self {
+            active: (0..count)
+                .map(|i| {
+                    reg.gauge(
+                        "sj_pool_active_leases",
+                        &[("pool", &pool), ("device", &i.to_string())],
+                    )
+                })
+                .collect(),
+            active_total: reg.gauge("sj_pool_active_leases_total", &[("pool", &pool)]),
+            queued: reg.gauge("sj_pool_queued_work", &[("pool", &pool)]),
+        }
+    }
 }
 
 /// Load picture of a pool at one instant: per-device active leases plus
@@ -91,6 +151,7 @@ impl Drop for QueuedWork {
             let mut ledger = leases.lock();
             debug_assert!(ledger.queued > 0, "queued-work underflow");
             ledger.queued = ledger.queued.saturating_sub(1);
+            ledger.sample(None);
         }
     }
 }
@@ -133,6 +194,7 @@ impl DeviceLease {
             let mut ledger = leases.lock();
             debug_assert!(ledger.counts[self.index] > 0, "lease count underflow");
             ledger.counts[self.index] = ledger.counts[self.index].saturating_sub(1);
+            ledger.sample(Some(self.index));
         }
     }
 }
@@ -153,11 +215,7 @@ impl DevicePool {
     pub fn homogeneous(spec: DeviceSpec, count: usize) -> Self {
         assert!(count > 0, "device pool needs at least one device");
         Self {
-            leases: Arc::new(Mutex::new(LeaseLedger {
-                counts: vec![0; count],
-                cursor: 0,
-                queued: 0,
-            })),
+            leases: Arc::new(Mutex::new(LeaseLedger::new(count))),
             memory_ledger: MemoryLedger::new(),
             devices: (0..count).map(|_| Device::new(spec.clone())).collect(),
         }
@@ -177,11 +235,7 @@ impl DevicePool {
     pub fn from_devices(devices: Vec<Device>) -> Self {
         assert!(!devices.is_empty(), "device pool needs at least one device");
         Self {
-            leases: Arc::new(Mutex::new(LeaseLedger {
-                counts: vec![0; devices.len()],
-                cursor: 0,
-                queued: 0,
-            })),
+            leases: Arc::new(Mutex::new(LeaseLedger::new(devices.len()))),
             memory_ledger: MemoryLedger::new(),
             devices,
         }
@@ -201,6 +255,7 @@ impl DevicePool {
             .expect("some device holds the minimum");
         ledger.counts[index] += 1;
         ledger.cursor = (index + 1) % n;
+        ledger.sample(Some(index));
         DeviceLease {
             device: self.devices[index].clone(),
             index,
@@ -217,7 +272,11 @@ impl DevicePool {
     /// Panics if `index` is out of range for the pool.
     pub fn lease_device(&self, index: usize) -> DeviceLease {
         assert!(index < self.devices.len(), "device index out of range");
-        self.leases.lock().counts[index] += 1;
+        {
+            let mut ledger = self.leases.lock();
+            ledger.counts[index] += 1;
+            ledger.sample(Some(index));
+        }
         DeviceLease {
             device: self.devices[index].clone(),
             index,
@@ -229,7 +288,11 @@ impl DevicePool {
     /// backlog count; drop the token when the work is leased onto a
     /// device (or abandoned). See [`Self::pressure`].
     pub fn queue_work(&self) -> QueuedWork {
-        self.leases.lock().queued += 1;
+        {
+            let mut ledger = self.leases.lock();
+            ledger.queued += 1;
+            ledger.sample(None);
+        }
         QueuedWork {
             leases: Some(Arc::clone(&self.leases)),
         }
@@ -471,6 +534,65 @@ mod tests {
         assert_eq!(pool.clone().pressure().queued, 1);
         drop((q2, lease));
         assert_eq!(pool.pressure().total(), 0);
+    }
+
+    #[test]
+    fn lease_transitions_sample_gauges() {
+        use sj_obs::MetricValue;
+        let read = |name: &str, labels: &[(&str, &str)]| -> Option<f64> {
+            sj_obs::registry().snapshot().into_iter().find_map(|m| {
+                let matches = m.name == name
+                    && labels
+                        .iter()
+                        .all(|(k, v)| m.labels.iter().any(|(mk, mv)| mk == k && mv == v));
+                match (matches, m.value) {
+                    (true, MetricValue::Gauge(g)) => Some(g),
+                    _ => None,
+                }
+            })
+        };
+        let pools_with = |name: &str, want: f64| -> Vec<String> {
+            sj_obs::registry()
+                .snapshot()
+                .into_iter()
+                .filter(|m| m.name == name && matches!(m.value, MetricValue::Gauge(g) if g == want))
+                .filter_map(|m| {
+                    m.labels
+                        .iter()
+                        .find(|(k, _)| k == "pool")
+                        .map(|(_, v)| v.clone())
+                })
+                .collect()
+        };
+        let pool = DevicePool::homogeneous(DeviceSpec::small_test_device(), 2);
+        // A distinctive signature — three pinned leases on device 1 plus
+        // two queued items — identifies this pool's series among any
+        // other pools live in the test process.
+        let a = pool.lease_device(1);
+        let b = pool.lease_device(1);
+        let c = pool.lease_device(1);
+        let q1 = pool.queue_work();
+        let q2 = pool.queue_work();
+        let candidates = pools_with("sj_pool_active_leases_total", 3.0);
+        let id = candidates
+            .into_iter()
+            .find(|id| {
+                read("sj_pool_active_leases", &[("pool", id), ("device", "1")]) == Some(3.0)
+                    && read("sj_pool_queued_work", &[("pool", id)]) == Some(2.0)
+            })
+            .expect("gauges sampled at lease/queue time");
+        let labels: &[(&str, &str)] = &[("pool", &id)];
+        drop(q1);
+        assert_eq!(read("sj_pool_queued_work", labels), Some(1.0));
+        drop((a, b));
+        assert_eq!(read("sj_pool_active_leases_total", labels), Some(1.0));
+        drop((c, q2));
+        assert_eq!(read("sj_pool_active_leases_total", labels), Some(0.0));
+        assert_eq!(read("sj_pool_queued_work", labels), Some(0.0));
+        assert_eq!(
+            read("sj_pool_active_leases", &[("pool", &id), ("device", "1")]),
+            Some(0.0)
+        );
     }
 
     #[test]
