@@ -226,6 +226,10 @@ pub fn run_batched_on(
     cfg: &BatchingConfig,
     prebuilt: Option<&CellMajorPlan>,
 ) -> Result<(Vec<Pair>, BatchReport), SelfJoinError> {
+    // One fault-injection checkpoint covers the whole kernel-launch
+    // sequence: a launch fault (or a crashed device) fails the join here,
+    // before any batch allocates, so retries re-enter with clean state.
+    device.fault_check(sim_gpu::FaultOp::Launch)?;
     let n = grid.num_points;
     let eps = opts.query_epsilon.unwrap_or(grid.epsilon);
     if eps > grid.epsilon {

@@ -1,6 +1,6 @@
 //! Error types for grid construction and the self-join pipeline.
 
-use sim_gpu::OutOfMemory;
+use sim_gpu::{DeviceFault, OutOfMemory};
 use std::fmt;
 
 /// Errors detected while building the ε-grid index.
@@ -71,6 +71,20 @@ pub enum SelfJoinError {
         /// The cell width ε the index was built with.
         built: f64,
     },
+    /// An injected (or modeled) device failure interrupted the pipeline —
+    /// a crash or a transient upload/launch fault. Retryable: re-running
+    /// on a healthy device (or the same one, for transients) yields the
+    /// exact same pairs, and sessions/engines above do so automatically.
+    Fault(DeviceFault),
+}
+
+impl SelfJoinError {
+    /// Whether this error is an injected device fault that a retry on a
+    /// healthy device can absorb (as opposed to a logic or capacity error
+    /// that would recur anywhere).
+    pub fn is_fault(&self) -> bool {
+        matches!(self, Self::Fault(_))
+    }
 }
 
 impl fmt::Display for SelfJoinError {
@@ -82,6 +96,7 @@ impl fmt::Display for SelfJoinError {
                 f,
                 "query epsilon {query} exceeds the index cell width {built}; rebuild the index"
             ),
+            Self::Fault(e) => write!(f, "device fault: {e}"),
         }
     }
 }
@@ -97,6 +112,12 @@ impl From<GridBuildError> for SelfJoinError {
 impl From<OutOfMemory> for SelfJoinError {
     fn from(e: OutOfMemory) -> Self {
         Self::Device(e)
+    }
+}
+
+impl From<DeviceFault> for SelfJoinError {
+    fn from(e: DeviceFault) -> Self {
+        Self::Fault(e)
     }
 }
 

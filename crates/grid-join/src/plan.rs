@@ -371,6 +371,7 @@ fn run_device(
         } => (*snapshot, *hoist, true),
         _ => {
             let mut uspan = sj_obs::Span::enter("gpu.upload");
+            device.fault_check(sim_gpu::FaultOp::Upload)?;
             uploaded = DeviceGrid::upload(device, plan.data, grid)?;
             if uspan.id() != 0 {
                 let bytes = uploaded.h2d_bytes();
@@ -400,7 +401,12 @@ fn run_device(
         },
         plan.launch.block_threads,
     );
-    let modeled_total = grid_build + breport.modeled_estimate_time + breport.timeline.total;
+    // An open straggler window inflates the modeled device time — the
+    // answer is exact, the device is just slow. Host-side grid build is
+    // unaffected.
+    let slowdown = device.slowdown();
+    let device_modeled = breport.modeled_estimate_time + breport.timeline.total;
+    let modeled_total = grid_build + device_modeled.mul_f64(slowdown);
     let report = JoinReport {
         grid_build,
         device_pipeline,

@@ -116,6 +116,10 @@ pub struct SessionStats {
     /// of the same generation had already paid for — the price of an
     /// eviction on a device the session still queries.
     pub snapshot_reuploads: u64,
+    /// Snapshots force-dropped after a device fault: the device's copy is
+    /// lost with it, and the next query touching the device transparently
+    /// re-uploads (counted there as a re-upload).
+    pub snapshot_invalidations: u64,
 }
 
 /// One device's resident copy of the current index generation.
@@ -337,8 +341,26 @@ impl SelfJoinSession {
     /// `(p, q)`, `p ≠ q`, with `dist(p, q) ≤ epsilon` — pair-for-pair
     /// identical to a fresh [`crate::GpuSelfJoin::run`] at the same ε,
     /// whether the resident index was reused or rebuilt.
+    ///
+    /// Device faults are absorbed here: on an injected crash or transient
+    /// failure the query retries on a fresh lease (the pool skips devices
+    /// in probation), up to one attempt past the pool size, so callers of
+    /// the unpinned path see faults only when every device is failing.
     pub fn query(&self, epsilon: f64) -> Result<SessionQueryOutput, SelfJoinError> {
-        self.query_with(epsilon, self.pool.lease())
+        let attempts = self.pool.len() + 1;
+        let mut last = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                sj_obs::registry()
+                    .counter("sj_session_fault_retries_total", &[])
+                    .inc();
+            }
+            match self.query_with(epsilon, self.pool.lease()) {
+                Err(e) if e.is_fault() => last = Some(e),
+                other => return other,
+            }
+        }
+        Err(last.expect("at least one attempt ran"))
     }
 
     /// [`Self::query`] pinned to a specific pool device — serving
@@ -394,7 +416,20 @@ impl SelfJoinSession {
             batching: self.config.join.batching,
             post: PostStage::default(),
         };
-        let mut out = execute(&plan, Backend::Device(lease.device()))?;
+        let mut out = match execute(&plan, Backend::Device(lease.device())) {
+            Ok(out) => out,
+            Err(e) => {
+                if e.is_fault() {
+                    // Whatever was resident on that device is gone with it
+                    // (a crash wipes device memory; even a transient leaves
+                    // the snapshot's liveness unproven). Drop the snapshot
+                    // so the next query touching the device re-uploads
+                    // through the ordinary eviction/re-upload path.
+                    self.invalidate_snapshot(&resident, lease.index());
+                }
+                return Err(e);
+            }
+        };
 
         // Calibrate the cost model from what the query actually cost on
         // the modeled clock (pure query cost — the report has not had the
@@ -553,6 +588,7 @@ impl SelfJoinSession {
         // racing first touches both upload; the loser's copy is dropped
         // below and its device memory freed — wasted work only in a
         // pathological interleaving, never a stall.
+        device.fault_check(sim_gpu::FaultOp::Upload)?;
         let dg = DeviceGrid::upload(device, &self.data, &resident.grid)?;
         let tm = device.spec().transfer_model();
         let mut upload_modeled = tm.time(dg.h2d_bytes());
@@ -629,6 +665,20 @@ impl SelfJoinSession {
             return false;
         };
         try_evict_snapshot(&resident, device_index, &self.evictions)
+    }
+
+    /// Force-drops `device_index`'s snapshot after a device fault. Unlike
+    /// [`try_evict_snapshot`], in-flight use does not block removal — the
+    /// fault already invalidated the device's copy, and any live `Arc`s
+    /// keep the (simulated) buffers alive only until their queries unwind.
+    fn invalidate_snapshot(&self, resident: &Resident, device_index: usize) {
+        let removed = resident.snapshots.lock().remove(&device_index).is_some();
+        if removed {
+            self.state.lock().stats.snapshot_invalidations += 1;
+            sj_obs::registry()
+                .counter("sj_session_snapshot_invalidations_total", &[])
+                .inc();
+        }
     }
 
     /// Projects the modeled cost of a query at `epsilon` without touching
@@ -1050,5 +1100,63 @@ mod tests {
             reuse_floor: 0.0,
             ..SessionConfig::default()
         });
+    }
+
+    #[test]
+    fn unpinned_query_retries_through_transient_fault() {
+        use sim_gpu::{FaultEvent, FaultKind, FaultPlan};
+        let data = uniform(2, 600, 90);
+        let pool = DevicePool::titan_x(1);
+        // Launch op 1 = warm query; op 3 fails the second query's launch
+        // once (op 2 is its estimate... ops count uploads too, so place
+        // the transient on every op in a window to be sure it fires).
+        pool.inject_faults(&FaultPlan::new(vec![FaultEvent {
+            device: 0,
+            after_ops: 3,
+            kind: FaultKind::Transient,
+        }]));
+        let session = SelfJoinSession::new(data.clone(), pool);
+        let eps = 2.5;
+        let warm = session.query(eps).unwrap();
+        // The transient fires somewhere in the next queries; all of them
+        // must still answer, exactly.
+        let fresh = GpuSelfJoin::default_device().run(&data, eps).unwrap();
+        for _ in 0..3 {
+            let out = session.query(eps).unwrap();
+            assert_eq!(out.table, fresh.table);
+        }
+        assert_eq!(warm.table, fresh.table);
+    }
+
+    #[test]
+    fn crash_invalidates_snapshot_and_fails_over() {
+        use sim_gpu::{FaultEvent, FaultKind, FaultPlan};
+        let data = uniform(2, 800, 91);
+        let pool = DevicePool::titan_x(2);
+        let session = SelfJoinSession::new(data.clone(), pool.clone());
+        let eps = 2.0;
+        let fresh = GpuSelfJoin::default_device().run(&data, eps).unwrap();
+        // Warm both devices fault-free.
+        session.query_on(eps, 0).unwrap();
+        session.query_on(eps, 1).unwrap();
+        assert_eq!(session.stats().snapshot_uploads, 2);
+        // Crash device 1 on its next op; it never heals.
+        pool.inject_faults(&FaultPlan::new(vec![FaultEvent {
+            device: 1,
+            after_ops: 1,
+            kind: FaultKind::Crash {
+                heal_after_probes: u32::MAX,
+            },
+        }]));
+        // The pinned path surfaces the fault and invalidates the snapshot.
+        let err = session.query_on(eps, 1).unwrap_err();
+        assert!(err.is_fault());
+        let stats = session.stats();
+        assert_eq!(stats.snapshot_invalidations, 1);
+        // The unpinned path fails over to the survivor transparently.
+        let out = session.query(eps).unwrap();
+        assert_eq!(out.device, 0);
+        assert_eq!(out.table, fresh.table);
+        assert!(!pool.is_healthy(1));
     }
 }

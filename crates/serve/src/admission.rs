@@ -86,7 +86,16 @@ pub fn decide(
     }
     let retry_hint = || {
         let over = (projected_wait + cost.modeled).saturating_sub(cfg.slo);
-        over.max(cost.modeled)
+        // Capacity-aware drain estimate: the queued backlog spread over
+        // the *healthy* devices, each job costing about this query's
+        // modeled time. A hint sized to one query's cost invites an
+        // immediate re-reject when the pool is deep in backlog or
+        // running degraded; scaling by the projected drain rate tells
+        // the client when capacity is actually expected to exist.
+        let drain = cost
+            .modeled
+            .mul_f64((pressure.queued as f64 + 1.0) / pressure.healthy.max(1) as f64);
+        over.max(drain).max(cost.modeled)
     };
     if tenant_inflight >= cfg.tenant_max_inflight {
         return Decision::Reject {
@@ -132,6 +141,7 @@ mod tests {
         PoolPressure {
             active: vec![0, 0],
             queued: 0,
+            healthy: 2,
         }
     }
 
@@ -210,9 +220,44 @@ mod tests {
         let deep = PoolPressure {
             active: vec![1, 1],
             queued: 3,
+            healthy: 2,
         };
         let d = decide(&c, Duration::ZERO, &cost(1, true), 0, &deep);
         assert!(matches!(d, Decision::Reject { .. }));
+    }
+
+    #[test]
+    fn retry_hint_scales_with_backlog_and_degraded_capacity() {
+        let mut c = cfg();
+        c.max_queue_depth = 4;
+        // 16 queued jobs draining through 1 healthy device of 2: the
+        // hint must cover the projected drain, not one query's cost.
+        let deep = PoolPressure {
+            active: vec![4, 0],
+            queued: 16,
+            healthy: 1,
+        };
+        let d = decide(&c, Duration::ZERO, &cost(10, true), 0, &deep);
+        match d {
+            Decision::Reject { retry_after } => {
+                assert_eq!(retry_after, Duration::from_millis(170));
+            }
+            other => panic!("expected reject, got {other:?}"),
+        }
+        // Same backlog with both devices healthy drains twice as fast.
+        let d = decide(
+            &c,
+            Duration::ZERO,
+            &cost(10, true),
+            0,
+            &PoolPressure { healthy: 2, ..deep },
+        );
+        match d {
+            Decision::Reject { retry_after } => {
+                assert_eq!(retry_after, Duration::from_millis(85));
+            }
+            other => panic!("expected reject, got {other:?}"),
+        }
     }
 
     #[test]
@@ -224,6 +269,7 @@ mod tests {
         let deep = PoolPressure {
             active: vec![9, 9],
             queued: 10_000,
+            healthy: 2,
         };
         let d = decide(&c, Duration::from_secs(60), &cost(500, true), 999, &deep);
         assert_eq!(d, Decision::Admit { delayed: false });

@@ -293,6 +293,28 @@ mod tests {
     }
 
     #[test]
+    fn empty_samples_yield_zeroed_stats() {
+        // A tenant that has admitted but completed nothing (or a fresh
+        // service scraping metrics before traffic) must report zeros,
+        // not NaNs or panics, all the way through the JSON path.
+        let stats = LatencyStats::from_samples(&[]);
+        assert_eq!(stats.count, 0);
+        assert_eq!(stats.p50, 0.0);
+        assert_eq!(stats.p95, 0.0);
+        assert_eq!(stats.p99, 0.0);
+        assert_eq!(stats.mean, 0.0);
+        assert_eq!(stats.max, 0.0);
+        let snap = TenantCounters::default().snapshot("idle");
+        assert_eq!(snap.latency, LatencyStats::default());
+        assert_eq!(snap.qps, 0.0);
+        let mut counters = HashMap::new();
+        counters.insert("idle".to_string(), TenantCounters::default());
+        let json = ServiceMetrics::build(&counters, 0, 0, 0, None, 0.25).to_json();
+        assert!(json.contains("\"p99_secs\": 0"));
+        assert!(!json.contains("NaN"));
+    }
+
+    #[test]
     fn non_finite_samples_do_not_panic() {
         // NaN sorts last under IEEE total order: it poisons max (by
         // design — garbage in, visible garbage out) without aborting the

@@ -47,6 +47,12 @@ pub(crate) struct Job {
     pub device: usize,
     /// Virtual start time assigned at placement.
     pub start: f64,
+    /// Absolute virtual deadline — the bound fault retries are checked
+    /// against (a retry that can no longer finish in time surfaces the
+    /// fault instead of burning a device on a dead query).
+    pub deadline: f64,
+    /// Fault-retry count so far (0 on first placement).
+    pub attempts: u32,
     /// Admitted past the SLO inside the delay window.
     pub delayed: bool,
     /// Completion slot the submitter waits on.
@@ -110,24 +116,33 @@ impl SchedState {
 
     /// Seconds a query arriving at `arrival` would wait before its
     /// placement device frees up — exact for the placement
-    /// [`Self::place`] would perform next.
-    pub fn projected_wait(&self, arrival: f64) -> f64 {
+    /// [`Self::place`] would perform next. `healthy` masks out devices
+    /// in probation; an all-false mask falls back to the whole pool
+    /// (matching [`Self::place`], which must put the job *somewhere* —
+    /// execution-time failover handles a pool that is truly dead).
+    pub fn projected_wait(&self, arrival: f64, healthy: &[bool]) -> f64 {
+        let any_healthy = healthy.iter().any(|&h| h);
         let soonest = self
             .busy_until
             .iter()
-            .cloned()
+            .enumerate()
+            .filter(|&(d, _)| !any_healthy || healthy[d])
+            .map(|(_, &b)| b)
             .fold(f64::INFINITY, f64::min);
         (soonest - arrival).max(0.0)
     }
 
-    /// Places a job on the virtual timeline: the device whose horizon
-    /// ends soonest runs it, starting when both are ready. Returns
-    /// `(device, start)` and advances the horizon by `projected`.
-    pub fn place(&mut self, arrival: f64, projected: f64) -> (usize, f64) {
+    /// Places a job on the virtual timeline: the *healthy* device whose
+    /// horizon ends soonest runs it, starting when both are ready.
+    /// Returns `(device, start)` and advances the horizon by
+    /// `projected`. An all-false mask falls back to the whole pool.
+    pub fn place(&mut self, arrival: f64, projected: f64, healthy: &[bool]) -> (usize, f64) {
+        let any_healthy = healthy.iter().any(|&h| h);
         let device = self
             .busy_until
             .iter()
             .enumerate()
+            .filter(|&(d, _)| !any_healthy || healthy[d])
             .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite horizons"))
             .map(|(d, _)| d)
             .expect("pool is never empty");
@@ -260,6 +275,8 @@ mod tests {
             projected: 1.0,
             device: 0,
             start,
+            deadline: f64::INFINITY,
+            attempts: 0,
             delayed: false,
             ticket: new_ticket(),
             queued: None,
@@ -284,13 +301,14 @@ mod tests {
     #[test]
     fn placement_is_lpt_and_respects_arrival() {
         let mut st = state(2, 1);
+        let all = [true, true];
         // Two jobs at arrival 0 land on distinct devices.
-        assert_eq!(st.place(0.0, 3.0), (0, 0.0));
-        assert_eq!(st.place(0.0, 1.0), (1, 0.0));
+        assert_eq!(st.place(0.0, 3.0, &all), (0, 0.0));
+        assert_eq!(st.place(0.0, 1.0, &all), (1, 0.0));
         // Device 1 frees soonest (t=1): the next job queues behind it.
-        assert_eq!(st.place(0.0, 2.0), (1, 1.0));
+        assert_eq!(st.place(0.0, 2.0, &all), (1, 1.0));
         // An arrival after every horizon starts exactly at its arrival.
-        assert_eq!(st.place(10.0, 1.0), (0, 10.0));
+        assert_eq!(st.place(10.0, 1.0, &all), (0, 10.0));
         assert_eq!(st.busy_until, vec![11.0, 3.0]);
     }
 
@@ -298,9 +316,25 @@ mod tests {
     fn projected_wait_is_the_soonest_horizon() {
         let mut st = state(2, 1);
         st.busy_until = vec![3.0, 7.0];
-        assert!((st.projected_wait(1.0) - 2.0).abs() < 1e-12);
+        let all = [true, true];
+        assert!((st.projected_wait(1.0, &all) - 2.0).abs() < 1e-12);
         // Arrival after both horizons: no wait.
-        assert_eq!(st.projected_wait(10.0), 0.0);
+        assert_eq!(st.projected_wait(10.0, &all), 0.0);
+    }
+
+    #[test]
+    fn placement_avoids_unhealthy_devices() {
+        let mut st = state(2, 1);
+        st.busy_until = vec![0.0, 5.0];
+        // Device 0 frees soonest but is down: placement (and the wait
+        // admission reads) must go through the healthy device 1.
+        let mask = [false, true];
+        assert!((st.projected_wait(0.0, &mask) - 5.0).abs() < 1e-12);
+        assert_eq!(st.place(0.0, 1.0, &mask), (1, 5.0));
+        // A fully-down pool falls back to every device rather than
+        // refusing to place (execution-time failover takes over there).
+        let none = [false, false];
+        assert_eq!(st.place(0.0, 1.0, &none), (0, 0.0));
     }
 
     #[test]

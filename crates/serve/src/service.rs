@@ -26,9 +26,19 @@ use grid_join::{JoinReport, NeighborTable, SelfJoinError, SelfJoinSession, Sessi
 use sim_gpu::DevicePool;
 use sj_datasets::Dataset;
 use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Locks a mutex, recovering the data if a previous holder panicked.
+/// Workers run queries under `catch_unwind` and keep every shared
+/// structure consistent before anything that can panic, so the poison
+/// flag carries no information here — propagating it would cascade one
+/// failed query into a service-wide outage (every later `lock()` on the
+/// same mutex panicking in turn).
+pub(crate) fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Service configuration.
 #[derive(Clone, Copy, Debug, Default)]
@@ -95,6 +105,10 @@ pub enum ServeError {
     ShuttingDown,
     /// The join itself failed on the device.
     Join(SelfJoinError),
+    /// The service broke its own contract — an executor panicked
+    /// mid-query or a ticket wait timed out. The query may be retried;
+    /// the message is diagnostic, not programmatic.
+    Internal(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -106,6 +120,7 @@ impl std::fmt::Display for ServeError {
             Self::UnknownDataset => write!(f, "unknown dataset"),
             Self::ShuttingDown => write!(f, "service is shutting down"),
             Self::Join(e) => write!(f, "join failed: {e}"),
+            Self::Internal(msg) => write!(f, "internal service error: {msg}"),
         }
     }
 }
@@ -150,9 +165,15 @@ pub(crate) fn new_ticket() -> TicketShared {
 }
 
 fn fulfill(ticket: &TicketShared, outcome: Result<ServeOutput, ServeError>) {
-    *ticket.slot.lock().expect("ticket lock poisoned") = Some(outcome);
+    *lock_clean(&ticket.slot) = Some(outcome);
     ticket.cv.notify_all();
 }
+
+/// Default bound on [`QueryTicket::wait`]: generous enough that no live
+/// service comes near it, finite so a lost outcome (a bug, not a device
+/// fault — those are retried or reported) cannot hang the submitter
+/// forever.
+const DEFAULT_WAIT: Duration = Duration::from_secs(300);
 
 /// Handle to one admitted query; blocks on [`Self::wait`] until a device
 /// worker completes it.
@@ -161,14 +182,36 @@ pub struct QueryTicket {
 }
 
 impl QueryTicket {
-    /// Blocks until the query completes and returns its outcome.
+    /// Blocks until the query completes and returns its outcome, bounded
+    /// by a generous default timeout (see [`Self::wait_for`]).
     pub fn wait(self) -> Result<ServeOutput, ServeError> {
-        let mut slot = self.inner.slot.lock().expect("ticket lock poisoned");
+        self.wait_for(DEFAULT_WAIT)
+    }
+
+    /// Blocks until the query completes or `timeout` elapses, whichever
+    /// comes first. Workers post an outcome even when the executing
+    /// query panics (a drop guard posts [`ServeError::Internal`]), so a
+    /// timeout here indicates a scheduler bug, not a slow query — it
+    /// returns `Internal` rather than blocking the caller forever.
+    pub fn wait_for(self, timeout: Duration) -> Result<ServeOutput, ServeError> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = lock_clean(&self.inner.slot);
         loop {
             if let Some(outcome) = slot.take() {
                 return outcome;
             }
-            slot = self.inner.cv.wait(slot).expect("ticket lock poisoned");
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(ServeError::Internal(format!(
+                    "query outcome not posted within {timeout:?}"
+                )));
+            }
+            slot = self
+                .inner
+                .cv
+                .wait_timeout(slot, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
         }
     }
 }
@@ -203,7 +246,7 @@ struct Inner {
 impl Inner {
     /// Sums eviction/re-upload counters over every session.
     fn eviction_totals(&self) -> (u64, u64) {
-        let sessions = self.sessions.lock().expect("sessions lock poisoned");
+        let sessions = lock_clean(&self.sessions);
         let mut evictions = 0;
         let mut reuploads = 0;
         for (_, session) in sessions.iter() {
@@ -272,17 +315,14 @@ impl SelfJoinService {
             SelfJoinSession::new(data, self.inner.pool.clone())
                 .with_config(self.inner.config.session),
         );
-        let mut sessions = self.inner.sessions.lock().expect("sessions lock poisoned");
+        let mut sessions = lock_clean(&self.inner.sessions);
         sessions.push((name.into(), session));
         DatasetId(sessions.len() - 1)
     }
 
     /// The resident session behind a registered dataset.
     pub fn session(&self, dataset: DatasetId) -> Option<Arc<SelfJoinSession>> {
-        self.inner
-            .sessions
-            .lock()
-            .expect("sessions lock poisoned")
+        lock_clean(&self.inner.sessions)
             .get(dataset.0)
             .map(|(_, s)| Arc::clone(s))
     }
@@ -350,7 +390,7 @@ impl SelfJoinService {
         let mut outcomes: Vec<Option<Result<QueryTicket, ServeError>>> =
             preps.iter().map(|_| None).collect();
         {
-            let mut st = self.inner.sched.state.lock().expect("sched lock poisoned");
+            let mut st = lock_clean(&self.inner.sched.state);
             // The pool's load picture is sampled under the scheduler lock
             // (admissions from other threads are serialized by it, so the
             // queued count cannot go stale mid-batch), and each admission
@@ -358,13 +398,12 @@ impl SelfJoinService {
             // sees its own batch too — a cold 10k-request batch must not
             // slip past `max_queue_depth` on a stale zero.
             let mut pressure = self.inner.pool.pressure();
-            let now = self
-                .inner
-                .epoch
-                .lock()
-                .expect("epoch lock poisoned")
-                .elapsed()
-                .as_secs_f64();
+            // Health is sampled with the pressure: placement and the
+            // projected waits admission reads both skip devices in
+            // probation, so a downed device's horizon cannot admit (or
+            // stall) anything while it heals.
+            let healthy = self.inner.pool.health_mask();
+            let now = lock_clean(&self.inner.epoch).elapsed().as_secs_f64();
             // Resolve prep errors first; build the fair-ordering items
             // for the rest.
             let mut pending: Vec<(usize, Prep)> = Vec::new();
@@ -400,7 +439,7 @@ impl SelfJoinService {
                     outcomes[*i] = Some(Err(ServeError::ShuttingDown));
                     continue;
                 }
-                let wait = Duration::from_secs_f64(st.projected_wait(item.arrival));
+                let wait = Duration::from_secs_f64(st.projected_wait(item.arrival, &healthy));
                 let decision = admission::decide(
                     &self.inner.config.admission,
                     wait,
@@ -412,7 +451,7 @@ impl SelfJoinService {
                     Decision::Admit { delayed } => {
                         let seq = st.next_seq;
                         st.next_seq += 1;
-                        let (device, start) = st.place(item.arrival, item.projected);
+                        let (device, start) = st.place(item.arrival, item.projected, &healthy);
                         // Root of the query's trace tree. Its wall
                         // interval is admission processing; its modeled
                         // interval is the placement *reservation*
@@ -450,6 +489,8 @@ impl SelfJoinService {
                             projected: item.projected,
                             device,
                             start,
+                            deadline: item.deadline,
+                            attempts: 0,
                             delayed,
                             ticket: Arc::clone(&ticket),
                             queued: Some(self.inner.pool.queue_work()),
@@ -480,7 +521,7 @@ impl SelfJoinService {
         // double-entried: the per-service `TenantCounters` snapshot and
         // the process-wide `sj_obs` registry (Prometheus/JSON exposition).
         {
-            let mut ms = self.inner.metrics.lock().expect("metrics lock poisoned");
+            let mut ms = lock_clean(&self.inner.metrics);
             let MetricsState {
                 names, counters, ..
             } = &mut *ms;
@@ -519,7 +560,7 @@ impl SelfJoinService {
     }
 
     fn intern_tenant(&self, name: &str) -> usize {
-        let mut ms = self.inner.metrics.lock().expect("metrics lock poisoned");
+        let mut ms = lock_clean(&self.inner.metrics);
         match ms.ids.get(name) {
             Some(&idx) => idx,
             None => {
@@ -535,7 +576,7 @@ impl SelfJoinService {
     /// Snapshot of the service metrics (see [`ServiceMetrics`]).
     pub fn metrics(&self) -> ServiceMetrics {
         let (evictions, reuploads) = self.inner.eviction_totals();
-        let ms = self.inner.metrics.lock().expect("metrics lock poisoned");
+        let ms = lock_clean(&self.inner.metrics);
         let counters: HashMap<String, TenantCounters> = ms
             .names
             .iter()
@@ -559,7 +600,7 @@ impl SelfJoinService {
     pub fn reset_metrics(&self) {
         let (evictions, reuploads) = self.inner.eviction_totals();
         {
-            let mut ms = self.inner.metrics.lock().expect("metrics lock poisoned");
+            let mut ms = lock_clean(&self.inner.metrics);
             for c in ms.counters.iter_mut() {
                 *c = TenantCounters::default();
             }
@@ -567,7 +608,7 @@ impl SelfJoinService {
             ms.reuploads_base = reuploads;
         }
         {
-            let mut st = self.inner.sched.state.lock().expect("sched lock poisoned");
+            let mut st = lock_clean(&self.inner.sched.state);
             debug_assert!(st.queue.is_empty(), "reset_metrics with queued queries");
             for b in st.busy_until.iter_mut() {
                 *b = 0.0;
@@ -579,14 +620,14 @@ impl SelfJoinService {
                 *tag = 0.0;
             }
         }
-        *self.inner.epoch.lock().expect("epoch lock poisoned") = Instant::now();
+        *lock_clean(&self.inner.epoch) = Instant::now();
     }
 }
 
 impl Drop for SelfJoinService {
     fn drop(&mut self) {
         {
-            let mut st = self.inner.sched.state.lock().expect("sched lock poisoned");
+            let mut st = lock_clean(&self.inner.sched.state);
             st.shutdown = true;
         }
         self.inner.sched.cv.notify_all();
@@ -600,7 +641,7 @@ impl std::fmt::Debug for SelfJoinService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SelfJoinService")
             .field("devices", &self.inner.pool.len())
-            .field("datasets", &self.inner.sessions.lock().expect("lock").len())
+            .field("datasets", &lock_clean(&self.inner.sessions).len())
             .field("config", &self.inner.config)
             .finish()
     }
@@ -612,15 +653,51 @@ fn latency_histogram_bounds() -> &'static [f64] {
     BOUNDS.get_or_init(sj_obs::latency_buckets)
 }
 
+/// Posts [`ServeError::Internal`] if the executor unwinds before
+/// resolving the ticket — the submitter must never block on a query the
+/// service dropped. Disarmed on every deliberate exit (fulfill, retry).
+struct OutcomeGuard {
+    ticket: Option<TicketShared>,
+}
+
+impl OutcomeGuard {
+    fn arm(ticket: TicketShared) -> Self {
+        Self {
+            ticket: Some(ticket),
+        }
+    }
+
+    fn disarm(&mut self) {
+        self.ticket = None;
+    }
+}
+
+impl Drop for OutcomeGuard {
+    fn drop(&mut self) {
+        if let Some(t) = self.ticket.take() {
+            fulfill(
+                &t,
+                Err(ServeError::Internal(
+                    "executor dropped the query without posting an outcome".into(),
+                )),
+            );
+        }
+    }
+}
+
 /// One executor thread (the pool spawns one per device for parallelism):
 /// pop the next placed job in virtual-start order, run it for real on
 /// its assigned device, correct the device's horizon by the measured
 /// modeled cost (placement reserved the projection), and resolve the
-/// ticket.
+/// ticket. Execution is supervised: the query runs under `catch_unwind`
+/// behind an [`OutcomeGuard`], so a panicking join resolves the ticket
+/// with [`ServeError::Internal`] instead of hanging the submitter, and a
+/// device fault re-places the job on a healthy device (bounded attempts,
+/// only while the retry can still meet the query's deadline).
 fn worker_loop(inner: Arc<Inner>, _worker: usize) {
     loop {
         let job = {
-            let mut st = inner.sched.state.lock().expect("sched lock poisoned");
+            let mut st = lock_clean(&inner.sched.state);
             loop {
                 if let Some(job) = st.pop_next() {
                     break job;
@@ -628,11 +705,24 @@ fn worker_loop(inner: Arc<Inner>, _worker: usize) {
                 if st.shutdown {
                     return;
                 }
-                st = inner.sched.cv.wait(st).expect("sched lock poisoned");
+                st = inner
+                    .sched
+                    .cv
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
+        run_job(&inner, job);
+    }
+}
+
+/// Executes one popped job to resolution: success, terminal error, or a
+/// bounded sequence of fault retries on healthy devices.
+fn run_job(inner: &Arc<Inner>, mut job: Job) {
+    loop {
+        let mut guard = OutcomeGuard::arm(Arc::clone(&job.ticket));
         let session = {
-            let sessions = inner.sessions.lock().expect("sessions lock poisoned");
+            let sessions = lock_clean(&inner.sessions);
             Arc::clone(&sessions[job.dataset].1)
         };
         let (device, start) = (job.device, job.start);
@@ -654,14 +744,44 @@ fn worker_loop(inner: Arc<Inner>, _worker: usize) {
             let mut s = sj_obs::Span::child_of(job.span, "serve.run");
             s.label("device", device);
             s.label("seq", job.seq);
+            s.label("attempt", job.attempts);
             sj_obs::set_modeled_cursor(start);
             Some(s)
         } else {
             None
         };
-        let result = {
-            let _kernels = inner.substrate.lock().expect("substrate lock poisoned");
-            session.query_on(job.epsilon, device)
+        // The join itself is the only stage that executes foreign-ish
+        // code (kernels, allocators); everything after it is our own
+        // bookkeeping. A panic here must cost one query, not the worker
+        // thread (and with it a device's entire executor).
+        let caught = {
+            let _kernels = lock_clean(&inner.substrate);
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                session.query_on(job.epsilon, device)
+            }))
+        };
+        let result = match caught {
+            Ok(result) => result,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic payload".into());
+                drop(rspan);
+                sj_obs::registry()
+                    .counter("sj_serve_worker_panics_total", &[])
+                    .inc();
+                finish_job(
+                    inner,
+                    &job,
+                    Err(ServeError::Internal(format!(
+                        "executor panicked during query: {msg}"
+                    ))),
+                );
+                guard.disarm();
+                return;
+            }
         };
         let actual = match &result {
             Ok(out) => out.report.modeled_total.as_secs_f64(),
@@ -671,60 +791,116 @@ fn worker_loop(inner: Arc<Inner>, _worker: usize) {
             s.set_modeled(start, actual);
         }
         drop(rspan);
+
+        // Degraded-mode retry: a device fault is retryable by
+        // construction (re-running the query on a healthy device yields
+        // the exact same table), so re-place the job instead of failing
+        // it — while attempts remain and the retry can still meet the
+        // query's deadline.
+        if let Err(e) = &result {
+            if e.is_fault() && (job.attempts as usize) < inner.pool.len() {
+                inner.pool.tick_health();
+                let healthy = inner.pool.health_mask();
+                let mut st = lock_clean(&inner.sched.state);
+                // Return the unused reservation on the faulted device;
+                // later placements stacked on top of it, so shift, never
+                // overwrite.
+                st.busy_until[device] = (st.busy_until[device] - job.projected).max(0.0);
+                let wait = st.projected_wait(job.arrival, &healthy);
+                if job.arrival + wait + job.projected <= job.deadline {
+                    let (nd, nstart) = st.place(job.arrival, job.projected, &healthy);
+                    job.device = nd;
+                    job.start = nstart;
+                    job.attempts += 1;
+                    job.queued = Some(inner.pool.queue_work());
+                    drop(st);
+                    let mut span = sj_obs::Span::enter("fault.retry");
+                    span.label("seq", job.seq);
+                    span.label("from", device);
+                    span.label("to", nd);
+                    span.label("attempt", job.attempts);
+                    drop(span);
+                    sj_obs::registry()
+                        .counter("sj_serve_retries_total", &[])
+                        .inc();
+                    guard.disarm();
+                    continue;
+                }
+                // Deadline unreachable even on a healthy device: the
+                // fault surfaces. The reservation was already returned;
+                // re-reserve nothing and fall through to fail the query.
+                st.busy_until[device] += job.projected;
+            }
+        }
+
         // Pair admission's projection with the measured modeled cost so
         // calibration drift shows up in the cost audit.
         if result.is_ok() {
             sj_obs::audit::record("admission", job.projected, actual);
         }
-        let completion = start + actual;
-        {
-            let mut st = inner.sched.state.lock().expect("sched lock poisoned");
-            // Correct by delta: placement reserved the projected cost,
-            // and later placements stacked on top of it — shift the
-            // horizon by the projection error, never overwrite it.
-            st.busy_until[device] = (st.busy_until[device] + (actual - job.projected)).max(0.0);
-            st.tenant_inflight[job.tenant] -= 1;
-        }
-        // A finished job may have unblocked shutdown draining.
-        inner.sched.cv.notify_all();
-        let latency = (completion - job.arrival).max(0.0);
-        {
-            let mut ms = inner.metrics.lock().expect("metrics lock poisoned");
-            let MetricsState {
-                names, counters, ..
-            } = &mut *ms;
-            let c = &mut counters[job.tenant];
-            let labels = [("tenant", names[job.tenant].as_str())];
-            let reg = sj_obs::registry();
-            match &result {
-                Ok(_) => {
-                    c.completed += 1;
-                    c.record_latency(latency);
-                    c.last_completion = c.last_completion.max(completion);
-                    reg.counter("sj_serve_completed_total", &labels).inc();
-                    reg.histogram("sj_serve_latency_secs", &labels, latency_histogram_bounds())
-                        .observe(latency);
-                }
-                Err(_) => {
-                    c.failed += 1;
-                    reg.counter("sj_serve_failed_total", &labels).inc();
-                }
+        finish_job(inner, &job, result.map_err(ServeError::Join));
+        guard.disarm();
+        return;
+    }
+}
+
+/// Terminal bookkeeping for one job: horizon correction, in-flight
+/// decrement, metrics, and the ticket resolution itself.
+fn finish_job(
+    inner: &Arc<Inner>,
+    job: &Job,
+    result: Result<grid_join::SessionQueryOutput, ServeError>,
+) {
+    let actual = match &result {
+        Ok(out) => out.report.modeled_total.as_secs_f64(),
+        Err(_) => 0.0,
+    };
+    let completion = job.start + actual;
+    {
+        let mut st = lock_clean(&inner.sched.state);
+        // Correct by delta: placement reserved the projected cost,
+        // and later placements stacked on top of it — shift the
+        // horizon by the projection error, never overwrite it.
+        st.busy_until[job.device] = (st.busy_until[job.device] + (actual - job.projected)).max(0.0);
+        st.tenant_inflight[job.tenant] -= 1;
+    }
+    // A finished job may have unblocked shutdown draining.
+    inner.sched.cv.notify_all();
+    let latency = (completion - job.arrival).max(0.0);
+    {
+        let mut ms = lock_clean(&inner.metrics);
+        let MetricsState {
+            names, counters, ..
+        } = &mut *ms;
+        let c = &mut counters[job.tenant];
+        let labels = [("tenant", names[job.tenant].as_str())];
+        let reg = sj_obs::registry();
+        match &result {
+            Ok(_) => {
+                c.completed += 1;
+                c.record_latency(latency);
+                c.last_completion = c.last_completion.max(completion);
+                reg.counter("sj_serve_completed_total", &labels).inc();
+                reg.histogram("sj_serve_latency_secs", &labels, latency_histogram_bounds())
+                    .observe(latency);
+            }
+            Err(_) => {
+                c.failed += 1;
+                reg.counter("sj_serve_failed_total", &labels).inc();
             }
         }
-        let outcome = result
-            .map(|out| ServeOutput {
-                table: out.table,
-                latency: Duration::from_secs_f64(latency),
-                queue_wait: Duration::from_secs_f64((start - job.arrival).max(0.0)),
-                completion: Duration::from_secs_f64(completion.max(0.0)),
-                device,
-                reused_index: out.reused_index,
-                delayed: job.delayed,
-                report: out.report,
-            })
-            .map_err(ServeError::Join);
-        fulfill(&job.ticket, outcome);
     }
+    let outcome = result.map(|out| ServeOutput {
+        table: out.table,
+        latency: Duration::from_secs_f64(latency),
+        queue_wait: Duration::from_secs_f64((job.start - job.arrival).max(0.0)),
+        completion: Duration::from_secs_f64(completion.max(0.0)),
+        device: job.device,
+        reused_index: out.reused_index,
+        delayed: job.delayed,
+        report: out.report,
+    });
+    fulfill(&job.ticket, outcome);
 }
 
 #[cfg(test)]
@@ -937,6 +1113,96 @@ mod tests {
         for ticket in outcomes.into_iter().flatten() {
             ticket.wait().unwrap();
         }
+    }
+
+    #[test]
+    fn ticket_wait_for_times_out_with_internal_error() {
+        // A ticket nobody ever fulfills must resolve with a clean
+        // Internal error, not block the submitter forever.
+        let ticket = QueryTicket {
+            inner: new_ticket(),
+        };
+        let err = ticket
+            .wait_for(Duration::from_millis(30))
+            .expect_err("unfulfilled ticket must time out");
+        assert!(matches!(err, ServeError::Internal(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn transient_fault_retries_transparently() {
+        use sim_gpu::{FaultEvent, FaultKind, FaultPlan};
+        let (service, id) = quick_service(1);
+        let data = service.session(id).unwrap().data().clone();
+        service.warm(id, &[2.0]).unwrap();
+        let fresh = grid_join::GpuSelfJoin::default_device()
+            .run(&data, 2.0)
+            .unwrap();
+        // Injector op counters start at arming, so the transient lands
+        // squarely inside the serving traffic below.
+        service
+            .pool()
+            .inject_faults(&FaultPlan::new(vec![FaultEvent {
+                device: 0,
+                after_ops: 1,
+                kind: FaultKind::Transient,
+            }]));
+        let before = sj_obs::registry()
+            .counter("sj_serve_retries_total", &[])
+            .get();
+        for _ in 0..3 {
+            let out = service
+                .submit(QueryRequest::new("alice", id, 2.0))
+                .unwrap()
+                .wait()
+                .unwrap();
+            assert_eq!(out.table, fresh.table);
+        }
+        let after = sj_obs::registry()
+            .counter("sj_serve_retries_total", &[])
+            .get();
+        assert!(after > before, "the transient fault must surface a retry");
+        let m = service.metrics();
+        assert_eq!(m.total.completed, 3);
+        assert_eq!(m.total.failed, 0);
+    }
+
+    #[test]
+    fn crashed_device_fails_over_and_queries_complete() {
+        use sim_gpu::{FaultEvent, FaultKind, FaultPlan};
+        let (service, id) = quick_service(2);
+        let data = service.session(id).unwrap().data().clone();
+        service.warm(id, &[2.0]).unwrap();
+        let fresh = grid_join::GpuSelfJoin::default_device()
+            .run(&data, 2.0)
+            .unwrap();
+        // Device 1 dies on its first serving op and never heals: every
+        // query it was placed on must fail over to device 0.
+        service
+            .pool()
+            .inject_faults(&FaultPlan::new(vec![FaultEvent {
+                device: 1,
+                after_ops: 0,
+                kind: FaultKind::Crash {
+                    heal_after_probes: u32::MAX,
+                },
+            }]));
+        let tickets: Vec<_> = (0..6)
+            .map(|i| {
+                service
+                    .submit(QueryRequest::new("alice", id, 2.0).at(Duration::from_millis(i)))
+                    .unwrap()
+            })
+            .collect();
+        for t in tickets {
+            assert_eq!(t.wait().unwrap().table, fresh.table);
+        }
+        let m = service.metrics();
+        assert_eq!(m.total.completed, 6);
+        assert_eq!(m.total.failed, 0);
+        assert!(
+            !service.pool().is_healthy(1),
+            "the crashed device must be in probation"
+        );
     }
 
     #[test]

@@ -64,7 +64,16 @@ use rayon::prelude::*;
 use sim_gpu::{DevicePool, DeviceTally, PoolProfiler};
 use sj_datasets::Dataset;
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+/// Upper bound on re-execution rounds after device faults: each round
+/// re-runs every still-failed shard on the least-loaded surviving device,
+/// so `devices + 1` rounds tolerate a cascade that downs every device but
+/// one, plus one round of transient flake on the survivor.
+fn max_reexec_rounds(ndev: usize) -> usize {
+    ndev + 1
+}
 
 /// Configuration of the sharded engine.
 #[derive(Clone, Copy, Debug)]
@@ -167,6 +176,15 @@ pub struct ShardedReport {
     /// makes this 0; on the fused path duplicates are structurally
     /// impossible and release builds skip the check entirely.
     pub duplicates_merged: u64,
+    /// Device-fault events that interrupted a shard during this run
+    /// (injected crashes and transient upload/launch failures).
+    pub device_faults: u64,
+    /// Shard executions re-run on a surviving device after a fault. Every
+    /// pair still comes from exactly one *successful* shard execution —
+    /// failed attempts contribute nothing to the merge, and the disjoint
+    /// ownership windows make the re-run bit-identical to what the failed
+    /// device would have produced.
+    pub reexecuted_shards: usize,
 }
 
 impl ShardedReport {
@@ -374,10 +392,105 @@ impl ShardedSelfJoin {
         let index_build: Mutex<Duration> = Mutex::new(Duration::ZERO);
         let streams: Mutex<Vec<Duration>> = Mutex::new(vec![Duration::ZERO; ndev]);
         let substrate = Mutex::new(());
+        let device_faults = AtomicU64::new(0);
+        let failed_shards: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        let last_fault: Mutex<Option<SelfJoinError>> = Mutex::new(None);
         // Device streams start on the modeled clock after the serial
         // prelude (calibration + chooser + partition).
         let prelude_secs =
             modeled_start + (calibrate_time + choose_time + part.build_time).as_secs_f64();
+
+        // One shard's full pipeline on one device — grid build, subplan
+        // rewrite, batched execution, accounting, merge append. Shared by
+        // the primary per-device pass and the fault re-execution rounds;
+        // pairs reach the merge only on success, so a failed attempt
+        // contributes nothing and a re-run can never duplicate. Returns
+        // `(grid_build, device modeled time)`.
+        let run_shard = |d: usize, s: usize| -> Result<(Duration, Duration), SelfJoinError> {
+            let shard = &part.shards[s];
+            let mut shspan = sj_obs::Span::enter("shard.shard");
+            shspan.label("shard", s);
+            shspan.label("owned", shard.owned);
+            shspan.label("ghosts", shard.ghosts());
+            let shard_cursor = if shspan.id() != 0 {
+                sj_obs::trace::modeled_cursor()
+            } else {
+                f64::NAN
+            };
+            // The partition is the source of truth for the halo
+            // geometry; index at its ε.
+            let tg = Instant::now();
+            let grid = GridIndex::build(&shard.data, part.epsilon)?;
+            let grid_build = tg.elapsed();
+            *index_build.lock() += grid_build;
+            // The shard's host grid build occupies the stream
+            // before the device pipeline starts.
+            if !shard_cursor.is_nan() {
+                sj_obs::trace::set_modeled_cursor(shard_cursor + grid_build.as_secs_f64());
+            }
+
+            // The shard's subplan: the rewrite of the logical
+            // join restricted to this shard. Owned points are the
+            // local prefix, so the ownership window is [0, owned)
+            // — fused into the kernels on the hot path, a post
+            // pass on the ablation path. Ids lift back to global.
+            let base = self.subplan(&shard.data, &grid, costs[s].predicted_pairs);
+            let subplan = if fused {
+                base.owned_prefix(shard.owned)
+            } else {
+                base.scoped(shard.owned)
+            }
+            .remapped(&shard.global_ids);
+            let out = {
+                let _kernels = substrate.lock();
+                execute(&subplan, Backend::Device(self.pool.device(d)))?
+            };
+            let mut pairs = out.pairs;
+            let h2d = out.report.index_bytes + shard.data.len() * shard.data.dim() * 8;
+            // Ghost share of the upload, attributed by point
+            // count (ghosts and owned points cost the same bytes
+            // in both the coordinates and the index).
+            let ghost_h2d =
+                ((h2d as f64 * shard.ghosts() as f64) / shard.data.len().max(1) as f64) as usize;
+            profiler.record(
+                d,
+                &DeviceTally {
+                    items: 1,
+                    launches: out.report.batching.batches,
+                    wall: out.report.device_pipeline,
+                    // The host grid build is charged to the
+                    // device stream that consumes it, matching
+                    // the single-device modeled_total convention.
+                    busy: grid_build + out.report.modeled_total,
+                    h2d_bytes: h2d,
+                    ghost_h2d_bytes: ghost_h2d,
+                    d2h_bytes: out.report.batching.actual_pairs as usize
+                        * std::mem::size_of::<Pair>(),
+                },
+            );
+            shard_reports.lock()[s] = Some(ShardRunReport {
+                shard: s,
+                device: d,
+                owned: shard.owned,
+                ghosts: shard.ghosts(),
+                predicted_cost: costs[s].cost(),
+                actual_pairs: pairs.len() as u64,
+                dropped_ghost_pairs: out.dropped_ghost_pairs,
+                batches: out.report.batching.batches,
+                ghost_h2d_bytes: ghost_h2d,
+                modeled: grid_build + out.report.modeled_total,
+                wall: out.report.total,
+            });
+            if !shard_cursor.is_nan() {
+                shspan.set_modeled(
+                    shard_cursor,
+                    (grid_build + out.report.modeled_total).as_secs_f64(),
+                );
+            }
+            merged.lock().append(&mut pairs);
+            Ok((grid_build, out.report.modeled_total))
+        };
+
         let device_runs: Vec<Result<(), SelfJoinError>> = (0..ndev)
             .into_par_iter()
             .map(|d| -> Result<(), SelfJoinError> {
@@ -392,91 +505,29 @@ impl ShardedSelfJoin {
                 // pipeline exactly as `modeled_makespan` prices them.
                 let mut host_t = Duration::ZERO;
                 let mut dev_t = Duration::ZERO;
-                for &s in &assignment.queues[d] {
-                    let shard = &part.shards[s];
-                    let mut shspan = sj_obs::Span::enter("shard.shard");
-                    shspan.label("shard", s);
-                    shspan.label("owned", shard.owned);
-                    shspan.label("ghosts", shard.ghosts());
-                    let shard_cursor = if shspan.id() != 0 {
-                        sj_obs::trace::modeled_cursor()
-                    } else {
-                        f64::NAN
-                    };
-                    // The partition is the source of truth for the halo
-                    // geometry; index at its ε.
-                    let tg = Instant::now();
-                    let grid = GridIndex::build(&shard.data, part.epsilon)?;
-                    let grid_build = tg.elapsed();
-                    *index_build.lock() += grid_build;
-                    // The shard's host grid build occupies the stream
-                    // before the device pipeline starts.
-                    if !shard_cursor.is_nan() {
-                        sj_obs::trace::set_modeled_cursor(shard_cursor + grid_build.as_secs_f64());
+                for (qi, &s) in assignment.queues[d].iter().enumerate() {
+                    match run_shard(d, s) {
+                        Ok((grid_build, modeled)) => {
+                            host_t += grid_build;
+                            dev_t = host_t.max(dev_t) + modeled;
+                        }
+                        Err(SelfJoinError::Fault(f)) => {
+                            device_faults.fetch_add(1, Ordering::Relaxed);
+                            *last_fault.lock() = Some(SelfJoinError::Fault(f));
+                            let mut failed = failed_shards.lock();
+                            if f.is_crash() {
+                                // The device is down: its entire remaining
+                                // queue moves to the survivors.
+                                failed.extend(assignment.queues[d][qi..].iter().copied());
+                                drop(failed);
+                                break;
+                            }
+                            // Transient: only this shard failed; the rest
+                            // of the queue keeps running here.
+                            failed.push(s);
+                        }
+                        Err(e) => return Err(e),
                     }
-
-                    // The shard's subplan: the rewrite of the logical
-                    // join restricted to this shard. Owned points are the
-                    // local prefix, so the ownership window is [0, owned)
-                    // — fused into the kernels on the hot path, a post
-                    // pass on the ablation path. Ids lift back to global.
-                    let base = self.subplan(&shard.data, &grid, costs[s].predicted_pairs);
-                    let subplan = if fused {
-                        base.owned_prefix(shard.owned)
-                    } else {
-                        base.scoped(shard.owned)
-                    }
-                    .remapped(&shard.global_ids);
-                    let out = {
-                        let _kernels = substrate.lock();
-                        execute(&subplan, Backend::Device(self.pool.device(d)))?
-                    };
-                    let mut pairs = out.pairs;
-                    host_t += grid_build;
-                    dev_t = host_t.max(dev_t) + out.report.modeled_total;
-                    let h2d = out.report.index_bytes + shard.data.len() * shard.data.dim() * 8;
-                    // Ghost share of the upload, attributed by point
-                    // count (ghosts and owned points cost the same bytes
-                    // in both the coordinates and the index).
-                    let ghost_h2d = ((h2d as f64 * shard.ghosts() as f64)
-                        / shard.data.len().max(1) as f64)
-                        as usize;
-                    profiler.record(
-                        d,
-                        &DeviceTally {
-                            items: 1,
-                            launches: out.report.batching.batches,
-                            wall: out.report.device_pipeline,
-                            // The host grid build is charged to the
-                            // device stream that consumes it, matching
-                            // the single-device modeled_total convention.
-                            busy: grid_build + out.report.modeled_total,
-                            h2d_bytes: h2d,
-                            ghost_h2d_bytes: ghost_h2d,
-                            d2h_bytes: out.report.batching.actual_pairs as usize
-                                * std::mem::size_of::<Pair>(),
-                        },
-                    );
-                    shard_reports.lock()[s] = Some(ShardRunReport {
-                        shard: s,
-                        device: d,
-                        owned: shard.owned,
-                        ghosts: shard.ghosts(),
-                        predicted_cost: costs[s].cost(),
-                        actual_pairs: pairs.len() as u64,
-                        dropped_ghost_pairs: out.dropped_ghost_pairs,
-                        batches: out.report.batching.batches,
-                        ghost_h2d_bytes: ghost_h2d,
-                        modeled: grid_build + out.report.modeled_total,
-                        wall: out.report.total,
-                    });
-                    if !shard_cursor.is_nan() {
-                        shspan.set_modeled(
-                            shard_cursor,
-                            (grid_build + out.report.modeled_total).as_secs_f64(),
-                        );
-                    }
-                    merged.lock().append(&mut pairs);
                 }
                 dspan.set_modeled(prelude_secs, dev_t.as_secs_f64());
                 streams.lock()[d] = dev_t;
@@ -485,6 +536,65 @@ impl ShardedSelfJoin {
             .collect();
         for r in device_runs {
             r?;
+        }
+
+        // Re-execution rounds: every failed shard re-runs on the
+        // least-loaded *surviving* stream, bounded by `max_reexec_rounds`
+        // — enough for a crash cascade that downs all devices but one.
+        // The ownership windows make each re-run bit-identical to what
+        // the failed device would have produced, so exactness is
+        // untouched; only the stream makespan (and thus the modeled
+        // response time) grows.
+        let mut streams = streams.into_inner();
+        let mut failed = {
+            let mut f = failed_shards.into_inner();
+            f.sort_unstable();
+            f.dedup();
+            f
+        };
+        let mut reexecuted = 0usize;
+        let mut round = 0usize;
+        while !failed.is_empty() {
+            round += 1;
+            self.pool.tick_health();
+            let mask = self.pool.health_mask();
+            let survivors: Vec<usize> = (0..ndev).filter(|&i| mask[i]).collect();
+            if round > max_reexec_rounds(ndev) || survivors.is_empty() {
+                // Out of retry budget (or out of devices): surface the
+                // fault rather than loop forever on a dying pool.
+                return Err(last_fault
+                    .into_inner()
+                    .expect("a shard only fails via a fault"));
+            }
+            let mut rspan = sj_obs::Span::enter("fault.reexec");
+            rspan.label("round", round);
+            rspan.label("shards", failed.len());
+            let mut still_failed = Vec::new();
+            for s in failed.drain(..) {
+                let d = survivors
+                    .iter()
+                    .copied()
+                    .min_by_key(|&i| streams[i])
+                    .expect("survivors is non-empty");
+                match run_shard(d, s) {
+                    Ok((grid_build, modeled)) => {
+                        streams[d] += grid_build + modeled;
+                        reexecuted += 1;
+                    }
+                    Err(SelfJoinError::Fault(f)) => {
+                        device_faults.fetch_add(1, Ordering::Relaxed);
+                        *last_fault.lock() = Some(SelfJoinError::Fault(f));
+                        still_failed.push(s);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            failed = still_failed;
+        }
+        if reexecuted > 0 {
+            sj_obs::registry()
+                .counter("sj_shard_reexecutions_total", &[])
+                .add(reexecuted as u64);
         }
         let execute_time = t2.elapsed();
 
@@ -517,7 +627,6 @@ impl ShardedSelfJoin {
         // chooser priced them. Host-side table construction is excluded
         // there and the host-side merge is excluded here (reported as
         // `merge_time`).
-        let streams = streams.into_inner();
         let stream_makespan = streams.iter().copied().max().unwrap_or(Duration::ZERO);
         let modeled_total = calibrate_time + choose_time + part.build_time + stream_makespan;
         let shards: Vec<ShardRunReport> =
@@ -576,6 +685,8 @@ impl ShardedSelfJoin {
                 total: t0.elapsed(),
                 modeled_total,
                 duplicates_merged,
+                device_faults: device_faults.into_inner(),
+                reexecuted_shards: reexecuted,
             },
         })
     }
@@ -789,5 +900,117 @@ mod tests {
         let plan = ShardedSelfJoin::titan_x(2).plan(&data, 2.0).unwrap();
         assert!(plan.shards.len() >= 2);
         assert_eq!(plan.owned_points(), 2000);
+    }
+
+    #[test]
+    fn transient_fault_reexecutes_shard_exactly() {
+        use sim_gpu::{FaultEvent, FaultKind, FaultPlan};
+        let data = uniform(2, 2500, 41);
+        let eps = 2.2;
+        let engine = ShardedSelfJoin::titan_x(2).with_shards(6);
+        // One transient early on each device: both streams lose a shard
+        // attempt, both shards re-run and the union is unchanged.
+        engine.pool().inject_faults(&FaultPlan::new(vec![
+            FaultEvent {
+                device: 0,
+                after_ops: 2,
+                kind: FaultKind::Transient,
+            },
+            FaultEvent {
+                device: 1,
+                after_ops: 2,
+                kind: FaultKind::Transient,
+            },
+        ]));
+        let out = engine.run(&data, eps).unwrap();
+        let single = GpuSelfJoin::default_device().run(&data, eps).unwrap();
+        assert_eq!(out.table, single.table);
+        assert_eq!(out.report.duplicates_merged, 0);
+        assert!(out.report.device_faults >= 1);
+        assert!(out.report.reexecuted_shards >= 1);
+    }
+
+    #[test]
+    fn device_crash_fails_over_to_survivors() {
+        use sim_gpu::{FaultEvent, FaultKind, FaultPlan};
+        let data = clustered(2, 2200, 3, 1.0, 0.1, 42);
+        let eps = 0.9;
+        let engine = ShardedSelfJoin::titan_x(4).with_shards(8);
+        // Device 2 dies almost immediately and never heals: its whole
+        // queue must drain onto the three survivors.
+        engine
+            .pool()
+            .inject_faults(&FaultPlan::new(vec![FaultEvent {
+                device: 2,
+                after_ops: 1,
+                kind: FaultKind::Crash {
+                    heal_after_probes: u32::MAX,
+                },
+            }]));
+        let out = engine.run(&data, eps).unwrap();
+        let single = GpuSelfJoin::default_device().run(&data, eps).unwrap();
+        assert_eq!(out.table, single.table);
+        assert_eq!(out.report.duplicates_merged, 0);
+        assert!(out.report.device_faults >= 1);
+        assert!(out.report.reexecuted_shards >= 1);
+        assert!(!engine.pool().is_healthy(2));
+        // No re-executed shard landed back on the dead device.
+        for s in &out.report.shards {
+            assert_ne!(
+                s.device, 2,
+                "shard {} reported on the crashed device",
+                s.shard
+            );
+        }
+    }
+
+    #[test]
+    fn pool_wide_crash_surfaces_fault_error() {
+        use sim_gpu::{FaultEvent, FaultKind, FaultPlan};
+        let data = uniform(2, 1200, 43);
+        let engine = ShardedSelfJoin::titan_x(1).with_shards(4);
+        engine
+            .pool()
+            .inject_faults(&FaultPlan::new(vec![FaultEvent {
+                device: 0,
+                after_ops: 1,
+                kind: FaultKind::Crash {
+                    heal_after_probes: u32::MAX,
+                },
+            }]));
+        let err = engine.run(&data, 2.0).unwrap_err();
+        assert!(err.is_fault(), "expected a fault error, got {err}");
+    }
+
+    #[test]
+    fn straggler_slows_stream_without_changing_pairs() {
+        use sim_gpu::{FaultEvent, FaultKind, FaultPlan};
+        let data = uniform(2, 2000, 44);
+        let eps = 2.0;
+        let baseline = ShardedSelfJoin::titan_x(2)
+            .with_shards(4)
+            .run(&data, eps)
+            .unwrap();
+        let engine = ShardedSelfJoin::titan_x(2).with_shards(4);
+        engine
+            .pool()
+            .inject_faults(&FaultPlan::new(vec![FaultEvent {
+                device: 1,
+                after_ops: 1,
+                kind: FaultKind::Straggler {
+                    factor: 50.0,
+                    ops: 1000,
+                },
+            }]));
+        let out = engine.run(&data, eps).unwrap();
+        assert_eq!(out.table, baseline.table);
+        assert_eq!(out.report.device_faults, 0);
+        assert_eq!(out.report.reexecuted_shards, 0);
+        assert!(
+            out.report.modeled_total > baseline.report.modeled_total,
+            "straggler should inflate the modeled makespan ({:?} vs {:?})",
+            out.report.modeled_total,
+            baseline.report.modeled_total
+        );
     }
 }

@@ -1,8 +1,9 @@
 //! Device specifications and the device handle.
 
+use crate::fault::{DeviceFault, FaultInjector, FaultOp};
 use crate::memory::{DeviceBuffer, MemoryPool, OutOfMemory};
 use crate::transfer::TransferModel;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Static hardware parameters of a simulated device.
 ///
@@ -118,6 +119,20 @@ impl DeviceSpec {
 pub struct Device {
     spec: Arc<DeviceSpec>,
     pool: MemoryPool,
+    /// Armed at most once per device (shared across clones, like the
+    /// memory pool): the fault injector this device consults at its
+    /// upload/launch boundaries, plus the device's pool index. Empty on
+    /// standalone devices and on pools that never arm a [`FaultPlan`] —
+    /// the fault-free fast path is a single `OnceLock` read.
+    ///
+    /// [`FaultPlan`]: crate::fault::FaultPlan
+    faults: Arc<OnceLock<FaultHandle>>,
+}
+
+#[derive(Debug)]
+struct FaultHandle {
+    injector: Arc<FaultInjector>,
+    index: usize,
 }
 
 impl Device {
@@ -127,6 +142,7 @@ impl Device {
         Self {
             spec: Arc::new(spec),
             pool,
+            faults: Arc::new(OnceLock::new()),
         }
     }
 
@@ -165,6 +181,44 @@ impl Device {
     /// The memory pool (for advanced allocation patterns in tests).
     pub fn pool(&self) -> &MemoryPool {
         &self.pool
+    }
+
+    /// Installs the pool's armed fault injector on this device. Called by
+    /// [`crate::DevicePool::inject_faults`]; every clone of the device
+    /// (leases, snapshots, sessions) shares the installed handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an injector is already installed.
+    pub(crate) fn arm_faults(&self, injector: Arc<FaultInjector>, index: usize) {
+        if self.faults.set(FaultHandle { injector, index }).is_err() {
+            panic!("device {index} already has a fault injector armed");
+        }
+    }
+
+    /// Counts one device operation against the armed fault injector and
+    /// fails it if a fault fires (or the device is down). A no-op
+    /// returning `Ok` on devices with no injector armed.
+    ///
+    /// Execution paths call this at the two boundaries the fault model
+    /// covers: before a host→device snapshot upload ([`FaultOp::Upload`])
+    /// and before a batched kernel-launch sequence ([`FaultOp::Launch`]).
+    pub fn fault_check(&self, op: FaultOp) -> Result<(), DeviceFault> {
+        match self.faults.get() {
+            Some(h) => h.injector.check(h.index, op),
+            None => Ok(()),
+        }
+    }
+
+    /// Modeled-time inflation factor from an open straggler window (1.0
+    /// when healthy or no injector is armed). Execution paths multiply
+    /// their modeled device times by this — a straggling device answers
+    /// exactly, just late.
+    pub fn slowdown(&self) -> f64 {
+        match self.faults.get() {
+            Some(h) => h.injector.slowdown(h.index),
+            None => 1.0,
+        }
     }
 }
 

@@ -23,6 +23,12 @@
 //! * **Multi-device pools** — several devices with independent memory
 //!   pools plus per-device usage aggregation ([`pool`]), the substrate of
 //!   the sharded multi-device engine.
+//! * **Fault injection** — seeded, reproducible schedules of device
+//!   crashes, transient upload/launch failures and straggler slowdowns
+//!   ([`fault`]), with a per-device health ledger (probation +
+//!   exponential-backoff reinstatement probes) the pool consults when
+//!   leasing — the adversarial substrate the layers above prove their
+//!   failover against.
 //!
 //! Kernels run in two modes sharing one code path: a **fast mode** (no-op
 //! tracer, zero overhead after monomorphization) used for timing figures,
@@ -31,6 +37,7 @@
 pub mod append;
 pub mod cache;
 pub mod device;
+pub mod fault;
 pub mod kernel;
 pub mod memory;
 pub mod occupancy;
@@ -42,6 +49,10 @@ pub mod work;
 pub use append::{AppendBuffer, Reservation};
 pub use cache::{CacheConfig, CacheSim, CacheStats};
 pub use device::{Device, DeviceSpec};
+pub use fault::{
+    DeviceFault, DeviceHealth, FaultEvent, FaultInjector, FaultKind, FaultOp, FaultPlan,
+    HealthConfig, HealthLedger, StormConfig,
+};
 pub use kernel::{
     launch, launch_profiled, model_device_time, Kernel, LaunchConfig, LaunchStats, NoTrace,
     ThreadCtx, Tracer,

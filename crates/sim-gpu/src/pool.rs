@@ -10,10 +10,11 @@
 //! modeled multi-device response time (the busiest device bounds it).
 
 use crate::device::{Device, DeviceSpec};
+use crate::fault::{DeviceHealth, FaultInjector, FaultPlan, HealthConfig, HealthLedger};
 use crate::memory::MemoryLedger;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 /// A pool of simulated devices sharing one host.
@@ -35,6 +36,11 @@ pub struct DevicePool {
     /// [`MemoryLedger`]); sessions register their device snapshots here
     /// and a configured budget drives LRU eviction.
     memory_ledger: MemoryLedger,
+    /// Per-device health (probation state machine), shared across clones.
+    health: Arc<HealthLedger>,
+    /// The armed fault injector, if [`Self::inject_faults`] ran (shared
+    /// across clones; armed at most once per pool).
+    injector: Arc<OnceLock<Arc<FaultInjector>>>,
 }
 
 /// Shared lease state: per-device active counts plus a rotation cursor
@@ -120,6 +126,10 @@ pub struct PoolPressure {
     pub active: Vec<usize>,
     /// Work items admitted to a queue but not yet leased onto a device.
     pub queued: usize,
+    /// Devices currently healthy (not in probation) — the *surviving*
+    /// capacity admission should divide load over. Equals
+    /// `active.len()` on a fault-free pool.
+    pub healthy: usize,
 }
 
 impl PoolPressure {
@@ -128,10 +138,12 @@ impl PoolPressure {
         self.active.iter().sum::<usize>() + self.queued
     }
 
-    /// Average outstanding claims per device — the scalar an admission
-    /// controller compares against its depth threshold.
+    /// Average outstanding claims per *healthy* device — the scalar an
+    /// admission controller compares against its depth threshold. Dividing
+    /// by surviving rather than nominal capacity makes pressure spike when
+    /// devices crash, which is exactly when admission should tighten.
     pub fn per_device(&self) -> f64 {
-        self.total() as f64 / self.active.len().max(1) as f64
+        self.total() as f64 / self.healthy.max(1) as f64
     }
 }
 
@@ -217,6 +229,8 @@ impl DevicePool {
         Self {
             leases: Arc::new(Mutex::new(LeaseLedger::new(count))),
             memory_ledger: MemoryLedger::new(),
+            health: Arc::new(HealthLedger::new(count, HealthConfig::default())),
+            injector: Arc::new(OnceLock::new()),
             devices: (0..count).map(|_| Device::new(spec.clone())).collect(),
         }
     }
@@ -237,22 +251,107 @@ impl DevicePool {
         Self {
             leases: Arc::new(Mutex::new(LeaseLedger::new(devices.len()))),
             memory_ledger: MemoryLedger::new(),
+            health: Arc::new(HealthLedger::new(devices.len(), HealthConfig::default())),
+            injector: Arc::new(OnceLock::new()),
             devices,
         }
     }
 
-    /// Leases the least-loaded device (fewest active leases; ties break
-    /// round-robin from a rotating cursor, so serial short-lived leases
-    /// spread across devices too). Never blocks — the lease is a
-    /// load-balancing claim, not a lock (see [`DeviceLease`]).
+    /// Arms a [`FaultPlan`] on this pool: from here on, every device
+    /// operation (snapshot upload, kernel-launch sequence) counts against
+    /// the plan's schedule, crash events move devices into probation in
+    /// the shared [`HealthLedger`], and [`Self::lease`] /
+    /// [`Self::pressure`] reflect only healthy capacity. Operation
+    /// counters start at zero *now* — arm after warmup to aim a storm at
+    /// the measured window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a plan is already armed on this pool (or on any clone).
+    pub fn inject_faults(&self, plan: &FaultPlan) {
+        let injector = FaultInjector::new(plan, self.devices.len(), Arc::clone(&self.health));
+        assert!(
+            self.injector.set(Arc::clone(&injector)).is_ok(),
+            "fault plan already armed on this pool"
+        );
+        for (i, device) in self.devices.iter().enumerate() {
+            device.arm_faults(Arc::clone(&injector), i);
+        }
+    }
+
+    /// The armed fault injector, if any.
+    pub fn injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.injector.get()
+    }
+
+    /// Per-device health ledger (shared across clones).
+    pub fn health(&self) -> &Arc<HealthLedger> {
+        &self.health
+    }
+
+    /// Healthy flag per device, in index order, after running any due
+    /// reinstatement probes.
+    pub fn health_mask(&self) -> Vec<bool> {
+        self.health.probe_due();
+        self.health.mask()
+    }
+
+    /// Whether device `i` is currently healthy (not in probation).
+    pub fn is_healthy(&self, i: usize) -> bool {
+        self.health.is_healthy(i)
+    }
+
+    /// Public health snapshot per device.
+    pub fn health_snapshot(&self) -> Vec<DeviceHealth> {
+        self.health.snapshot()
+    }
+
+    /// Moves device `i` into probation by hand — supervisors quarantine a
+    /// device whose worker panicked the same way a crash fault would. The
+    /// device reinstates after `heal_after_probes` failed probes.
+    pub fn quarantine(&self, i: usize, heal_after_probes: u32) {
+        self.health.mark_down(i, heal_after_probes);
+    }
+
+    /// Runs any due reinstatement probes; returns how many devices were
+    /// reinstated. Leasing and pressure reads do this implicitly.
+    pub fn tick_health(&self) -> usize {
+        self.health.probe_due()
+    }
+
+    /// Modeled-time inflation factor of device `i` from an open straggler
+    /// window (1.0 when no injector is armed or the window closed).
+    pub fn slowdown(&self, i: usize) -> f64 {
+        self.devices[i].slowdown()
+    }
+
+    /// Leases the least-loaded *healthy* device (fewest active leases;
+    /// ties break round-robin from a rotating cursor, so serial
+    /// short-lived leases spread across devices too). Never blocks — the
+    /// lease is a load-balancing claim, not a lock (see [`DeviceLease`]).
+    ///
+    /// Devices in probation are skipped, which is how a crashed device's
+    /// active leases drain: existing holders finish (or fail) and release,
+    /// and no new lease lands until reinstatement probes heal it. If
+    /// *every* device is down the lease falls back to the full pool
+    /// rather than deadlock — the caller's first operation surfaces the
+    /// fault.
     pub fn lease(&self) -> DeviceLease {
+        self.health.probe_due();
+        let mask = self.health.mask();
+        let all_down = mask.iter().all(|h| !h);
+        let eligible = |i: usize| mask[i] || all_down;
         let mut ledger = self.leases.lock();
         let n = ledger.counts.len();
-        let min = *ledger.counts.iter().min().expect("pool is never empty");
+        let min = (0..n)
+            .filter(|&i| eligible(i))
+            .map(|i| ledger.counts[i])
+            .min()
+            .expect("pool is never empty");
         let index = (0..n)
             .map(|o| (ledger.cursor + o) % n)
-            .find(|&i| ledger.counts[i] == min)
-            .expect("some device holds the minimum");
+            .find(|&i| eligible(i) && ledger.counts[i] == min)
+            .expect("some eligible device holds the minimum");
         ledger.counts[index] += 1;
         ledger.cursor = (index + 1) % n;
         ledger.sample(Some(index));
@@ -303,10 +402,13 @@ impl DevicePool {
     /// this instead of deriving pressure from [`Self::active_leases`] and
     /// private queue state.
     pub fn pressure(&self) -> PoolPressure {
+        self.health.probe_due();
+        let healthy = self.health.healthy_count();
         let ledger = self.leases.lock();
         PoolPressure {
             active: ledger.counts.clone(),
             queued: ledger.queued,
+            healthy,
         }
     }
 
@@ -593,6 +695,86 @@ mod tests {
             read("sj_pool_active_leases", &[("pool", &id), ("device", "1")]),
             Some(0.0)
         );
+    }
+
+    #[test]
+    fn lease_skips_devices_in_probation() {
+        use crate::fault::{FaultEvent, FaultKind, FaultOp, FaultPlan};
+        let pool = DevicePool::homogeneous(DeviceSpec::small_test_device(), 3);
+        pool.inject_faults(&FaultPlan::new(vec![FaultEvent {
+            device: 1,
+            after_ops: 1,
+            kind: FaultKind::Crash {
+                heal_after_probes: u32::MAX,
+            },
+        }]));
+        assert!(pool.device(1).fault_check(FaultOp::Launch).is_err());
+        assert!(!pool.is_healthy(1));
+        // Six serial leases all avoid the downed device.
+        for _ in 0..6 {
+            assert_ne!(pool.lease().index(), 1);
+        }
+        let p = pool.pressure();
+        assert_eq!(p.healthy, 2);
+        // Per-device pressure divides by surviving capacity: one active
+        // lease over two healthy devices.
+        let _held = pool.lease();
+        assert!((pool.pressure().per_device() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quarantine_and_reinstatement_round_trip() {
+        let pool = DevicePool::homogeneous(DeviceSpec::small_test_device(), 2);
+        pool.quarantine(1, 0);
+        assert_eq!(pool.health_mask(), vec![true, false]);
+        // heal_after_probes = 0 with the default ~200µs backoff: the
+        // first due probe reinstates it.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while pool.tick_health() == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "probe never reinstated the device"
+            );
+            std::thread::yield_now();
+        }
+        assert_eq!(pool.health_mask(), vec![true, true]);
+        assert_eq!(pool.pressure().healthy, 2);
+    }
+
+    #[test]
+    fn all_devices_down_still_leases() {
+        let pool = DevicePool::homogeneous(DeviceSpec::small_test_device(), 2);
+        pool.quarantine(0, u32::MAX);
+        pool.quarantine(1, u32::MAX);
+        // Total loss: lease falls back to the full pool instead of
+        // deadlocking; callers surface the fault on first use.
+        let lease = pool.lease();
+        assert!(lease.index() < 2);
+        assert_eq!(pool.pressure().healthy, 0);
+    }
+
+    #[test]
+    fn lease_outlives_pool_and_releases_cleanly() {
+        // Release-after-pool-drain ordering: every pool clone is dropped
+        // while leases and queued-work tokens are still live. The ledger
+        // is kept alive by the tokens' own Arcs, so late releases must
+        // neither panic nor corrupt shared state.
+        let pool = DevicePool::homogeneous(DeviceSpec::small_test_device(), 2);
+        let clone = pool.clone();
+        let lease_a = pool.lease();
+        let lease_b = clone.lease();
+        let queued = pool.queue_work();
+        assert_eq!(pool.pressure().total(), 3);
+        drop(pool);
+        drop(clone);
+        // The devices (and their memory pools) stay usable through the
+        // lease after every pool handle is gone.
+        let buf = lease_a.device().alloc_zeroed::<u64>(8).unwrap();
+        assert_eq!(lease_a.device().used_bytes(), 64);
+        drop(buf);
+        drop(lease_b);
+        drop(queued);
+        lease_a.release();
     }
 
     #[test]
