@@ -39,13 +39,19 @@ pub fn output_dir() -> std::path::PathBuf {
 }
 
 /// ε that lands a workload at roughly `target` average neighbours per
-/// point under its mean 2-D density (clustered data comes out denser —
-/// fine: that is the regime where cost-based scheduling matters). Shared
-/// by the `scaling_devices` and `kernel_hotpath` binaries so their
-/// "~24 neighbors/point" tiers stay comparable.
+/// point under its mean density (clustered data comes out denser —
+/// fine: that is the regime where cost-based scheduling matters).
+/// Dimension-general: inverts `density × V_dim(ε) = target` with the
+/// exact n-ball volume, so the 4-D/6-D scaling workloads sit in the same
+/// selectivity regime as the 2-D tiers (where it reduces to the familiar
+/// `√(target / (π·density))`). Shared by the `scaling_devices` and
+/// `kernel_hotpath` binaries so their "~24 neighbors/point" tiers stay
+/// comparable.
 pub fn eps_for_selectivity(data: &sj_datasets::Dataset, target: f64) -> f64 {
     let ext = sj_datasets::stats::extent(data).expect("non-empty workload");
-    (target / (std::f64::consts::PI * ext.density)).sqrt()
+    let dim = data.dim();
+    let unit_ball = sj_datasets::stats::n_ball_volume(dim, 1.0);
+    (target / (ext.density * unit_ball)).powf(1.0 / dim as f64)
 }
 
 /// Sampled average neighbour count at `eps` (host scan over a stride

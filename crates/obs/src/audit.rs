@@ -23,6 +23,15 @@ pub const ABS_REL_ERROR: &str = "sj_cost_audit_abs_rel_error";
 /// Counter of samples dropped for a non-positive or non-finite
 /// measurement.
 pub const INVALID: &str = "sj_cost_audit_invalid_total";
+/// Gauge accumulating **unclamped** `ln(projected / measured)` per model.
+/// The ±8 histogram clamp saturates on grossly miscalibrated models
+/// (the shard chooser's pre-recalibration eval-cost sat 20–80× over);
+/// the log-ratio sum keeps the true magnitude, and its mean is exactly
+/// the geometric-mean drift a closed-loop fit needs to invert.
+pub const LOG_RATIO_SUM: &str = "sj_cost_audit_log_ratio_sum";
+/// Counter of samples folded into [`LOG_RATIO_SUM`] (both sides must be
+/// positive for the log to exist).
+pub const LOG_SAMPLES: &str = "sj_cost_audit_log_samples_total";
 
 /// Relative errors are clamped to ±this before observation (matches the
 /// [`rel_error_buckets`] range); a model whose mean sits at the clamp is
@@ -47,6 +56,12 @@ pub fn record(model: &'static str, projected_secs: f64, measured_secs: f64) {
     registry()
         .histogram(ABS_REL_ERROR, &labels, &rel_error_buckets())
         .observe(rel.abs());
+    if projected_secs > 0.0 {
+        registry()
+            .gauge(LOG_RATIO_SUM, &labels)
+            .add((projected_secs / measured_secs).ln());
+        registry().counter(LOG_SAMPLES, &labels).inc();
+    }
 }
 
 /// Summary of one model's calibration error.
@@ -64,9 +79,31 @@ pub struct AuditReport {
     pub p50_abs_rel_error: f64,
     /// 95th-percentile |relative error|.
     pub p95_abs_rel_error: f64,
+    /// Mean **unclamped** `ln(projected / measured)` — the log of the
+    /// geometric-mean projection drift. Unlike the histogram means this
+    /// never saturates, so a 50× over-projection reads as `ln 50 ≈ 3.9`
+    /// rather than pegging at the ±8 clamp. `0.0` when no sample had a
+    /// positive projection.
+    pub mean_log_ratio: f64,
 }
 
 impl AuditReport {
+    /// The multiplicative correction a closed-loop fit should apply to
+    /// the model's projections to zero the geometric-mean drift:
+    /// `exp(−mean_log_ratio)`. A model that over-projects 20× returns
+    /// ≈ 0.05; a calibrated model returns ≈ 1. This is exactly the fixed
+    /// point `sj_shard`'s eval-correction EWMA converges to, so the
+    /// audit can both *derive* a re-pin (as done for the traced-eval
+    /// overhead) and *verify* the runtime loop landed where it should.
+    pub fn correction(&self) -> f64 {
+        (-self.mean_log_ratio).exp()
+    }
+
+    /// Geometric mean of `projected / measured`: `exp(mean_log_ratio)`.
+    /// The unclamped counterpart of `mean_rel_error + 1`.
+    pub fn geo_mean_ratio(&self) -> f64 {
+        self.mean_log_ratio.exp()
+    }
     /// One-line human rendering for bench output. A mean sitting at the
     /// ±800% clamp is rendered with a `>=`/`<=` prefix: every sample
     /// saturated the histogram range, so the true error is at least that
@@ -82,13 +119,14 @@ impl AuditReport {
             format!("{mean:+.1}%")
         };
         format!(
-            "cost audit [{}]: n={} mean_err={} |err| mean={:.1}% p50={:.1}% p95={:.1}%",
+            "cost audit [{}]: n={} mean_err={} |err| mean={:.1}% p50={:.1}% p95={:.1}% geo=x{:.3}",
             self.model,
             self.count,
             mean,
             self.mean_abs_rel_error * 100.0,
             self.p50_abs_rel_error * 100.0,
             self.p95_abs_rel_error * 100.0,
+            self.geo_mean_ratio(),
         )
     }
 }
@@ -132,6 +170,22 @@ pub fn reports() -> Vec<AuditReport> {
         if signed.count == 0 {
             continue;
         }
+        let find_val = |name: &str| {
+            snap.iter().find_map(|g| {
+                if g.name == name && model_of(&g.labels).as_deref() == Some(&model) {
+                    match &g.value {
+                        MetricValue::Gauge(v) => Some(*v),
+                        MetricValue::Counter(c) => Some(*c as f64),
+                        _ => None,
+                    }
+                } else {
+                    None
+                }
+            })
+        };
+        let log_sum = find_val(LOG_RATIO_SUM).unwrap_or(0.0);
+        let log_n = find_val(LOG_SAMPLES).unwrap_or(0.0);
+        let mean_log_ratio = if log_n > 0.0 { log_sum / log_n } else { 0.0 };
         out.push(AuditReport {
             model,
             count: signed.count,
@@ -139,6 +193,7 @@ pub fn reports() -> Vec<AuditReport> {
             mean_abs_rel_error: abs.mean(),
             p50_abs_rel_error: abs.quantile(0.50),
             p95_abs_rel_error: abs.quantile(0.95),
+            mean_log_ratio,
         });
     }
     out.sort_by(|a, b| a.model.cmp(&b.model));
@@ -187,5 +242,38 @@ mod tests {
         record("audit_test_noclamp", 1.5, 1.0);
         let r = report("audit_test_noclamp").unwrap();
         assert!(r.summary().contains("mean_err=+50.0%"), "{}", r.summary());
+    }
+
+    #[test]
+    fn log_ratio_survives_the_clamp() {
+        // A 20x over-projection saturates the rel-error histograms, but
+        // the unclamped log track keeps the true magnitude: the derived
+        // correction is the multiplier that would zero the drift.
+        for _ in 0..4 {
+            record("audit_test_log", 20.0, 1.0);
+        }
+        let r = report("audit_test_log").expect("samples recorded");
+        assert!((r.mean_rel_error - CLAMP).abs() < 1e-9); // clamped
+        assert!((r.mean_log_ratio - 20.0f64.ln()).abs() < 1e-9);
+        assert!((r.geo_mean_ratio() - 20.0).abs() < 1e-6);
+        assert!((r.correction() - 0.05).abs() < 1e-6);
+        assert!(r.summary().contains("geo=x20.000"), "{}", r.summary());
+
+        // Mixed over/under projections cancel geometrically: 4x over then
+        // 4x under is calibrated on geometric average.
+        record("audit_test_log_mixed", 4.0, 1.0);
+        record("audit_test_log_mixed", 1.0, 4.0);
+        let r = report("audit_test_log_mixed").unwrap();
+        assert!(r.mean_log_ratio.abs() < 1e-9);
+        assert!((r.correction() - 1.0).abs() < 1e-9);
+
+        // Non-positive projections contribute to the histograms (rel =
+        // -1) but are excluded from the log track rather than poisoning
+        // it with -inf.
+        record("audit_test_log_zero", 0.0, 1.0);
+        record("audit_test_log_zero", 2.0, 1.0);
+        let r = report("audit_test_log_zero").unwrap();
+        assert_eq!(r.count, 2);
+        assert!((r.mean_log_ratio - 2.0f64.ln()).abs() < 1e-9);
     }
 }

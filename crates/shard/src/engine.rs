@@ -6,24 +6,51 @@
 //! estimate, an emit-time ownership window, remapped post stage — and the
 //! rest of the pipeline is scheduling and merging:
 //!
-//! calibrate → choose shard count (modeled-makespan argmin) → kd
+//! fused sample pass → calibration ∥ speculative cut-tree builds →
+//! choose shard count (modeled-response argmin) → materialize the chosen
 //! partition → LPT scheduling → one executor task per device (rayon)
 //! running its queue of subplans (shard grid build + join) through
 //! [`grid_join::plan::execute`] → concatenating merge into the global
 //! [`NeighborTable`].
 //!
+//! ## The parallel prelude
+//!
+//! Everything before the device streams used to be a fixed serial floor;
+//! it now shrinks as devices are added. One streaming
+//! [`crate::partition::sample_pass`] feeds *both* the kd recursion and
+//! the cost calibration ([`crate::cost::calibrate_from_sample`]) — the
+//! dataset is read once, chunked one lane per device. The candidate cut
+//! trees are then built speculatively while calibration runs: with ≥ 2
+//! devices the prelude charges `max(calibration, cut builds)` — the
+//! calibration occupies one host lane and the recursion fans its
+//! independent subtrees over the remaining `devices − 1`
+//! ([`crate::partition::build_cuts`]) — instead of their sum. Only the
+//! chosen tree is materialized against the full dataset.
+//!
 //! ## Shard-count choice
 //!
-//! More shards mean more devices busy but also more ε-halo replication:
-//! every ghost point is uploaded, indexed and scanned twice. The engine
-//! prices that trade-off instead of guessing: the calibration sample is
-//! partitioned at every candidate count (1, the powers of two up to
-//! `devices × shards_per_device`, and the device count itself), each
-//! candidate's shards are cost-projected ghost-inclusive
-//! ([`crate::cost::project_scaled`]), LPT-scheduled, and the candidate
-//! with the smallest modeled makespan wins — so 8 devices are only *used*
-//! when the ghost tax is worth it. An explicit
+//! More shards mean more devices busy but also more ε-halo replication
+//! (every ghost point is uploaded, indexed and scanned twice) *and* a
+//! more expensive partition to build. The engine prices the whole
+//! trade-off instead of guessing: the calibration sample is partitioned
+//! at every candidate count (1, the powers of two up to `devices ×
+//! shards_per_device`, and the device count itself), each candidate's
+//! shards are cost-projected ghost-inclusive
+//! ([`crate::cost::project_scaled`]) and LPT-scheduled, and the modeled
+//! device makespan is summed with the candidate's measured cut-tree
+//! build, its modeled materialize cost
+//! ([`crate::cost::modeled_partition_cost`]) and the calibration cost.
+//! The candidate with the smallest modeled *response* wins, exact ties
+//! breaking toward fewer shards
+//! ([`crate::schedule::argmin_shard_count`]) — so 8 devices are only
+//! *used* when the ghost-plus-build tax is worth it. An explicit
 //! [`ShardedConfig::num_shards`] bypasses the chooser.
+//!
+//! The chooser's absolute projections are kept honest by a closed loop:
+//! every run feeds its (projected, measured) stream-makespan pair to the
+//! cost-model audit and to [`crate::cost::eval_correction`], which
+//! multiplies subsequent calibrations' `eval_cost` so the projection
+//! error stays inside the audited band instead of re-diverging.
 //!
 //! ## Ownership fusion
 //!
@@ -54,9 +81,14 @@
 //! takes the **maximum** over devices — the busiest device bounds
 //! completion, just as a real multi-GPU driver would observe.
 
-use crate::cost::{calibrate, project_partition, project_scaled, CostModel, ShardCost};
-use crate::partition::{partition, partition_par, Partition};
-use crate::schedule::{lpt_schedule, modeled_makespan, Assignment};
+use crate::cost::{
+    calibrate_from_sample, eval_correction, grid_correction, modeled_partition_cost,
+    project_partition, project_scaled, CostModel, ShardCost,
+};
+use crate::partition::{
+    build_cuts, materialize, partition, partition_par, CutTree, Partition, SamplePass,
+};
+use crate::schedule::{argmin_shard_count, lpt_schedule, modeled_makespan, Assignment};
 use grid_join::plan::{execute, Backend, JoinPlan};
 use grid_join::{GridIndex, HotPath, NeighborTable, Pair, SelfJoinConfig, SelfJoinError};
 use parking_lot::Mutex;
@@ -66,6 +98,11 @@ use sj_datasets::Dataset;
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+/// Chooser verdict: the winning shard count, its projected partition
+/// build cost (for the `shard_partition` audit), and the full
+/// `(candidate, modeled response)` table for the report.
+type ChosenShards = (usize, Duration, Vec<(usize, Duration)>);
 
 /// Upper bound on re-execution rounds after device faults: each round
 /// re-runs every still-failed shard on the least-loaded surviving device,
@@ -126,6 +163,12 @@ pub struct ShardRunReport {
     /// Modeled device time of the shard's pipeline (grid build + upload +
     /// kernels + drains, pipelined).
     pub modeled: Duration,
+    /// Modeled H2D engine busy time of the shard (the upload phase of
+    /// the per-phase breakdown).
+    pub modeled_upload: Duration,
+    /// Modeled kernel-engine busy time of the shard: estimation, hoist
+    /// and join kernels.
+    pub modeled_kernel: Duration,
     /// Host wall time of the shard's pipeline.
     pub wall: Duration,
 }
@@ -142,19 +185,42 @@ pub struct ShardedReport {
     pub devices: Vec<DeviceTally>,
     /// Predicted per-device load the scheduler balanced.
     pub predicted_load: Vec<u64>,
-    /// `(shard count, modeled makespan)` for every candidate the chooser
-    /// priced (empty when `num_shards` was explicit).
+    /// `(shard count, modeled response objective)` for every candidate
+    /// the chooser priced (empty when `num_shards` was explicit). The
+    /// objective is the candidate's LPT device makespan plus its
+    /// partition build cost (measured cut tree + modeled materialize)
+    /// plus the calibration cost — see the module docs.
     pub candidate_makespans: Vec<(usize, Duration)>,
     /// Total halo ghost points (replication overhead).
     pub ghost_points: usize,
-    /// Wall time of the cost-model calibration pass.
+    /// Modeled time of the fused bounds/sample streaming pass (slowest
+    /// of the per-device lanes) — shared by partitioning and
+    /// calibration.
+    pub sample_time: Duration,
+    /// Wall time of the cost-model calibration, *excluding* the shared
+    /// sample pass.
     pub calibrate_time: Duration,
-    /// Wall time of the shard-count chooser.
+    /// Modeled time of the speculative candidate cut-tree builds
+    /// (lane-budgeted critical path, summed over candidates) that run
+    /// overlapped with calibration when ≥ 2 devices are present.
+    pub cut_time: Duration,
+    /// Wall time of the shard-count chooser's pricing loop.
     pub choose_time: Duration,
-    /// Modeled time of the partitioning pass: serial kd recursion plus
-    /// the slowest lane of each chunked full-data pass, one lane per
-    /// device (see `sj_shard::partition::partition_par`).
+    /// Modeled time of the chosen partition's build: the sample pass,
+    /// its cut tree and the chunked materialize passes, one lane per
+    /// device (see `sj_shard::partition`).
     pub partition_time: Duration,
+    /// Modeled end-to-end prelude ahead of the device streams: sample
+    /// pass + (calibration overlapped with the cut builds) + chooser +
+    /// materialize. This is what `modeled_total` charges before the
+    /// busiest stream; it *shrinks* as devices are added.
+    pub prelude_time: Duration,
+    /// The scheduler's projected busiest-stream makespan for the
+    /// executed partition (what the cost-model audit compares against
+    /// [`Self::measured_stream`]).
+    pub projected_stream: Duration,
+    /// Measured busiest device stream of the run.
+    pub measured_stream: Duration,
     /// Wall time of the per-shard host index builds (summed across
     /// device tasks; they overlap in wall time).
     pub index_build_time: Duration,
@@ -165,12 +231,12 @@ pub struct ShardedReport {
     pub merge_time: Duration,
     /// End-to-end host wall time.
     pub total: Duration,
-    /// Modeled multi-device response time: calibration + chooser +
-    /// partition pass plus the busiest device stream (per-shard grid
-    /// build + pipelined join timeline; devices run concurrently so the
-    /// maximum bounds completion). Matches the single-device
-    /// `JoinReport::modeled_total` convention, which likewise excludes
-    /// host-side table/merge construction.
+    /// Modeled multi-device response time: the parallel prelude
+    /// ([`Self::prelude_time`]) plus the busiest device stream
+    /// (per-shard grid build + pipelined join timeline; devices run
+    /// concurrently so the maximum bounds completion). Matches the
+    /// single-device `JoinReport::modeled_total` convention, which
+    /// likewise excludes host-side table/merge construction.
     pub modeled_total: Duration,
     /// Duplicate pairs removed by the merge. Exclusive pair ownership
     /// makes this 0; on the fused path duplicates are structurally
@@ -284,32 +350,46 @@ impl ShardedSelfJoin {
         c
     }
 
-    /// Prices every candidate shard count on the calibration sample and
-    /// returns the modeled-makespan argmin (ties break toward fewer
-    /// shards) plus the full candidate table for the report.
+    /// Prices every candidate shard count on the calibration sample —
+    /// modeled device makespan *plus* the cost of making the partition
+    /// (the candidate's measured speculative cut-tree build, its modeled
+    /// materialize passes, and the calibration) — and returns the
+    /// modeled-response argmin (exact ties break toward fewer shards via
+    /// [`argmin_shard_count`]), the winner's projected partition build
+    /// cost (for the `shard_partition` audit) and the full candidate
+    /// table for the report.
     fn choose_shard_count(
         &self,
         model: &CostModel,
+        sp: &SamplePass,
+        trees: &[(usize, CutTree)],
         ndev: usize,
-    ) -> Result<(usize, Vec<(usize, Duration)>), SelfJoinError> {
+    ) -> Result<ChosenShards, SelfJoinError> {
         let spec = self.pool.device(0).spec();
         let unicomp = self.config.join.unicomp;
         let scale = model.len as f64 / model.sample_data.len().max(1) as f64;
-        let mut best = (1usize, Duration::MAX);
         let mut table = Vec::new();
-        for &k in &self.shard_candidates(ndev) {
+        let mut build_costs = Vec::new();
+        for (k, tree) in trees {
+            let k = *k;
             let sample_part = partition(&model.sample_data, model.epsilon, k)?;
             let costs = project_scaled(model, &sample_part, scale, spec, unicomp);
             let assign = lpt_schedule(&costs.iter().map(ShardCost::cost).collect::<Vec<_>>(), ndev);
             let stages: Vec<(Duration, Duration)> =
                 costs.iter().map(|c| (c.grid_time, c.device_time)).collect();
             let mk = modeled_makespan(&assign, &stages);
-            table.push((k, mk));
-            if mk < best.1 {
-                best = (k, mk);
-            }
+            let ghosts_scaled: f64 = costs.iter().map(|c| c.ghosts as f64).sum();
+            let build = modeled_partition_cost(sp, tree.build_time, k, ndev, ghosts_scaled);
+            table.push((k, mk + build + model.build_time));
+            build_costs.push((k, build));
         }
-        Ok((best.0, table))
+        let chosen = argmin_shard_count(&table).unwrap_or(1);
+        let chosen_build = build_costs
+            .iter()
+            .find(|&&(k, _)| k == chosen)
+            .map(|&(_, b)| b)
+            .unwrap_or(Duration::ZERO);
+        Ok((chosen, chosen_build, table))
     }
 
     /// Runs the sharded self-join: all ordered pairs `(p, q)`, `p ≠ q`,
@@ -334,30 +414,82 @@ impl ShardedSelfJoin {
         span.label("devices", ndev);
         let spec = self.pool.device(0).spec();
 
-        // Ghost-aware cost model: one cheap host pass prices every
-        // candidate partition (and seeds each subplan's result estimate)
-        // — no per-shard estimation kernels.
+        // Fused prelude, stage 1: one chunked streaming read of the
+        // dataset yields the kd recursion's stride sample *and* the
+        // calibration's binned sample (one lane per device).
+        let sp = crate::partition::sample_pass(data, ndev)?;
+        let sample_time = sp.wall;
+
+        // Stage 2, overlapped: the ghost-aware cost model calibrates
+        // from the shared sample while the candidate cut trees build
+        // speculatively on the remaining host lanes. Sequentially
+        // executed (simulated lanes, like every host-parallel pass
+        // here); with ≥ 2 devices the prelude charges the slower of the
+        // two sides instead of their sum.
         let model = {
             let _cspan = sj_obs::Span::enter("shard.calibrate");
-            calibrate(data, epsilon, spec)?
+            calibrate_from_sample(&sp, epsilon, spec)?
         };
         let calibrate_time = model.build_time;
 
+        let candidate_counts: Vec<usize> = match self.config.num_shards {
+            Some(k) => vec![k.max(1)],
+            None => self.shard_candidates(ndev).into_iter().collect(),
+        };
+        let cut_lanes = ndev.saturating_sub(1).max(1);
+        let trees: Vec<(usize, CutTree)> = {
+            let mut tspan = sj_obs::Span::enter("shard.cuts");
+            tspan.label("candidates", candidate_counts.len());
+            candidate_counts
+                .iter()
+                .map(|&k| Ok((k, build_cuts(&sp, epsilon, k, cut_lanes)?)))
+                .collect::<Result<_, SelfJoinError>>()?
+        };
+        let cut_time: Duration = trees.iter().map(|(_, t)| t.build_time).sum();
+        let overlap_time = if ndev >= 2 {
+            calibrate_time.max(cut_time)
+        } else {
+            calibrate_time + cut_time
+        };
+
         let tc = Instant::now();
         let mut chspan = sj_obs::Span::enter("shard.choose");
-        let (num_shards, candidate_makespans) = match self.config.num_shards {
-            Some(k) => (k.max(1), Vec::new()),
-            None => self.choose_shard_count(&model, ndev)?,
+        let (num_shards, projected_build, candidate_makespans) = match self.config.num_shards {
+            Some(k) => (k.max(1), Duration::ZERO, Vec::new()),
+            None => self.choose_shard_count(&model, &sp, &trees, ndev)?,
         };
         chspan.label("chosen", num_shards);
         chspan.label("candidates", candidate_makespans.len());
         drop(chspan);
         let choose_time = tc.elapsed();
 
-        // One partition lane per device: the chunked full-data passes
-        // are charged at their per-lane makespan, matching the engine's
+        // Stage 3: materialize only the winning tree against the full
+        // dataset — the chunked passes are charged at their per-lane
+        // makespan, one lane per device, matching the engine's
         // per-device stream convention.
-        let part = partition_par(data, epsilon, num_shards, ndev)?;
+        let chosen_tree = trees
+            .into_iter()
+            .find(|(k, _)| *k == num_shards)
+            .map(|(_, t)| t)
+            .expect("the chosen count came from the candidate list");
+        let mut part = materialize(data, &chosen_tree, ndev)?;
+        let materialize_time = part.build_time;
+        // `Partition::build_time` keeps its historical meaning (the
+        // whole partition build) for `partition_time` and downstream
+        // consumers; the prelude accounting charges the shared sample
+        // pass only once.
+        part.build_time += sample_time + chosen_tree.build_time;
+        let part = part;
+        if self.config.num_shards.is_none() {
+            // Closed loop on the partition-cost model: the chooser's
+            // projected build cost vs what building the winner took.
+            sj_obs::audit::record(
+                "shard_partition",
+                projected_build.as_secs_f64(),
+                (chosen_tree.build_time + materialize_time).as_secs_f64(),
+            );
+        }
+        let prelude_time = sample_time + overlap_time + choose_time + materialize_time;
         let costs = project_partition(&model, &part, spec, self.config.join.unicomp);
 
         let assignment: Assignment = {
@@ -395,10 +527,9 @@ impl ShardedSelfJoin {
         let device_faults = AtomicU64::new(0);
         let failed_shards: Mutex<Vec<usize>> = Mutex::new(Vec::new());
         let last_fault: Mutex<Option<SelfJoinError>> = Mutex::new(None);
-        // Device streams start on the modeled clock after the serial
-        // prelude (calibration + chooser + partition).
-        let prelude_secs =
-            modeled_start + (calibrate_time + choose_time + part.build_time).as_secs_f64();
+        // Device streams start on the modeled clock after the (now
+        // lane-parallel) prelude.
+        let prelude_secs = modeled_start + prelude_time.as_secs_f64();
 
         // One shard's full pipeline on one device — grid build, subplan
         // rewrite, batched execution, accounting, merge append. Shared by
@@ -479,6 +610,10 @@ impl ShardedSelfJoin {
                 batches: out.report.batching.batches,
                 ghost_h2d_bytes: ghost_h2d,
                 modeled: grid_build + out.report.modeled_total,
+                modeled_upload: out.report.batching.timeline.h2d_busy,
+                modeled_kernel: out.report.batching.modeled_estimate_time
+                    + out.report.batching.modeled_hoist_time
+                    + out.report.batching.modeled_kernel_time,
                 wall: out.report.total,
             });
             if !shard_cursor.is_nan() {
@@ -628,7 +763,8 @@ impl ShardedSelfJoin {
         // there and the host-side merge is excluded here (reported as
         // `merge_time`).
         let stream_makespan = streams.iter().copied().max().unwrap_or(Duration::ZERO);
-        let modeled_total = calibrate_time + choose_time + part.build_time + stream_makespan;
+        let modeled_total = prelude_time + stream_makespan;
+        let index_build_time = index_build.into_inner();
         let shards: Vec<ShardRunReport> =
             shard_reports.into_inner().into_iter().flatten().collect();
 
@@ -639,6 +775,22 @@ impl ShardedSelfJoin {
             projected_makespan.as_secs_f64(),
             stream_makespan.as_secs_f64(),
         );
+        // Component-wise closed loops keep the next calibration inside
+        // the audited band: the host-stage (grid build) projection is
+        // steered by the measured per-shard index-build walls, the
+        // device-stage projection by the modeled upload+kernel busy
+        // time the executed batches reported. Each knob gets its own
+        // measurement — a makespan-level loop on the eval knob alone
+        // cannot fix a drifting grid projection (it would pin the eval
+        // factor at its clamp and leave the aggregate error standing).
+        let projected_grid: Duration = costs.iter().map(|c| c.grid_time).sum();
+        let projected_device: Duration = costs.iter().map(|c| c.device_time).sum();
+        let measured_device: Duration = shards
+            .iter()
+            .map(|s| s.modeled_upload + s.modeled_kernel)
+            .sum();
+        grid_correction().observe(data.dim(), projected_grid, index_build_time);
+        eval_correction().observe(data.dim(), projected_device, measured_device);
         // Balance/replication gauges: busiest stream over mean busy
         // stream (1.0 = perfectly balanced), and halo replication as a
         // fraction of owned points.
@@ -676,10 +828,15 @@ impl ShardedSelfJoin {
                 predicted_load: assignment.predicted_load,
                 candidate_makespans,
                 ghost_points: part.ghost_points(),
+                sample_time,
                 calibrate_time,
+                cut_time,
                 choose_time,
                 partition_time: part.build_time,
-                index_build_time: index_build.into_inner(),
+                prelude_time,
+                projected_stream: projected_makespan,
+                measured_stream: stream_makespan,
+                index_build_time,
                 execute_time,
                 merge_time,
                 total: t0.elapsed(),
@@ -900,6 +1057,63 @@ mod tests {
         let plan = ShardedSelfJoin::titan_x(2).plan(&data, 2.0).unwrap();
         assert!(plan.shards.len() >= 2);
         assert_eq!(plan.owned_points(), 2000);
+    }
+
+    #[test]
+    fn chooser_projection_converges_within_band() {
+        // The audit-recalibration acceptance bar: with the re-pinned
+        // TRACED_EVAL_OVERHEAD and the closed-loop correction fed by
+        // each run, the projected stream makespan must settle within
+        // ±50% of the measured one (the audit's histogram used to sit
+        // at its +800% clamp). The correction is process-global and
+        // other tests observe into it concurrently, so assert on the
+        // median of the last few runs rather than a single sample.
+        let data = uniform(2, 6000, 45);
+        let eps = 2.0;
+        let engine = ShardedSelfJoin::titan_x(4);
+        let mut errs = Vec::new();
+        for _ in 0..8 {
+            let out = engine.run(&data, eps).unwrap();
+            let p = out.report.projected_stream.as_secs_f64();
+            let m = out.report.measured_stream.as_secs_f64();
+            assert!(m > 0.0 && p > 0.0);
+            errs.push((p - m) / m);
+        }
+        let mut tail: Vec<f64> = errs[errs.len() - 4..].to_vec();
+        tail.sort_by(f64::total_cmp);
+        let median = (tail[1] + tail[2]) / 2.0;
+        assert!(
+            median.abs() <= 0.5,
+            "post-recalibration relative error {median:+.2} outside ±50% (runs: {errs:?})"
+        );
+    }
+
+    #[test]
+    fn report_prelude_accounting_is_consistent() {
+        let data = uniform(2, 4000, 46);
+        let out = ShardedSelfJoin::titan_x(4).run(&data, 2.0).unwrap();
+        let r = &out.report;
+        // The prelude charges the shared sample pass once and overlaps
+        // calibration with the speculative cut builds; it can never
+        // exceed the fully serial sum of its parts.
+        assert!(r.prelude_time >= r.sample_time);
+        let serial_sum =
+            r.sample_time + r.calibrate_time + r.cut_time + r.choose_time + r.partition_time;
+        assert!(
+            r.prelude_time <= serial_sum,
+            "prelude {:?} exceeds serial sum {:?}",
+            r.prelude_time,
+            serial_sum
+        );
+        assert_eq!(r.modeled_total, r.prelude_time + r.measured_stream);
+        // The partition's own build (sample + chosen cuts + materialize)
+        // includes the sample pass.
+        assert!(r.partition_time >= r.sample_time);
+        // Per-shard phase breakdown is populated on real shards.
+        for s in &r.shards {
+            assert!(s.modeled_upload > Duration::ZERO, "shard {}", s.shard);
+            assert!(s.modeled_kernel > Duration::ZERO, "shard {}", s.shard);
+        }
     }
 
     #[test]

@@ -73,7 +73,12 @@ pub mod engine;
 pub mod partition;
 pub mod schedule;
 
-pub use cost::{calibrate, project_partition, project_scaled, CostModel, ShardCost};
+pub use cost::{
+    calibrate, calibrate_from_sample, eval_correction, grid_correction, project_partition,
+    project_scaled, CostModel, EvalCorrection, ShardCost,
+};
 pub use engine::{ShardRunReport, ShardedConfig, ShardedOutput, ShardedReport, ShardedSelfJoin};
-pub use partition::{partition, Partition, Shard};
-pub use schedule::{lpt_schedule, modeled_makespan, Assignment};
+pub use partition::{
+    build_cuts, materialize, partition, sample_pass, CutTree, Partition, SamplePass, Shard,
+};
+pub use schedule::{argmin_shard_count, lpt_schedule, modeled_makespan, Assignment};

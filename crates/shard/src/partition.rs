@@ -15,22 +15,38 @@
 //! assignment — no floating-point disagreement between the two is
 //! possible.
 //!
-//! ## Cost structure
+//! ## Staged build and cost structure
 //!
 //! The partition sits on the engine's critical path before any device
-//! stream starts, so it is built to touch the full dataset as little as
-//! possible and to keep what it must touch off the serial spine. The
-//! recursion runs on a stride **sample** (cuts only need quantiles, and a
-//! sample quantile snapped to a grid boundary is as good as an exact
-//! one); the full dataset is then read by three streaming passes —
-//! bounds + sample, ownership/ghost classification, owned-prefix gather —
-//! each executed as independent contiguous chunks, one per host lane
-//! (see [`partition_par`]): `build_time` charges the serial recursion
-//! plus the slowest lane of each pass, the same host-parallel convention
-//! the engine applies to its per-device streams. Because the sample's
-//! points are real points, a cut that leaves sample points on both sides
-//! leaves real points on both sides — every leaf owns at least one point
-//! by construction.
+//! stream starts, so the build is exposed as three separately-priced
+//! stages the engine can schedule (and overlap with calibration) instead
+//! of one opaque call:
+//!
+//! 1. [`sample_pass`] — one chunked streaming read of the full dataset
+//!    yielding per-dimension bounds *and* the stride sample. The sample
+//!    feeds both the kd recursion and the cost-model calibration
+//!    ([`crate::cost::calibrate_from_sample`]), so the data is read once
+//!    for both — the two-pass prelude of the original design fused.
+//! 2. [`build_cuts`] — the recursion over the sample. Left/right
+//!    subtrees are independent, so the build is charged at the critical
+//!    path of a `lanes`-way fan-out (a subtree's children split the
+//!    remaining lane budget; a budget of one serializes). Execution is
+//!    sequential — on the simulated-device host every "lane" is a host
+//!    thread the engine charges, not spawns, exactly like the chunked
+//!    passes below — which also keeps the cut tree bit-identical for
+//!    every lane count.
+//! 3. [`materialize`] — the two full-data passes (ownership/ghost
+//!    classification, owned-prefix gather) plus the ghost-tail copy,
+//!    each executed as independent contiguous chunks, one per host lane,
+//!    and charged at the slowest lane of each pass.
+//!
+//! [`partition_par`] composes the three stages; [`Partition::build_time`]
+//! charges the sample pass's slowest lane, the recursion's critical path
+//! and the slowest lane of each materialize pass — the same host-parallel
+//! convention the engine applies to its per-device streams. Because the
+//! sample's points are real points, a cut that leaves sample points on
+//! both sides leaves real points on both sides — every leaf owns at least
+//! one point by construction.
 
 use grid_join::error::GridBuildError;
 use sj_datasets::Dataset;
@@ -97,9 +113,11 @@ pub struct Partition {
     /// The shards, sorted by box lower bounds. Never empty; every shard
     /// owns at least one point (the requested count is an upper bound).
     pub shards: Vec<Shard>,
-    /// Modeled build time: serial recursion plus the slowest lane of
-    /// each chunked full-data pass (measured wall time when built with
-    /// one lane — see [`partition_par`]).
+    /// Modeled build time. From [`partition_par`]: the sample pass's
+    /// slowest lane + the recursion's lane-budgeted critical path + the
+    /// slowest lane of each chunked materialize pass. From
+    /// [`materialize`]: the materialize passes only (the caller owns the
+    /// sample and recursion stages and their accounting).
     pub build_time: Duration,
 }
 
@@ -125,29 +143,125 @@ impl Partition {
     }
 }
 
-/// One open sub-region of the kd recursion (sample slots, not global
-/// ids).
-struct Region {
-    slots: Vec<u32>,
-    lo: Vec<f64>,
-    hi: Vec<f64>,
-    /// Data-clipped box spans (the box intersected with the dataset's
-    /// bounding box): cheap per-dimension width estimates maintained
-    /// incrementally at each cut instead of rescanned from the points.
-    smin: Vec<f64>,
-    smax: Vec<f64>,
-    /// Shards this region should still split into.
-    k: usize,
+/// Cap on the stride sample the kd recursion runs over. Cuts derived
+/// from sample quantiles cost O(sample · log k) instead of O(n · log k);
+/// below the cap the "sample" is the whole dataset and behavior is
+/// exact.
+pub const SPLIT_SAMPLE_CAP: usize = 8_192;
+
+/// Output of the fused bounds-and-sample pass over the full dataset: the
+/// one streaming read shared by the kd recursion ([`build_cuts`]) and the
+/// cost-model calibration ([`crate::cost::calibrate_from_sample`]).
+#[derive(Clone, Debug)]
+pub struct SamplePass {
+    /// Points in the scanned dataset.
+    pub len: usize,
+    /// Dimensionality of the scanned dataset.
+    pub dim: usize,
+    /// Per-dimension minima over the *full* dataset.
+    pub dmin: Vec<f64>,
+    /// Per-dimension maxima over the full dataset.
+    pub dmax: Vec<f64>,
+    /// Global-id stride of the sample (`ids` are the multiples of this).
+    pub stride: usize,
+    /// Sampled global ids, ascending.
+    pub ids: Vec<u32>,
+    /// Sample coordinates, column-major: `cols[j][slot]` is dimension `j`
+    /// of sample `slot` (the point with global id `ids[slot]`).
+    pub cols: Vec<Vec<f64>>,
+    /// Modeled pass time: the slowest of the per-lane chunk walls.
+    pub wall: Duration,
+    /// Measured streaming cost per point of the slowest lane — the
+    /// engine's unit price for modeling the materialize passes when it
+    /// folds partition cost into the shard-count objective.
+    pub per_point: Duration,
 }
 
-/// A settled leaf box of the recursion.
-struct Leaf {
-    lo: Vec<f64>,
-    hi: Vec<f64>,
-    /// Data-clipped span (box ∩ dataset bounding box) — a superset of the
-    /// leaf's true point extent, safe for adjacency pruning.
-    smin: Vec<f64>,
-    smax: Vec<f64>,
+impl SamplePass {
+    /// Row-major coordinates of sample `slot`.
+    pub fn point(&self, slot: usize) -> Vec<f64> {
+        self.cols.iter().map(|c| c[slot]).collect()
+    }
+}
+
+/// Streams the full dataset once, in `lanes` contiguous chunks, and
+/// returns per-dimension bounds plus the kd recursion's stride sample.
+///
+/// The sample is strided by *global* id, so each lane contributes a
+/// disjoint in-order segment and the assembled sample is bit-identical
+/// for every lane count. Each lane is timed individually and
+/// [`SamplePass::wall`] charges the slowest — the host-parallel
+/// convention shared with [`materialize`] and the engine's per-device
+/// streams.
+pub fn sample_pass(data: &Dataset, lanes: usize) -> Result<SamplePass, GridBuildError> {
+    if data.len() > u32::MAX as usize {
+        return Err(GridBuildError::TooManyPoints(data.len()));
+    }
+    let n = data.len();
+    let dim = data.dim();
+    if n == 0 {
+        return Ok(SamplePass {
+            len: 0,
+            dim,
+            dmin: vec![f64::INFINITY; dim],
+            dmax: vec![f64::NEG_INFINITY; dim],
+            stride: 1,
+            ids: Vec::new(),
+            cols: vec![Vec::new(); dim],
+            wall: Duration::ZERO,
+            per_point: Duration::ZERO,
+        });
+    }
+    let mut span = sj_obs::Span::enter("shard.sample_pass");
+    let lanes = lanes.clamp(1, n);
+    span.label("lanes", lanes);
+    let flat = data.coords();
+    let csize = n.div_ceil(lanes);
+    let sstride = n.div_ceil(SPLIT_SAMPLE_CAP);
+    let mut dmin = vec![f64::INFINITY; dim];
+    let mut dmax = vec![f64::NEG_INFINITY; dim];
+    let mut ids: Vec<u32> = Vec::with_capacity(n.div_ceil(sstride));
+    let mut cols: Vec<Vec<f64>> = vec![Vec::with_capacity(n.div_ceil(sstride)); dim];
+    let mut slowest = Duration::ZERO;
+    let mut per_point = Duration::ZERO;
+    for lane in 0..lanes {
+        let (start, end) = (lane * csize, ((lane + 1) * csize).min(n));
+        let tl = Instant::now();
+        let mut lspan = sj_obs::Span::enter("shard.partition.lane");
+        lspan.label("pass", "sample");
+        lspan.label("lane", lane);
+        let mut next_sample = start.next_multiple_of(sstride);
+        for (i, row) in flat[start * dim..end * dim].chunks_exact(dim).enumerate() {
+            for j in 0..dim {
+                dmin[j] = dmin[j].min(row[j]);
+                dmax[j] = dmax[j].max(row[j]);
+            }
+            if start + i == next_sample {
+                next_sample += sstride;
+                ids.push((start + i) as u32);
+                for j in 0..dim {
+                    cols[j].push(row[j]);
+                }
+            }
+        }
+        let w = tl.elapsed();
+        if w > slowest {
+            slowest = w;
+            per_point = w.div_f64((end - start).max(1) as f64);
+        }
+    }
+    span.label("sample", ids.len());
+    Ok(SamplePass {
+        len: n,
+        dim,
+        dmin,
+        dmax,
+        stride: sstride,
+        ids,
+        cols,
+        wall: slowest,
+        per_point,
+    })
 }
 
 /// High bit of a cut-tree child link marks a leaf; the rest is the leaf
@@ -163,151 +277,123 @@ struct CutNode {
     kids: [u32; 2],
 }
 
-/// The sample-guided kd recursion state: sample columns in, leaves +
-/// pre-order cut dims + the cut tree out.
-struct Splitter {
-    /// Sample coordinates, column-major: `cols[j][slot]`.
-    cols: Vec<Vec<f64>>,
-    gmin: Vec<f64>,
-    epsilon: f64,
+/// A settled leaf box of the recursion.
+struct Leaf {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    /// Data-clipped span (box ∩ dataset bounding box) — a superset of the
+    /// leaf's true point extent, safe for adjacency pruning.
+    smin: Vec<f64>,
+    smax: Vec<f64>,
+}
+
+/// The settled cut tree of one kd recursion: the leaves (in final shard
+/// order — lexicographic by box lower bounds), the interior nodes the
+/// assignment pass walks, and the recursion's modeled build time.
+pub struct CutTree {
+    /// The search radius the recursion aligned its cuts to.
+    pub epsilon: f64,
+    /// Dimensions cut, in pre-order (this region's cut, then the left
+    /// subtree's, then the right's).
+    pub cut_dims: Vec<usize>,
+    /// Modeled build time of the recursion: each region's cut-search wall
+    /// is measured, children charge `max` while the lane budget splits
+    /// and `+` once it is down to one lane.
+    pub build_time: Duration,
     leaves: Vec<Leaf>,
-    cut_dims: Vec<usize>,
     nodes: Vec<CutNode>,
+    root: u32,
 }
 
-/// Splits `data` into at most `num_shards` grid-aligned kd boxes with
-/// ε-wide halos, on a single host lane. Equivalent to [`partition_par`]
-/// with one lane, where `build_time` is plain measured wall time.
-pub fn partition(
-    data: &Dataset,
-    epsilon: f64,
-    num_shards: usize,
-) -> Result<Partition, GridBuildError> {
-    partition_par(data, epsilon, num_shards, 1)
+impl CutTree {
+    /// Number of leaf boxes (= shards a materialize will produce).
+    pub fn num_leaves(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// The leaf (shard) a point falls in: the branchless cut-tree walk
+    /// used by the materialize classification pass.
+    pub fn leaf_of(&self, p: &[f64]) -> usize {
+        let mut link = self.root;
+        loop {
+            if link & LEAF_BIT != 0 {
+                return (link & !LEAF_BIT) as usize;
+            }
+            let node = &self.nodes[link as usize];
+            link = node.kids[(p[node.dim as usize] >= node.b) as usize];
+        }
+    }
 }
 
-/// Splits `data` into at most `num_shards` grid-aligned kd boxes with
-/// ε-wide halos, modeling the build across `lanes` host threads.
+/// Runs the sample-guided kd recursion: at most `num_shards` leaves,
+/// every cut on an ε-grid cell boundary, charged at the critical path of
+/// a `lanes`-way subtree fan-out.
 ///
-/// The full-data work — the bounds/sample read, the ownership/ghost
-/// classification, and the final gather — is executed as `lanes`
-/// independent contiguous chunks whose outputs are disjoint (per-lane
-/// counts, per-lane slices of the owner array, per-lane scatter windows),
-/// exactly the shape a per-device host thread would run. Each lane is
-/// timed individually and [`Partition::build_time`] charges the serial
-/// recursion plus the *slowest lane* of each pass — the same
-/// host-parallel convention the sharded engine applies to its per-device
-/// streams. The partition produced is bit-identical for every lane
-/// count; requesting one shard (or data too narrow to cut) yields a
-/// single ghost-free shard.
-pub fn partition_par(
-    data: &Dataset,
+/// Independent subtrees fan out across host lanes: a region's two
+/// children split its remaining lane budget (⌈b/2⌉ / ⌊b/2⌋) and are
+/// charged `max(left, right)` while the budget exceeds one, `left +
+/// right` after. Execution is sequential — the lanes are the *simulated*
+/// host threads the engine accounts, exactly like [`materialize`]'s
+/// chunked passes — so the tree (cuts, leaves, node order) is
+/// bit-identical for every lane count; only [`CutTree::build_time`]
+/// changes.
+pub fn build_cuts(
+    sp: &SamplePass,
     epsilon: f64,
     num_shards: usize,
     lanes: usize,
-) -> Result<Partition, GridBuildError> {
-    let t0 = Instant::now();
+) -> Result<CutTree, GridBuildError> {
     if !(epsilon.is_finite() && epsilon > 0.0) {
         return Err(GridBuildError::InvalidEpsilon(epsilon));
     }
-    if data.len() > u32::MAX as usize {
-        return Err(GridBuildError::TooManyPoints(data.len()));
-    }
     let num_shards = num_shards.max(1);
-    let dim = data.dim();
-    if data.is_empty() || num_shards == 1 {
-        return Ok(Partition {
-            cut_dims: Vec::new(),
-            epsilon,
-            shards: vec![whole_shard(data)],
-            build_time: t0.elapsed(),
-        });
+    let lanes = lanes.max(1);
+    let dim = sp.dim;
+    let nsample = sp.ids.len();
+    let single = |build_time: Duration| CutTree {
+        epsilon,
+        cut_dims: Vec::new(),
+        build_time,
+        leaves: vec![Leaf {
+            lo: vec![f64::NEG_INFINITY; dim],
+            hi: vec![f64::INFINITY; dim],
+            smin: sp.dmin.clone(),
+            smax: sp.dmax.clone(),
+        }],
+        nodes: Vec::new(),
+        root: LEAF_BIT,
+    };
+    if nsample == 0 || num_shards == 1 {
+        return Ok(single(Duration::ZERO));
     }
-
-    let mut span = sj_obs::Span::enter("shard.partition");
-    span.label("shards", num_shards);
-    let flat = data.coords();
-    let n = data.len();
-    let lanes = lanes.clamp(1, n);
-    span.label("lanes", lanes);
-    let csize = n.div_ceil(lanes);
-    let chunks: Vec<(usize, usize)> = (0..lanes)
-        .map(|c| (c * csize, ((c + 1) * csize).min(n)))
-        .collect();
-    // Wall time the chunked passes would have hidden had the lanes run
-    // concurrently: Σ lane walls − max lane wall, per pass. Subtracted
-    // from the total at the end, it leaves serial work + per-pass
-    // makespans without timing every serial snippet in between.
-    let mut hidden = Duration::ZERO;
-
-    // Pass 1 (chunked): per-dimension data bounds *and* the recursion's
-    // stride sample in one streaming read. Bounds merge associatively;
-    // the sample is strided by *global* id, so each lane contributes a
-    // disjoint in-order segment and the assembled sample is identical
-    // for every lane count.
-    let sstride = n.div_ceil(SPLIT_SAMPLE_CAP);
-    let mut dmin = vec![f64::INFINITY; dim];
-    let mut dmax = vec![f64::NEG_INFINITY; dim];
-    let mut cols: Vec<Vec<f64>> = vec![Vec::with_capacity(n.div_ceil(sstride)); dim];
-    let mut slowest = Duration::ZERO;
-    let mut summed = Duration::ZERO;
-    for (lane, &(start, end)) in chunks.iter().enumerate() {
-        let tl = Instant::now();
-        let mut lspan = sj_obs::Span::enter("shard.partition.lane");
-        lspan.label("pass", 1u64);
-        lspan.label("lane", lane);
-        let mut next_sample = start.next_multiple_of(sstride);
-        for (i, row) in flat[start * dim..end * dim].chunks_exact(dim).enumerate() {
-            for j in 0..dim {
-                dmin[j] = dmin[j].min(row[j]);
-                dmax[j] = dmax[j].max(row[j]);
-            }
-            if start + i == next_sample {
-                next_sample += sstride;
-                for j in 0..dim {
-                    cols[j].push(row[j]);
-                }
-            }
-        }
-        let w = tl.elapsed();
-        slowest = slowest.max(w);
-        summed += w;
-    }
-    hidden += summed - slowest;
-    let nsample = cols[0].len();
 
     // Cell-boundary geometry identical to `GridIndex` per dimension:
     // origin min − ε, cell side ε — every cut lands on a global grid-cell
     // boundary, so shard faces align with index cells on both sides.
-    let gmin: Vec<f64> = dmin.iter().map(|&m| m - epsilon).collect();
-
-    // Recursive binary splits over the sample. Each region cuts its
-    // widest dimension (by its data-clipped box span) at the grid
-    // boundary nearest its point-count quantile, recursing with ⌊k/2⌋ /
-    // ⌈k/2⌉ shard budgets so leaf counts stay balanced.
-    let root = Region {
+    let gmin: Vec<f64> = sp.dmin.iter().map(|&m| m - epsilon).collect();
+    let root_region = Region {
         slots: (0..nsample as u32).collect(),
         lo: vec![f64::NEG_INFINITY; dim],
         hi: vec![f64::INFINITY; dim],
-        smin: dmin,
-        smax: dmax,
+        smin: sp.dmin.clone(),
+        smax: sp.dmax.clone(),
         k: num_shards,
     };
-    let mut sp = Splitter {
-        cols,
+    let mut spl = Splitter {
+        cols: &sp.cols,
         gmin,
         epsilon,
         leaves: Vec::new(),
         cut_dims: Vec::new(),
         nodes: Vec::new(),
     };
-    let tree_root = sp.split(root);
+    let (root, build_time) = spl.split(root_region, lanes);
     let Splitter {
         mut leaves,
         cut_dims,
         mut nodes,
         ..
-    } = sp;
+    } = spl;
 
     // Deterministic shard order: lexicographic by box lower bounds. The
     // cut tree's leaf links are re-pointed through the permutation.
@@ -340,6 +426,94 @@ pub fn partition_par(
             .map(|&slot| permuted[slot].take().expect("permutation is a bijection"))
             .collect();
     }
+    Ok(CutTree {
+        epsilon,
+        cut_dims,
+        build_time,
+        leaves,
+        nodes,
+        root,
+    })
+}
+
+/// Splits `data` into at most `num_shards` grid-aligned kd boxes with
+/// ε-wide halos, on a single host lane. Equivalent to [`partition_par`]
+/// with one lane, where `build_time` is plain measured wall time.
+pub fn partition(
+    data: &Dataset,
+    epsilon: f64,
+    num_shards: usize,
+) -> Result<Partition, GridBuildError> {
+    partition_par(data, epsilon, num_shards, 1)
+}
+
+/// Splits `data` into at most `num_shards` grid-aligned kd boxes with
+/// ε-wide halos, modeling the build across `lanes` host threads:
+/// [`sample_pass`] → [`build_cuts`] → [`materialize`], with
+/// [`Partition::build_time`] charging all three stages. The partition
+/// produced is bit-identical for every lane count; requesting one shard
+/// (or data too narrow to cut) yields a single ghost-free shard.
+pub fn partition_par(
+    data: &Dataset,
+    epsilon: f64,
+    num_shards: usize,
+    lanes: usize,
+) -> Result<Partition, GridBuildError> {
+    if !(epsilon.is_finite() && epsilon > 0.0) {
+        return Err(GridBuildError::InvalidEpsilon(epsilon));
+    }
+    let sp = sample_pass(data, lanes)?;
+    let cuts = build_cuts(&sp, epsilon, num_shards, lanes)?;
+    let mut part = materialize(data, &cuts, lanes)?;
+    part.build_time += sp.wall + cuts.build_time;
+    Ok(part)
+}
+
+/// Executes the full-data passes of a settled cut tree: ownership/ghost
+/// classification, ghost-tail copies and the owned-prefix gather, each as
+/// `lanes` independent contiguous chunks with disjoint outputs.
+///
+/// The returned [`Partition::build_time`] charges the slowest lane of
+/// each pass *only* — the caller composes the sample and recursion
+/// stages' accounting (see [`partition_par`]). A single-leaf tree
+/// degenerates to one ghost-free whole-dataset shard.
+pub fn materialize(
+    data: &Dataset,
+    cuts: &CutTree,
+    lanes: usize,
+) -> Result<Partition, GridBuildError> {
+    if data.len() > u32::MAX as usize {
+        return Err(GridBuildError::TooManyPoints(data.len()));
+    }
+    let epsilon = cuts.epsilon;
+    let t0 = Instant::now();
+    if data.is_empty() || cuts.num_leaves() == 1 {
+        return Ok(Partition {
+            cut_dims: cuts.cut_dims.clone(),
+            epsilon,
+            shards: vec![whole_shard(data)],
+            build_time: t0.elapsed(),
+        });
+    }
+    let mut span = sj_obs::Span::enter("shard.partition");
+    span.label("shards", cuts.num_leaves());
+    let dim = data.dim();
+    let flat = data.coords();
+    let n = data.len();
+    let lanes = lanes.clamp(1, n);
+    span.label("lanes", lanes);
+    let csize = n.div_ceil(lanes);
+    let chunks: Vec<(usize, usize)> = (0..lanes)
+        .map(|c| (c * csize, ((c + 1) * csize).min(n)))
+        .collect();
+    let leaves = &cuts.leaves;
+    let nodes = &cuts.nodes;
+    let tree_root = cuts.root;
+    let nshards = leaves.len();
+    // Modeled build time: the slowest lane of each pass; Σ lane walls −
+    // max lane wall is wall time the chunked passes would have hidden had
+    // the lanes run concurrently, subtracted from the total at the end.
+    let mut hidden = Duration::ZERO;
 
     // Halo-band geometry per shard, flattened `[s * dim + j]` so the hot
     // passes below chase no per-shard Vec pointers: the widened
@@ -376,7 +550,7 @@ pub fn partition_par(
         })
         .collect();
 
-    // Pass 2 (chunked): classify every point. The cut-tree walk
+    // Pass 1 (chunked): classify every point. The cut-tree walk
     // (branchless child select) yields the owner, recorded in a per-point
     // owner array (each lane writes its own slice) and per-lane per-shard
     // counts; a point strictly farther than the halo from every face of
@@ -398,7 +572,7 @@ pub fn partition_par(
     for (lane, &(start, end)) in chunks.iter().enumerate() {
         let tl = Instant::now();
         let mut lspan = sj_obs::Span::enter("shard.partition.lane");
-        lspan.label("pass", 2u64);
+        lspan.label("pass", "classify");
         lspan.label("lane", lane);
         let mut out = LaneOut {
             counts: vec![0u32; nshards],
@@ -502,7 +676,7 @@ pub fn partition_par(
     hidden += summed - slowest;
     drop(lane_outs);
 
-    // Pass 3 (chunked): gather the owned prefixes. Each lane re-streams
+    // Pass 2 (chunked): gather the owned prefixes. Each lane re-streams
     // its rows and scatters them into its own windows of the shard
     // buffers — sequential writes per shard, no merge step afterwards.
     let mut slowest = Duration::ZERO;
@@ -510,7 +684,7 @@ pub fn partition_par(
     for (c, &(start, end)) in chunks.iter().enumerate() {
         let tl = Instant::now();
         let mut lspan = sj_obs::Span::enter("shard.partition.lane");
-        lspan.label("pass", 3u64);
+        lspan.label("pass", "gather");
         lspan.label("lane", c);
         let cur = &mut cursors[c];
         for (i, p) in flat[start * dim..end * dim].chunks_exact(dim).enumerate() {
@@ -529,7 +703,7 @@ pub fn partition_par(
     let shards: Vec<Shard> = ids_buf
         .into_iter()
         .zip(coords_buf)
-        .zip(&leaves)
+        .zip(leaves)
         .enumerate()
         .map(|(s, ((ids, coords), leaf))| Shard {
             id: s,
@@ -547,31 +721,56 @@ pub fn partition_par(
         shards.iter().map(|s| s.data.len() - s.owned).sum::<usize>(),
     );
     Ok(Partition {
-        cut_dims,
+        cut_dims: cuts.cut_dims.clone(),
         epsilon,
         shards,
         build_time: t0.elapsed().saturating_sub(hidden),
     })
 }
 
-/// Cap on the stride sample the kd recursion runs over. Cuts derived
-/// from sample quantiles cost O(sample · log k) instead of O(n · log k);
-/// below the cap the "sample" is the whole dataset and behavior is
-/// exact.
-const SPLIT_SAMPLE_CAP: usize = 8_192;
+/// One open sub-region of the kd recursion (sample slots, not global
+/// ids).
+struct Region {
+    slots: Vec<u32>,
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    /// Data-clipped box spans (the box intersected with the dataset's
+    /// bounding box): cheap per-dimension width estimates maintained
+    /// incrementally at each cut instead of rescanned from the points.
+    smin: Vec<f64>,
+    smax: Vec<f64>,
+    /// Shards this region should still split into.
+    k: usize,
+}
 
-impl Splitter {
+/// The sample-guided kd recursion state: sample columns in, leaves +
+/// pre-order cut dims + the cut tree out.
+struct Splitter<'a> {
+    /// Sample coordinates, column-major: `cols[j][slot]`.
+    cols: &'a [Vec<f64>],
+    gmin: Vec<f64>,
+    epsilon: f64,
+    leaves: Vec<Leaf>,
+    cut_dims: Vec<usize>,
+    nodes: Vec<CutNode>,
+}
+
+impl Splitter<'_> {
     /// Recursively splits one region, appending settled leaves, pre-order
     /// cut dimensions (this region's cut, then the left subtree's, then
-    /// the right's) and cut-tree nodes; returns the subtree's child link.
-    fn split(&mut self, r: Region) -> u32 {
+    /// the right's) and cut-tree nodes; returns the subtree's child link
+    /// plus its modeled build time under `budget` fan-out lanes: this
+    /// region's measured cut-search wall, plus `max(left, right)` while
+    /// the budget splits across children, `left + right` once it is one.
+    fn split(&mut self, r: Region, budget: usize) -> (u32, Duration) {
+        let tr = Instant::now();
         if r.k <= 1 || r.slots.len() <= 1 {
-            return self.leaf(r);
+            return (self.leaf(r), tr.elapsed());
         }
         let Some((j, b, left_slots, right_slots)) = self.cut_region(&r) else {
             // No dimension offers a cut with both sides non-empty (all
             // sample points share one ε-cell in every dimension): leaf.
-            return self.leaf(r);
+            return (self.leaf(r), tr.elapsed());
         };
         let kl = r.k / 2;
         let kr = r.k - kl;
@@ -606,10 +805,13 @@ impl Splitter {
             b,
             kids: [u32::MAX, u32::MAX],
         });
-        let lkid = self.split(left);
-        let rkid = self.split(right);
+        let cut_wall = tr.elapsed();
+        let (bl, br) = (budget.div_ceil(2), budget / 2);
+        let (lkid, lt) = self.split(left, bl.max(1));
+        let (rkid, rt) = self.split(right, br.max(1));
         self.nodes[node].kids = [lkid, rkid];
-        node as u32
+        let children = if budget > 1 { lt.max(rt) } else { lt + rt };
+        (node as u32, cut_wall + children)
     }
 
     fn leaf(&mut self, r: Region) -> u32 {
@@ -909,5 +1111,64 @@ mod tests {
             partition(&data, f64::NAN, 2),
             Err(GridBuildError::InvalidEpsilon(_))
         ));
+    }
+
+    #[test]
+    fn sample_pass_is_lane_invariant() {
+        let data = uniform(3, 5000, 50);
+        let base = sample_pass(&data, 1).unwrap();
+        for lanes in [2, 3, 7, 16] {
+            let sp = sample_pass(&data, lanes).unwrap();
+            assert_eq!(sp.ids, base.ids, "lanes = {lanes}");
+            assert_eq!(sp.cols, base.cols, "lanes = {lanes}");
+            assert_eq!(sp.dmin, base.dmin);
+            assert_eq!(sp.dmax, base.dmax);
+        }
+        assert_eq!(base.dmin, data.min_per_dim().unwrap());
+    }
+
+    #[test]
+    fn staged_build_equals_partition_par() {
+        // The wrapper and the staged calls must produce the same shards.
+        let data = clustered(2, 4000, 3, 1.0, 0.07, 51);
+        let eps = 0.6;
+        let whole = partition_par(&data, eps, 6, 4).unwrap();
+        let sp = sample_pass(&data, 4).unwrap();
+        let cuts = build_cuts(&sp, eps, 6, 4).unwrap();
+        let staged = materialize(&data, &cuts, 4).unwrap();
+        assert_eq!(staged.cut_dims, whole.cut_dims);
+        assert_eq!(staged.shards.len(), whole.shards.len());
+        for (a, b) in staged.shards.iter().zip(&whole.shards) {
+            assert_eq!(a.global_ids, b.global_ids);
+            assert_eq!(a.owned, b.owned);
+            assert_eq!(a.lo, b.lo);
+            assert_eq!(a.hi, b.hi);
+        }
+    }
+
+    #[test]
+    fn cut_tree_assignment_matches_shard_boxes() {
+        let data = uniform(2, 3000, 52);
+        let sp = sample_pass(&data, 2).unwrap();
+        let cuts = build_cuts(&sp, 1.5, 8, 2).unwrap();
+        let part = materialize(&data, &cuts, 2).unwrap();
+        for p in data.iter() {
+            let leaf = cuts.leaf_of(p);
+            assert!(part.shards[leaf].owns(p));
+        }
+    }
+
+    #[test]
+    fn lane_budget_only_changes_the_charge() {
+        // The recursion's fan-out budget must not change the tree, and a
+        // wider budget must never be charged more than the serial build
+        // of the *same measured walls*. (Walls are measured per call, so
+        // compare shape, not exact times.)
+        let data = uniform(4, 6000, 53);
+        let sp = sample_pass(&data, 1).unwrap();
+        let serial = build_cuts(&sp, 8.0, 16, 1).unwrap();
+        let fanned = build_cuts(&sp, 8.0, 16, 8).unwrap();
+        assert_eq!(serial.cut_dims, fanned.cut_dims);
+        assert_eq!(serial.num_leaves(), fanned.num_leaves());
     }
 }

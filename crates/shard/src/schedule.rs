@@ -95,6 +95,19 @@ pub fn modeled_makespan(
         .unwrap_or(Duration::ZERO)
 }
 
+/// Picks the winning shard count from the chooser's candidate table
+/// (`(shard_count, modeled objective)` pairs): the minimum objective,
+/// with exact ties broken toward the **smaller** shard count — fewer
+/// shards mean less ghost surface and a smaller partition to build, so
+/// when the model can't tell candidates apart the cheaper-to-make one
+/// wins. Deterministic for any input order; `None` on an empty table.
+pub fn argmin_shard_count(candidates: &[(usize, std::time::Duration)]) -> Option<usize> {
+    candidates
+        .iter()
+        .min_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)))
+        .map(|&(k, _)| k)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,5 +202,27 @@ mod tests {
     #[should_panic(expected = "at least one device")]
     fn zero_devices_rejected() {
         let _ = lpt_schedule(&[1], 0);
+    }
+
+    #[test]
+    fn argmin_prefers_smaller_count_on_ties() {
+        use std::time::Duration;
+        let ms = Duration::from_millis;
+        // Strict minimum wins regardless of position…
+        assert_eq!(
+            argmin_shard_count(&[(1, ms(9)), (4, ms(7)), (8, ms(8))]),
+            Some(4)
+        );
+        // …and an exact tie goes to the smaller shard count, whatever
+        // the table order.
+        assert_eq!(
+            argmin_shard_count(&[(8, ms(7)), (2, ms(7)), (4, ms(9))]),
+            Some(2)
+        );
+        assert_eq!(
+            argmin_shard_count(&[(2, ms(7)), (8, ms(7)), (4, ms(9))]),
+            Some(2)
+        );
+        assert_eq!(argmin_shard_count(&[]), None);
     }
 }

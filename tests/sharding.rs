@@ -136,6 +136,107 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The parallel-prelude property: fanning the kd recursion across
+    /// host lanes is a *charging* change, never a *structural* one. For
+    /// random datasets over dimensions 2–6 and shard counts 1–32, the
+    /// lane-parallel partition must equal the serial one exactly — same
+    /// cut dimensions, same owned boxes, same owned prefixes, same
+    /// ghost sets, same local point order — for any lane count.
+    #[test]
+    fn parallel_partition_equals_serial(
+        dim in 2usize..=6,
+        n in 20usize..160,
+        seed in 1u64..10_000,
+        family in 0usize..3,
+        eps in 2.0f64..30.0,
+        (shards, lanes) in (1usize..=32, 2usize..=8),
+    ) {
+        let data = match family {
+            0 => uniform(dim, n, seed),
+            1 => clustered(dim, n, 3, 5.0, 0.2, seed),
+            _ => clustered(dim, n, 2, 1.0, 0.05, seed),
+        };
+        let serial = partition::partition(&data, eps, shards).unwrap();
+        let par = partition::partition_par(&data, eps, shards, lanes).unwrap();
+        prop_assert_eq!(&par.cut_dims, &serial.cut_dims);
+        prop_assert_eq!(par.shards.len(), serial.shards.len());
+        for (a, b) in par.shards.iter().zip(&serial.shards) {
+            prop_assert_eq!(a.id, b.id);
+            prop_assert_eq!(&a.lo, &b.lo, "shard {} lower bounds", a.id);
+            prop_assert_eq!(&a.hi, &b.hi, "shard {} upper bounds", a.id);
+            prop_assert_eq!(a.owned, b.owned, "shard {} owned count", a.id);
+            prop_assert_eq!(
+                &a.global_ids, &b.global_ids,
+                "shard {} local id order", a.id
+            );
+        }
+    }
+
+    /// The fused-prelude property: building the cost model from the
+    /// partitioner's shared sample pass must agree with the standalone
+    /// two-pass calibration whenever both see every point (n below the
+    /// sampling caps) — same sample, same neighbor/candidate counts,
+    /// same grid-cell census — for any lane count. Timing-derived rates
+    /// are excluded: they measure different walls by design.
+    #[test]
+    fn fused_calibration_matches_two_pass_calibration(
+        dim in 1usize..=4,
+        n in 30usize..250,
+        seed in 1u64..10_000,
+        eps in 2.0f64..20.0,
+        lanes in 1usize..=8,
+    ) {
+        use gpu_self_join::shard::cost::{calibrate, calibrate_from_sample};
+        let data = uniform(dim, n, seed);
+        let spec = DeviceSpec::titan_x_pascal();
+        let two_pass = calibrate(&data, eps, &spec).unwrap();
+        let sp = partition::sample_pass(&data, lanes).unwrap();
+        let fused = calibrate_from_sample(&sp, eps, &spec).unwrap();
+        prop_assert_eq!(fused.len, two_pass.len);
+        prop_assert_eq!(&fused.sample_ids, &two_pass.sample_ids);
+        prop_assert_eq!(&fused.sample_neighbors, &two_pass.sample_neighbors);
+        prop_assert_eq!(&fused.sample_candidates, &two_pass.sample_candidates);
+        prop_assert_eq!(fused.non_empty_cells, two_pass.non_empty_cells);
+        prop_assert_eq!(fused.avg_neighbors, two_pass.avg_neighbors);
+        prop_assert_eq!(fused.avg_candidates, two_pass.avg_candidates);
+    }
+
+    /// The staged API composes to the one-shot entry point: sample pass →
+    /// cut build → materialize yields the same partition `partition_par`
+    /// returns, and the sample pass itself is lane-invariant.
+    #[test]
+    fn staged_prelude_composes(
+        dim in 2usize..=4,
+        n in 20usize..120,
+        seed in 1u64..10_000,
+        eps in 2.0f64..20.0,
+        shards in 1usize..=8,
+        lanes in 1usize..=4,
+    ) {
+        let data = uniform(dim, n, seed);
+        let sp = partition::sample_pass(&data, lanes).unwrap();
+        let sp1 = partition::sample_pass(&data, 1).unwrap();
+        prop_assert_eq!(&sp.ids, &sp1.ids, "sample set depends on lane count");
+        let cuts = partition::build_cuts(&sp, eps, shards, lanes).unwrap();
+        let staged = partition::materialize(&data, &cuts, lanes).unwrap();
+        let oneshot = partition::partition_par(&data, eps, shards, lanes).unwrap();
+        prop_assert_eq!(staged.shards.len(), oneshot.shards.len());
+        prop_assert_eq!(cuts.num_leaves(), oneshot.shards.len());
+        for (a, b) in staged.shards.iter().zip(&oneshot.shards) {
+            prop_assert_eq!(&a.global_ids, &b.global_ids, "shard {}", a.id);
+            prop_assert_eq!(a.owned, b.owned);
+        }
+        // The cut tree's point→leaf assignment agrees with box ownership.
+        for p in data.iter() {
+            let leaf = cuts.leaf_of(p);
+            prop_assert!(staged.shards[leaf].owns(p));
+        }
+    }
+}
+
 /// Satellite pin: the fused (CellMajor) path concatenates shard results —
 /// the dedup pass must find nothing to merge even at aggressive shard
 /// counts, on uniform and skewed data alike.
